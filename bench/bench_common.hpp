@@ -1,0 +1,44 @@
+#pragma once
+/// Shared helpers for the figure-reproduction benches: result directory
+/// handling and a consistent "paper vs measured" banner.
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace nh::bench {
+
+/// Directory CSV series are written to (NH_RESULTS_DIR or ./bench_results).
+inline std::filesystem::path resultsDir() {
+  if (const char* env = std::getenv("NH_RESULTS_DIR")) {
+    return std::filesystem::path(env);
+  }
+  return std::filesystem::path("bench_results");
+}
+
+/// Save a CSV table and report the location on stdout.
+inline void saveCsv(const nh::util::CsvTable& table, const std::string& name) {
+  const auto path = resultsDir() / name;
+  table.save(path);
+  std::printf("  series written to %s\n", path.string().c_str());
+}
+
+/// Standard banner for each reproduced artefact.
+inline void banner(const char* figure, const char* description,
+                   const char* paperShape) {
+  std::printf("=====================================================================\n");
+  std::printf("NeuroHammer reproduction -- %s\n", figure);
+  std::printf("%s\n", description);
+  std::printf("paper shape: %s\n", paperShape);
+  std::printf("=====================================================================\n");
+}
+
+/// True when NH_FAST_BENCH is set: benches shrink budgets/grids so the whole
+/// suite completes quickly (CI smoke mode).
+inline bool fastMode() { return std::getenv("NH_FAST_BENCH") != nullptr; }
+
+}  // namespace nh::bench

@@ -1,0 +1,98 @@
+/// Google-benchmark microbenchmarks of the numerical kernels: dense LU
+/// (MNA), preconditioned CG on the FEM operator, the JART conduction solve,
+/// device state integration, and one full fast-engine pulse on the 5x5
+/// crossbar. These bound the cost model behind the sweep budgets quoted in
+/// EXPERIMENTS.md.
+
+#include <benchmark/benchmark.h>
+
+#include "core/study.hpp"
+#include "fem/alpha.hpp"
+#include "jart/device.hpp"
+#include "util/linsolve.hpp"
+#include "util/rng.hpp"
+#include "xbar/fastsim.hpp"
+
+namespace {
+
+void BM_DenseLuSolve(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  nh::util::Rng rng(42);
+  nh::util::Matrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.uniform(-1.0, 1.0);
+    a(r, r) += static_cast<double>(n);
+  }
+  nh::util::Vector b(n, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nh::util::solveDense(a, b));
+  }
+}
+BENCHMARK(BM_DenseLuSolve)->Arg(10)->Arg(50);
+
+void BM_FemThermalSolve(benchmark::State& state) {
+  nh::fem::CrossbarLayout layout;
+  layout.rows = 3;
+  layout.cols = 3;
+  layout.margin = 20e-9;
+  const auto model = nh::fem::CrossbarModel3D::build(layout);
+  nh::fem::ThermalScenario scenario;
+  scenario.model = &model;
+  scenario.cellPower = nh::util::Matrix(3, 3, 0.0);
+  scenario.cellPower(1, 1) = 1e-4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nh::fem::solveThermal(scenario));
+  }
+  state.counters["voxels"] = static_cast<double>(model.grid().voxelCount());
+}
+BENCHMARK(BM_FemThermalSolve)->Unit(benchmark::kMillisecond);
+
+void BM_JartConduction(benchmark::State& state) {
+  const nh::jart::Model model(nh::jart::Params::paperDefaults());
+  double n = 1e25;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.solveConduction(0.525, n, 360.0));
+  }
+}
+BENCHMARK(BM_JartConduction);
+
+void BM_JartAdvancePulse(benchmark::State& state) {
+  nh::jart::JartDevice device(nh::jart::Params::paperDefaults(), 300.0);
+  device.setCrosstalk(60.0);
+  for (auto _ : state) {
+    device.advance(0.525, 50e-9);
+    if (device.normalisedState() > 0.9) device.setHrs();  // keep mid-window
+  }
+}
+BENCHMARK(BM_JartAdvancePulse);
+
+void BM_FastEnginePulse(benchmark::State& state) {
+  nh::xbar::ArrayConfig cfg;
+  nh::xbar::CrossbarArray array(cfg);
+  array.fill(nh::xbar::CellState::Hrs);
+  array.setState(2, 2, nh::xbar::CellState::Lrs);
+  nh::xbar::FastEngine engine(array, nh::xbar::AlphaTable::analytic(50e-9));
+  const auto bias =
+      nh::xbar::selectBias(nh::xbar::BiasScheme::Half, 5, 5, 2, 2, 1.05);
+  for (auto _ : state) {
+    engine.applyPulse(bias, 50e-9, 50e-9);
+    // Reset drifting victims occasionally so the workload stays stationary.
+    if (array.cell(2, 1).normalisedState() > 0.5) {
+      array.fill(nh::xbar::CellState::Hrs);
+      array.setState(2, 2, nh::xbar::CellState::Lrs);
+    }
+  }
+}
+BENCHMARK(BM_FastEnginePulse)->Unit(benchmark::kMicrosecond);
+
+void BM_AlphaTableHub(benchmark::State& state) {
+  nh::xbar::CrosstalkHub hub(5, 5, nh::xbar::AlphaTable::analytic(50e-9));
+  nh::util::Matrix excess(5, 5, 10.0);
+  excess(2, 2) = 230.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hub.inputTemperatures(excess));
+  }
+}
+BENCHMARK(BM_AlphaTableHub);
+
+}  // namespace

@@ -1,0 +1,121 @@
+#include "core/defense.hpp"
+
+#include <stdexcept>
+
+namespace nh::core {
+
+ScrubbingOutcome evaluateScrubbing(const StudyConfig& base,
+                                   const HammerPulse& pulse,
+                                   const ScrubbingConfig& scrub,
+                                   std::size_t attackBudget) {
+  if (scrub.intervalPulses == 0) {
+    throw std::invalid_argument("evaluateScrubbing: interval must be > 0");
+  }
+  AttackStudy study(base);
+  auto bench = study.makeBench();
+  auto& array = *bench.array;
+  auto& engine = *bench.engine;
+  BitFlipDetector detector(base.detector);
+
+  const xbar::CellCoord aggressor{base.rows / 2, base.cols / 2};
+  array.setState(aggressor.row, aggressor.col, xbar::CellState::Lrs);
+  const xbar::LineBias bias =
+      xbar::selectBias(xbar::BiasScheme::Half, array.rows(), array.cols(),
+                       aggressor.row, aggressor.col, pulse.amplitude);
+  std::vector<xbar::CellCoord> victims;
+  for (std::size_t r = 0; r < array.rows(); ++r) {
+    for (std::size_t c = 0; c < array.cols(); ++c) {
+      if (!(r == aggressor.row && c == aggressor.col)) victims.push_back({r, c});
+    }
+  }
+
+  ScrubbingOutcome outcome;
+  std::size_t applied = 0;
+  while (applied < attackBudget) {
+    const std::size_t chunk = std::min(scrub.intervalPulses, attackBudget - applied);
+    bool flipped = false;
+    const auto callback = [&](std::size_t pulseInChunk) {
+      if (detector.firstLrs(array, victims)) {
+        flipped = true;
+        outcome.pulsesUntilFlip = applied + pulseInChunk;
+        return true;
+      }
+      return false;
+    };
+    const auto train =
+        engine.applyPulseTrain(bias, pulse.width, pulse.gap(), chunk, callback);
+    applied += train.pulsesApplied;
+    if (flipped) {
+      outcome.attackSucceeded = true;
+      return outcome;
+    }
+
+    // Scrub pass: refresh every monitored cell that drifted.
+    ++outcome.scrubPasses;
+    const xbar::LineBias idle = xbar::idleBias(array.rows(), array.cols());
+    for (const auto& v : victims) {
+      if (array.cell(v.row, v.col).normalisedState() > scrub.driftThreshold) {
+        const xbar::LineBias refresh =
+            xbar::selectBias(xbar::BiasScheme::Half, array.rows(), array.cols(),
+                             v.row, v.col, scrub.refreshVoltage);
+        engine.applyPulse(refresh, scrub.refreshWidth, pulse.gap());
+        ++outcome.cellsRefreshed;
+      }
+    }
+    engine.applyBias(idle, 10 * pulse.gap());  // settle before resuming
+  }
+  outcome.pulsesSurvived = applied;
+  return outcome;
+}
+
+MonitorOutcome evaluateMonitor(const StudyConfig& base, const HammerPulse& pulse,
+                               const MonitorConfig& monitor,
+                               std::size_t attackBudget) {
+  if (monitor.lineThreshold == 0) {
+    throw std::invalid_argument("evaluateMonitor: threshold must be > 0");
+  }
+  // The reference attack hammers one cell, so its word/bit line counters
+  // grow one-for-one with the pulse count: detection happens exactly at the
+  // threshold (or the window limit). Run the attack to learn the flip time.
+  AttackStudy study(base);
+  HammerPulse p = pulse;
+  const AttackResult attack = study.attackCenter(p, attackBudget);
+
+  MonitorOutcome outcome;
+  const std::size_t detectionAt =
+      monitor.windowPulses == 0
+          ? monitor.lineThreshold
+          : std::min<std::size_t>(monitor.lineThreshold, monitor.windowPulses);
+  outcome.pulsesUntilDetection = detectionAt;
+  outcome.attackDetected = attack.pulsesApplied >= detectionAt;
+  outcome.pulsesUntilFlip = attack.pulsesToFlip;
+  outcome.flippedBeforeDetection = attack.flipped && attack.pulsesToFlip < detectionAt;
+  return outcome;
+}
+
+std::vector<ThrottleOutcome> evaluateThrottling(const StudyConfig& base,
+                                                double pulseWidth,
+                                                const std::vector<double>& dutyCycles,
+                                                std::size_t attackBudget) {
+  std::vector<ThrottleOutcome> outcomes;
+  outcomes.reserve(dutyCycles.size());
+  AttackStudy study(base);
+  for (const double duty : dutyCycles) {
+    if (!(duty > 0.0 && duty <= 1.0)) {
+      throw std::invalid_argument("evaluateThrottling: duty in (0,1]");
+    }
+    HammerPulse pulse;
+    pulse.width = pulseWidth;
+    pulse.dutyCycle = duty;
+    const AttackResult r = study.attackCenter(pulse, attackBudget);
+    ThrottleOutcome o;
+    o.dutyCycle = duty;
+    o.flipped = r.flipped;
+    o.pulses = r.pulsesToFlip;
+    o.wallClockTime = static_cast<double>(r.pulsesToFlip) * pulse.period();
+    outcomes.push_back(o);
+  }
+  return outcomes;
+}
+
+}  // namespace nh::core

@@ -1,0 +1,84 @@
+#pragma once
+/// \file defense.hpp
+/// Countermeasure evaluation (the paper's future work: "explore
+/// countermeasures to mitigate the security threat"). Three defences are
+/// modelled and evaluated against the reference attack:
+///  * refresh scrubbing  -- periodically RESET-refresh disturbed HRS cells,
+///  * hammer-count monitoring -- per-line activation counters with an alarm
+///    threshold (the ReRAM analogue of DRAM TRR),
+///  * duty-cycle throttling -- the controller enforces idle time between
+///    pulses to the same line (shown to be ineffective here because the
+///    thermal time constant is far below any realistic pulse period).
+
+#include <cstddef>
+
+#include "core/study.hpp"
+
+namespace nh::core {
+
+/// ---- refresh scrubbing -------------------------------------------------------
+
+struct ScrubbingConfig {
+  /// Scrub pass every this many hammer pulses.
+  std::size_t intervalPulses = 1000;
+  /// Cells whose normalised state drifted above this are refreshed.
+  double driftThreshold = 0.15;
+  /// RESET pulse used for the refresh.
+  double refreshVoltage = -1.3;
+  double refreshWidth = 10e-6;
+};
+
+struct ScrubbingOutcome {
+  bool attackSucceeded = false;     ///< Victim flipped despite scrubbing.
+  std::size_t pulsesUntilFlip = 0;  ///< Valid when attackSucceeded.
+  std::size_t pulsesSurvived = 0;   ///< Attack budget withstood otherwise.
+  std::size_t scrubPasses = 0;
+  std::size_t cellsRefreshed = 0;   ///< Total refresh operations issued.
+};
+
+/// Run the centre-cell reference attack against a scrubbing defence.
+ScrubbingOutcome evaluateScrubbing(const StudyConfig& base,
+                                   const HammerPulse& pulse,
+                                   const ScrubbingConfig& scrub,
+                                   std::size_t attackBudget);
+
+/// ---- hammer-count monitoring ---------------------------------------------------
+
+struct MonitorConfig {
+  /// Alarm when any line accumulates this many activations within a window.
+  std::size_t lineThreshold = 500;
+  /// Sliding-window length in pulses (0 = cumulative counters).
+  std::size_t windowPulses = 0;
+};
+
+struct MonitorOutcome {
+  bool attackDetected = false;
+  std::size_t pulsesUntilDetection = 0;
+  bool flippedBeforeDetection = false;
+  std::size_t pulsesUntilFlip = 0;
+};
+
+/// Would a per-line activation monitor raise the alarm before the reference
+/// attack flips its victim?
+MonitorOutcome evaluateMonitor(const StudyConfig& base, const HammerPulse& pulse,
+                               const MonitorConfig& monitor,
+                               std::size_t attackBudget);
+
+/// ---- duty-cycle throttling ---------------------------------------------------
+
+struct ThrottleOutcome {
+  double dutyCycle = 0.0;
+  bool flipped = false;
+  std::size_t pulses = 0;
+  double wallClockTime = 0.0;  ///< Attack duration including enforced idle [s].
+};
+
+/// Evaluate pulses-to-flip when the controller enforces the given duty
+/// cycles (width / period). The paper's thermal analysis predicts this is
+/// no defence: the victim heating happens within each pulse.
+std::vector<ThrottleOutcome> evaluateThrottling(const StudyConfig& base,
+                                                double pulseWidth,
+                                                const std::vector<double>& dutyCycles,
+                                                std::size_t attackBudget);
+
+}  // namespace nh::core

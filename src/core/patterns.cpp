@@ -1,0 +1,67 @@
+#include "core/patterns.hpp"
+
+#include <stdexcept>
+
+namespace nh::core {
+
+std::vector<AttackPattern> allPatterns() {
+  return {AttackPattern::SingleAggressor, AttackPattern::RowPair,
+          AttackPattern::ColumnPair, AttackPattern::Cross, AttackPattern::Ring};
+}
+
+std::string patternName(AttackPattern pattern) {
+  switch (pattern) {
+    case AttackPattern::SingleAggressor: return "single";
+    case AttackPattern::RowPair: return "row-pair";
+    case AttackPattern::ColumnPair: return "column-pair";
+    case AttackPattern::Cross: return "cross";
+    case AttackPattern::Ring: return "ring";
+  }
+  return "?";
+}
+
+std::vector<xbar::CellCoord> patternAggressors(AttackPattern pattern,
+                                               const xbar::CellCoord& victim,
+                                               std::size_t rows, std::size_t cols) {
+  const auto inBounds = [&](long long r, long long c) {
+    return r >= 0 && c >= 0 && r < static_cast<long long>(rows) &&
+           c < static_cast<long long>(cols);
+  };
+  const long long vr = static_cast<long long>(victim.row);
+  const long long vc = static_cast<long long>(victim.col);
+
+  std::vector<std::pair<long long, long long>> offsets;
+  switch (pattern) {
+    case AttackPattern::SingleAggressor:
+      offsets = {{0, -1}, {0, 1}};  // first in-bounds word-line neighbour
+      break;
+    case AttackPattern::RowPair:
+      offsets = {{0, -1}, {0, 1}};
+      break;
+    case AttackPattern::ColumnPair:
+      offsets = {{-1, 0}, {1, 0}};
+      break;
+    case AttackPattern::Cross:
+      offsets = {{0, -1}, {0, 1}, {-1, 0}, {1, 0}};
+      break;
+    case AttackPattern::Ring:
+      offsets = {{0, -1}, {0, 1}, {-1, 0}, {1, 0},
+                 {-1, -1}, {-1, 1}, {1, -1}, {1, 1}};
+      break;
+  }
+
+  std::vector<xbar::CellCoord> aggressors;
+  for (const auto& [dr, dc] : offsets) {
+    if (inBounds(vr + dr, vc + dc)) {
+      aggressors.push_back({static_cast<std::size_t>(vr + dr),
+                            static_cast<std::size_t>(vc + dc)});
+    }
+    if (pattern == AttackPattern::SingleAggressor && !aggressors.empty()) break;
+  }
+  if (aggressors.empty()) {
+    throw std::invalid_argument("patternAggressors: no aggressor fits the array");
+  }
+  return aggressors;
+}
+
+}  // namespace nh::core

@@ -1,0 +1,35 @@
+#pragma once
+/// \file patterns.hpp
+/// Attack patterns (paper Fig. 3e-h, "overview of attack patterns"): which
+/// cells around a chosen victim are hammered, in round-robin order. More
+/// aggressors sharing the victim's lines deposit more crosstalk heat per
+/// unit time, reducing the pulses-to-flip (Fig. 3d).
+
+#include <string>
+#include <vector>
+
+#include "xbar/array.hpp"
+
+namespace nh::core {
+
+enum class AttackPattern {
+  SingleAggressor,  ///< (e) one aggressor on the victim's word line.
+  RowPair,          ///< (f) both word-line neighbours of the victim.
+  ColumnPair,       ///< (g-variant) both bit-line neighbours.
+  Cross,            ///< (g) all four direct neighbours.
+  Ring,             ///< (h) the full 8-neighbour ring.
+};
+
+/// All supported patterns, in figure order.
+std::vector<AttackPattern> allPatterns();
+
+/// Human-readable name ("single", "row-pair", ...).
+std::string patternName(AttackPattern pattern);
+
+/// Aggressor cells for \p pattern around \p victim, clipped to the array
+/// bounds. Throws std::invalid_argument when no aggressor fits (1x1 array).
+std::vector<xbar::CellCoord> patternAggressors(AttackPattern pattern,
+                                               const xbar::CellCoord& victim,
+                                               std::size_t rows, std::size_t cols);
+
+}  // namespace nh::core

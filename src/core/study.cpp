@@ -1,0 +1,166 @@
+#include "core/study.hpp"
+
+#include <stdexcept>
+
+#include "fem/geometry.hpp"
+#include "util/log.hpp"
+
+namespace nh::core {
+
+AttackStudy::AttackStudy(StudyConfig config) : config_(std::move(config)) {
+  if (config_.rows < 3 || config_.cols < 3) {
+    throw std::invalid_argument("AttackStudy: need at least a 3x3 array");
+  }
+
+  if (config_.useFemAlphas) {
+    fem::CrossbarLayout layout;
+    layout.rows = config_.rows;
+    layout.cols = config_.cols;
+    layout.spacing = config_.spacing;
+    layout.voxelSize = config_.femVoxelSize;
+    const auto model = fem::CrossbarModel3D::build(layout);
+    // Power sweep bracketing the hammered cell's dissipation (~0.1 mW).
+    const auto extraction = fem::extractAlpha(
+        model, fem::MaterialTable::defaults(), config_.rows / 2, config_.cols / 2,
+        {0.05e-3, 0.10e-3, 0.15e-3}, config_.ambientK);
+    alphas_ = xbar::AlphaTable::fromExtraction(extraction);
+    nh::util::logInfo("AttackStudy: FEM alphas extracted, Rth=", extraction.rTh,
+                      " K/W, nearest alpha=", alphas_.at(0, 1));
+  } else {
+    alphas_ = xbar::AlphaTable::analytic(config_.spacing);
+  }
+
+  arrayConfig_.rows = config_.rows;
+  arrayConfig_.cols = config_.cols;
+  arrayConfig_.cellParams = config_.cellParams;
+  arrayConfig_.ambientK = config_.ambientK;
+  // COMSOL -> Virtuoso hand-off: the FEM-extracted thermal resistance
+  // replaces the compact-model default (paper Sec. IV).
+  if (alphas_.rTh() > 0.0) arrayConfig_.cellParams.rThEff = alphas_.rTh();
+}
+
+AttackStudy::Bench AttackStudy::makeBench() const {
+  Bench bench;
+  bench.array = std::make_unique<xbar::CrossbarArray>(arrayConfig_);
+  bench.array->fill(xbar::CellState::Hrs);
+  bench.engine = std::make_unique<xbar::FastEngine>(*bench.array, alphas_,
+                                                    config_.engineOptions);
+  return bench;
+}
+
+AttackResult AttackStudy::attack(const AttackConfig& attackConfig) {
+  Bench bench = makeBench();
+  AttackEngine engine(*bench.engine, config_.detector);
+  return engine.run(attackConfig);
+}
+
+AttackResult AttackStudy::attackCenter(const HammerPulse& pulse,
+                                       std::size_t maxPulses,
+                                       std::size_t traceSamples) {
+  AttackConfig cfg;
+  cfg.aggressors = {{config_.rows / 2, config_.cols / 2}};
+  cfg.pulse = pulse;
+  cfg.maxPulses = maxPulses;
+  cfg.traceSamples = traceSamples;
+  // Monitor the aggressor's word-line neighbour explicitly first (strongest
+  // coupling; this is the cell Fig. 1 calls M2) plus all remaining HRS cells.
+  cfg.victims.clear();
+  const std::size_t cr = config_.rows / 2;
+  const std::size_t cc = config_.cols / 2;
+  if (cc > 0) cfg.victims.push_back({cr, cc - 1});
+  if (cc + 1 < config_.cols) cfg.victims.push_back({cr, cc + 1});
+  if (cr > 0) cfg.victims.push_back({cr - 1, cc});
+  if (cr + 1 < config_.rows) cfg.victims.push_back({cr + 1, cc});
+  return attack(cfg);
+}
+
+AttackResult AttackStudy::attackPattern(AttackPattern pattern,
+                                        const HammerPulse& pulse,
+                                        std::size_t maxPulses) {
+  const xbar::CellCoord victim{config_.rows / 2, config_.cols / 2};
+  AttackConfig cfg;
+  cfg.aggressors = patternAggressors(pattern, victim, config_.rows, config_.cols);
+  cfg.pulse = pulse;
+  cfg.maxPulses = maxPulses;
+  cfg.victims = {victim};
+  return attack(cfg);
+}
+
+std::vector<SweepPoint> sweepPulseLength(const StudyConfig& base,
+                                         const std::vector<double>& widths,
+                                         std::size_t maxPulses) {
+  AttackStudy study(base);
+  std::vector<SweepPoint> points;
+  points.reserve(widths.size());
+  for (const double width : widths) {
+    HammerPulse pulse;
+    pulse.width = width;
+    const AttackResult r = study.attackCenter(pulse, maxPulses);
+    points.push_back({width, width, r.pulsesToFlip, r.flipped, r.stressTime});
+    nh::util::logInfo("fig3a: width=", width, " pulses=", r.pulsesToFlip,
+                      " flipped=", r.flipped);
+  }
+  return points;
+}
+
+std::vector<SweepPoint> sweepSpacing(const StudyConfig& base,
+                                     const std::vector<double>& spacings,
+                                     const std::vector<double>& widths,
+                                     std::size_t maxPulses) {
+  std::vector<SweepPoint> points;
+  points.reserve(spacings.size() * widths.size());
+  for (const double spacing : spacings) {
+    StudyConfig cfg = base;
+    cfg.spacing = spacing;
+    AttackStudy study(cfg);
+    for (const double width : widths) {
+      HammerPulse pulse;
+      pulse.width = width;
+      const AttackResult r = study.attackCenter(pulse, maxPulses);
+      points.push_back({spacing, width, r.pulsesToFlip, r.flipped, r.stressTime});
+      nh::util::logInfo("fig3b: spacing=", spacing, " width=", width,
+                        " pulses=", r.pulsesToFlip, " flipped=", r.flipped);
+    }
+  }
+  return points;
+}
+
+std::vector<SweepPoint> sweepAmbient(const StudyConfig& base,
+                                     const std::vector<double>& ambients,
+                                     const std::vector<double>& widths,
+                                     std::size_t maxPulses) {
+  std::vector<SweepPoint> points;
+  points.reserve(ambients.size() * widths.size());
+  for (const double ambient : ambients) {
+    StudyConfig cfg = base;
+    cfg.ambientK = ambient;
+    AttackStudy study(cfg);
+    for (const double width : widths) {
+      HammerPulse pulse;
+      pulse.width = width;
+      const AttackResult r = study.attackCenter(pulse, maxPulses);
+      points.push_back({ambient, width, r.pulsesToFlip, r.flipped, r.stressTime});
+      nh::util::logInfo("fig3c: T0=", ambient, " width=", width,
+                        " pulses=", r.pulsesToFlip, " flipped=", r.flipped);
+    }
+  }
+  return points;
+}
+
+std::vector<PatternPoint> sweepPatterns(const StudyConfig& base,
+                                        const HammerPulse& pulse,
+                                        std::size_t maxPulses) {
+  AttackStudy study(base);
+  std::vector<PatternPoint> points;
+  for (const AttackPattern pattern : allPatterns()) {
+    const AttackResult r = study.attackPattern(pattern, pulse, maxPulses);
+    const auto aggressors = patternAggressors(
+        pattern, {base.rows / 2, base.cols / 2}, base.rows, base.cols);
+    points.push_back({pattern, aggressors.size(), r.pulsesToFlip, r.flipped});
+    nh::util::logInfo("fig3d: pattern=", patternName(pattern),
+                      " pulses=", r.pulsesToFlip, " flipped=", r.flipped);
+  }
+  return points;
+}
+
+}  // namespace nh::core

@@ -1,0 +1,110 @@
+#pragma once
+/// \file study.hpp
+/// End-to-end experiment harness: wires geometry -> alpha extraction ->
+/// array/engine construction -> attack execution, and provides the three
+/// parameter sweeps of the paper's evaluation (pulse length, electrode
+/// spacing, ambient temperature) plus the attack-pattern comparison.
+
+#include <memory>
+#include <vector>
+
+#include "core/attack.hpp"
+#include "core/patterns.hpp"
+#include "fem/alpha.hpp"
+#include "jart/params.hpp"
+#include "xbar/crosstalk.hpp"
+#include "xbar/fastsim.hpp"
+
+namespace nh::core {
+
+/// Configuration of one study (one crossbar geometry + environment).
+struct StudyConfig {
+  std::size_t rows = 5;
+  std::size_t cols = 5;
+  double spacing = 50e-9;    ///< Electrode spacing [m] (selects the alphas).
+  double ambientK = 300.0;
+  jart::Params cellParams = jart::Params::paperDefaults();
+  /// Run the full FEM extraction for this geometry instead of the
+  /// FEM-calibrated analytic alpha table (slower; bit-identical flow to the
+  /// paper). The analytic table was itself fitted to these extractions.
+  bool useFemAlphas = false;
+  /// Voxel size for the FEM extraction [m].
+  double femVoxelSize = 5e-9;
+  xbar::FastEngineOptions engineOptions;
+  DetectorConfig detector;
+};
+
+/// One experiment harness instance. Owns the alpha table; creates a fresh
+/// all-HRS array per attack so runs are independent.
+class AttackStudy {
+ public:
+  explicit AttackStudy(StudyConfig config);
+
+  const StudyConfig& config() const { return config_; }
+  const xbar::AlphaTable& alphas() const { return alphas_; }
+  /// R_th actually used by the compact model [K/W].
+  double rThEff() const { return arrayConfig_.cellParams.rThEff; }
+  const xbar::ArrayConfig& arrayConfig() const { return arrayConfig_; }
+
+  /// Hammer the array-centre cell; every other (HRS) cell is monitored.
+  AttackResult attackCenter(const HammerPulse& pulse, std::size_t maxPulses,
+                            std::size_t traceSamples = 0);
+
+  /// Hammer \p pattern aggressors around the array-centre victim.
+  AttackResult attackPattern(AttackPattern pattern, const HammerPulse& pulse,
+                             std::size_t maxPulses);
+
+  /// Run an arbitrary attack config on a fresh all-HRS array.
+  AttackResult attack(const AttackConfig& config);
+
+  /// Build a fresh all-HRS array + engine pair for custom experiments.
+  struct Bench {
+    std::unique_ptr<xbar::CrossbarArray> array;
+    std::unique_ptr<xbar::FastEngine> engine;
+  };
+  Bench makeBench() const;
+
+ private:
+  StudyConfig config_;
+  xbar::AlphaTable alphas_;
+  xbar::ArrayConfig arrayConfig_;
+};
+
+/// One point of a figure series.
+struct SweepPoint {
+  double parameter = 0.0;   ///< Swept value (seconds, metres or kelvin).
+  double series = 0.0;      ///< Series value (pulse width for Fig. 3b/c) [s].
+  std::size_t pulses = 0;   ///< Pulses to trigger the bit-flip.
+  bool flipped = false;
+  double stressTime = 0.0;  ///< pulses * width [s].
+};
+
+/// Fig. 3a: pulses-to-flip vs pulse length at fixed spacing/ambient.
+std::vector<SweepPoint> sweepPulseLength(const StudyConfig& base,
+                                         const std::vector<double>& widths,
+                                         std::size_t maxPulses);
+
+/// Fig. 3b: pulses-to-flip vs electrode spacing, one series per pulse width.
+std::vector<SweepPoint> sweepSpacing(const StudyConfig& base,
+                                     const std::vector<double>& spacings,
+                                     const std::vector<double>& widths,
+                                     std::size_t maxPulses);
+
+/// Fig. 3c: pulses-to-flip vs ambient temperature, one series per width.
+std::vector<SweepPoint> sweepAmbient(const StudyConfig& base,
+                                     const std::vector<double>& ambients,
+                                     const std::vector<double>& widths,
+                                     std::size_t maxPulses);
+
+/// Fig. 3d: pulses-to-flip per attack pattern.
+struct PatternPoint {
+  AttackPattern pattern = AttackPattern::SingleAggressor;
+  std::size_t aggressorCount = 0;
+  std::size_t pulses = 0;
+  bool flipped = false;
+};
+std::vector<PatternPoint> sweepPatterns(const StudyConfig& base,
+                                        const HammerPulse& pulse,
+                                        std::size_t maxPulses);
+
+}  // namespace nh::core

@@ -1,0 +1,42 @@
+#include "core/variability.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nh::core {
+
+VariabilityResult runVariabilityStudy(const VariabilityConfig& config) {
+  if (config.trials == 0) {
+    throw std::invalid_argument("runVariabilityStudy: trials must be > 0");
+  }
+  nh::util::Rng rng(config.seed);
+
+  VariabilityResult result;
+  result.trials = config.trials;
+  for (std::size_t trial = 0; trial < config.trials; ++trial) {
+    StudyConfig cfg = config.base;
+    cfg.cellParams = config.base.cellParams.withVariability(rng, config.sigma);
+    AttackStudy study(cfg);
+    const AttackResult r = study.attackCenter(config.pulse, config.budget);
+    if (r.flipped) {
+      ++result.flips;
+      result.pulsesPerTrial.push_back(r.pulsesToFlip);
+    }
+  }
+  result.flipRate =
+      static_cast<double>(result.flips) / static_cast<double>(result.trials);
+
+  if (!result.pulsesPerTrial.empty()) {
+    std::vector<std::size_t> sorted = result.pulsesPerTrial;
+    std::sort(sorted.begin(), sorted.end());
+    result.minPulses = sorted.front();
+    result.maxPulses = sorted.back();
+    result.medianPulses = sorted[sorted.size() / 2];
+    result.spreadDecades = std::log10(static_cast<double>(result.maxPulses) /
+                                      static_cast<double>(result.minPulses));
+  }
+  return result;
+}
+
+}  // namespace nh::core

@@ -1,0 +1,42 @@
+#pragma once
+/// \file variability.hpp
+/// Device-to-device variability study (extension of the paper's
+/// deterministic runs: the JART model family explicitly supports a
+/// variability-aware variant, and the paper's future work targets physical
+/// crossbars where variability dominates). Monte-Carlo over perturbed
+/// device parameters, reporting the distribution of pulses-to-flip.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/study.hpp"
+
+namespace nh::core {
+
+struct VariabilityConfig {
+  StudyConfig base;
+  HammerPulse pulse;
+  std::size_t trials = 20;
+  /// Log-normal sigma applied per trial (see jart::Params::withVariability).
+  double sigma = 0.05;
+  std::uint64_t seed = 1234;
+  std::size_t budget = 5'000'000;
+};
+
+struct VariabilityResult {
+  std::vector<std::size_t> pulsesPerTrial;  ///< Only flipped trials.
+  std::size_t trials = 0;
+  std::size_t flips = 0;
+  double flipRate = 0.0;
+  std::size_t minPulses = 0;
+  std::size_t medianPulses = 0;
+  std::size_t maxPulses = 0;
+  /// log10(max/min) spread of the flipped trials.
+  double spreadDecades = 0.0;
+};
+
+/// Run the Monte-Carlo study: one perturbed array per trial, centre-cell
+/// reference attack each time. Deterministic for a given seed.
+VariabilityResult runVariabilityStudy(const VariabilityConfig& config);
+
+}  // namespace nh::core

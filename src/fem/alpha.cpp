@@ -1,0 +1,143 @@
+#include "fem/alpha.hpp"
+
+#include <stdexcept>
+
+namespace nh::fem {
+
+namespace {
+
+/// Shared regression step: given powers and temperature matrices, fit Eq. 3
+/// on the selected cell and Eq. 4 on every other cell.
+void fitAlphas(AlphaResult& result) {
+  const std::size_t rows = result.temperatureMatrices.front().rows();
+  const std::size_t cols = result.temperatureMatrices.front().cols();
+
+  std::vector<double> tSelected;
+  tSelected.reserve(result.powers.size());
+  for (const auto& tm : result.temperatureMatrices) {
+    tSelected.push_back(tm(result.selectedRow, result.selectedCol));
+  }
+  const nh::util::LinearFit rthFit = nh::util::fitLinear(result.powers, tSelected);
+  result.rTh = rthFit.slope;
+  result.rThRSquared = rthFit.rSquared;
+
+  result.alpha.resize(rows, cols, 0.0);
+  result.alphaRSquared.resize(rows, cols, 0.0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (r == result.selectedRow && c == result.selectedCol) {
+        result.alpha(r, c) = 1.0;
+        result.alphaRSquared(r, c) = rthFit.rSquared;
+        continue;
+      }
+      std::vector<double> tCell;
+      tCell.reserve(result.powers.size());
+      for (const auto& tm : result.temperatureMatrices) tCell.push_back(tm(r, c));
+      const nh::util::LinearFit fit = nh::util::fitLinear(result.powers, tCell);
+      // Eq. 4: Tij = T0 + Rth * P * alpha_ij  ->  alpha_ij = slope_ij / Rth.
+      result.alpha(r, c) = result.rTh != 0.0 ? fit.slope / result.rTh : 0.0;
+      result.alphaRSquared(r, c) = fit.rSquared;
+    }
+  }
+}
+
+}  // namespace
+
+nh::util::Matrix AlphaResult::predictTemperatures(double p) const {
+  nh::util::Matrix out(alpha.rows(), alpha.cols(), ambientK);
+  for (std::size_t r = 0; r < alpha.rows(); ++r) {
+    for (std::size_t c = 0; c < alpha.cols(); ++c) {
+      out(r, c) = ambientK + rTh * p * alpha(r, c);
+    }
+  }
+  return out;
+}
+
+AlphaResult extractAlpha(const CrossbarModel3D& model,
+                         const MaterialTable& materials, std::size_t selectedRow,
+                         std::size_t selectedCol, const std::vector<double>& powers,
+                         double ambientK, const DiffusionOptions& options) {
+  const auto& layout = model.layout();
+  if (selectedRow >= layout.rows || selectedCol >= layout.cols) {
+    throw std::out_of_range("extractAlpha: selected cell out of range");
+  }
+  if (powers.size() < 2) {
+    throw std::invalid_argument("extractAlpha: need >= 2 power points");
+  }
+
+  AlphaResult result;
+  result.selectedRow = selectedRow;
+  result.selectedCol = selectedCol;
+  result.ambientK = ambientK;
+  result.powers = powers;
+
+  std::vector<double> guess;
+  for (const double p : powers) {
+    ThermalScenario scenario;
+    scenario.model = &model;
+    scenario.materials = materials;
+    scenario.ambientK = ambientK;
+    scenario.cellPower = nh::util::Matrix(layout.rows, layout.cols, 0.0);
+    scenario.cellPower(selectedRow, selectedCol) = p;
+
+    const ThermalSolution sol =
+        solveThermal(scenario, options, guess.empty() ? nullptr : &guess);
+    if (!sol.converged()) {
+      throw std::runtime_error("extractAlpha: thermal solve did not converge");
+    }
+    guess = sol.temperature;  // warm start for the next power point
+    result.temperatureMatrices.push_back(sol.cellTemperature);
+  }
+
+  fitAlphas(result);
+  return result;
+}
+
+AlphaResult extractAlphaCoupled(const CrossbarModel3D& model,
+                                const MaterialTable& materials,
+                                std::size_t selectedRow, std::size_t selectedCol,
+                                const std::vector<double>& setVoltages,
+                                double lrsSigma, double hrsSigma, double ambientK,
+                                const DiffusionOptions& options) {
+  const auto& layout = model.layout();
+  if (selectedRow >= layout.rows || selectedCol >= layout.cols) {
+    throw std::out_of_range("extractAlphaCoupled: selected cell out of range");
+  }
+  if (setVoltages.size() < 2) {
+    throw std::invalid_argument("extractAlphaCoupled: need >= 2 voltage points");
+  }
+
+  AlphaResult result;
+  result.selectedRow = selectedRow;
+  result.selectedCol = selectedCol;
+  result.ambientK = ambientK;
+
+  for (const double vSet : setVoltages) {
+    CoupledScenario scenario;
+    scenario.model = &model;
+    scenario.materials = materials;
+    scenario.ambientK = ambientK;
+    // V/2 scheme: selected word line at V, selected bit line at 0, all other
+    // lines at V/2 (paper Sec. V).
+    scenario.wordLineVoltage.assign(layout.rows, vSet / 2.0);
+    scenario.bitLineVoltage.assign(layout.cols, vSet / 2.0);
+    scenario.wordLineVoltage[selectedRow] = vSet;
+    scenario.bitLineVoltage[selectedCol] = 0.0;
+    // Selected cell in LRS ("switched to LRS to maximize the resulting
+    // current"), every other cell HRS.
+    scenario.cellSigma = nh::util::Matrix(layout.rows, layout.cols, hrsSigma);
+    scenario.cellSigma(selectedRow, selectedCol) = lrsSigma;
+
+    const CoupledSolution sol = solveCoupled(scenario, options);
+    if (!sol.converged()) {
+      throw std::runtime_error("extractAlphaCoupled: solve did not converge");
+    }
+    result.powers.push_back(sol.cellPower(selectedRow, selectedCol));
+    result.temperatureMatrices.push_back(sol.cellTemperature);
+  }
+
+  fitAlphas(result);
+  return result;
+}
+
+}  // namespace nh::fem

@@ -1,0 +1,58 @@
+#pragma once
+/// \file alpha.hpp
+/// Thermal-crosstalk coefficient ("alpha value") extraction, implementing
+/// the paper's Eq. 3 / Eq. 4 procedure: sweep the dissipated power of a
+/// selected cell, record the temperature matrix of the whole array for every
+/// power point, then
+///   T(P)    = T0 + Rth * P            (selected cell -> Rth by regression)
+///   Tij(P)  = T0 + Rth * P * alpha_ij (every neighbour -> alpha_ij)
+/// Because the heat equation is linear, R^2 of these fits is ~1; the fits
+/// are still performed (and reported) to mirror the paper's methodology and
+/// to catch discretisation artefacts.
+
+#include <vector>
+
+#include "fem/thermal.hpp"
+#include "util/linreg.hpp"
+#include "util/matrix.hpp"
+
+namespace nh::fem {
+
+/// Result of an alpha extraction around one selected cell.
+struct AlphaResult {
+  std::size_t selectedRow = 0;
+  std::size_t selectedCol = 0;
+  double ambientK = 300.0;
+  /// Thermal resistance of the selected cell [K/W] (Eq. 3 slope).
+  double rTh = 0.0;
+  double rThRSquared = 0.0;
+  /// alpha_ij per cell (selected cell reads 1 by construction).
+  nh::util::Matrix alpha;
+  /// R^2 of each neighbour fit.
+  nh::util::Matrix alphaRSquared;
+  /// The swept powers [W] and the cell-temperature matrix per power point.
+  std::vector<double> powers;
+  std::vector<nh::util::Matrix> temperatureMatrices;
+
+  /// Temperature matrix predicted by the linear model at power \p p [W].
+  nh::util::Matrix predictTemperatures(double p) const;
+};
+
+/// Extract Rth and the alpha matrix by sweeping the selected cell's
+/// dissipated power (prescribed-power mode; heat equation only).
+AlphaResult extractAlpha(const CrossbarModel3D& model,
+                         const MaterialTable& materials, std::size_t selectedRow,
+                         std::size_t selectedCol, const std::vector<double>& powers,
+                         double ambientK, const DiffusionOptions& options = {});
+
+/// Extract via the coupled flow (closer to the paper: a V_SET voltage sweep
+/// on the selected LRS cell under the V/2 scheme; P = dissipated power of
+/// the selected cell from the potential solve).
+AlphaResult extractAlphaCoupled(const CrossbarModel3D& model,
+                                const MaterialTable& materials,
+                                std::size_t selectedRow, std::size_t selectedCol,
+                                const std::vector<double>& setVoltages,
+                                double lrsSigma, double hrsSigma, double ambientK,
+                                const DiffusionOptions& options = {});
+
+}  // namespace nh::fem

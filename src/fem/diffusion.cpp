@@ -1,0 +1,194 @@
+#include "fem/diffusion.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nh::fem {
+
+namespace {
+
+/// Harmonic mean of two face coefficients (consistent FV flux across
+/// material discontinuities); zero when either side is zero.
+double faceCoefficient(double a, double b) {
+  if (a <= 0.0 || b <= 0.0) return 0.0;
+  return 2.0 * a * b / (a + b);
+}
+
+/// Sentinel for "voxel is pinned".
+constexpr std::size_t kPinned = static_cast<std::size_t>(-1);
+
+struct Indexer {
+  std::vector<std::size_t> toFree;   ///< voxel -> free index or kPinned.
+  std::vector<std::size_t> toVoxel;  ///< free index -> voxel.
+  std::vector<double> pinValue;      ///< per-voxel pin value (valid when pinned).
+};
+
+Indexer buildIndexer(const DiffusionProblem& p) {
+  const std::size_t n = p.grid->voxelCount();
+  Indexer idx;
+  idx.toFree.assign(n, 0);
+  idx.pinValue.assign(n, 0.0);
+  std::vector<bool> pinned(n, false);
+  for (const auto& pin : p.pins) {
+    if (pin.voxel >= n) throw std::out_of_range("DiffusionProblem: pin out of range");
+    if (pinned[pin.voxel] && idx.pinValue[pin.voxel] != pin.value) {
+      throw std::invalid_argument("DiffusionProblem: conflicting pin values");
+    }
+    pinned[pin.voxel] = true;
+    idx.pinValue[pin.voxel] = pin.value;
+  }
+  idx.toVoxel.reserve(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (pinned[v]) {
+      idx.toFree[v] = kPinned;
+    } else {
+      idx.toFree[v] = idx.toVoxel.size();
+      idx.toVoxel.push_back(v);
+    }
+  }
+  return idx;
+}
+
+/// Apply a function to each (neighbour, faceConductance) of voxel (i,j,k).
+/// The face conductance for cubic voxels of edge h is c_face * h (area h^2
+/// over distance h).
+template <typename Fn>
+void forEachNeighbour(const VoxelGrid& grid, const std::vector<double>& coef,
+                      std::size_t i, std::size_t j, std::size_t k, Fn&& fn) {
+  const double h = grid.voxelSize();
+  const std::size_t v = grid.index(i, j, k);
+  const double cv = coef[v];
+  const auto visit = [&](std::size_t ni, std::size_t nj, std::size_t nk) {
+    const std::size_t nv = grid.index(ni, nj, nk);
+    const double g = faceCoefficient(cv, coef[nv]) * h;
+    if (g > 0.0) fn(nv, g);
+  };
+  if (i > 0) visit(i - 1, j, k);
+  if (i + 1 < grid.nx()) visit(i + 1, j, k);
+  if (j > 0) visit(i, j - 1, k);
+  if (j + 1 < grid.ny()) visit(i, j + 1, k);
+  if (k > 0) visit(i, j, k - 1);
+  if (k + 1 < grid.nz()) visit(i, j, k + 1);
+}
+
+void validateProblem(const DiffusionProblem& p) {
+  if (p.grid == nullptr) throw std::invalid_argument("DiffusionProblem: null grid");
+  const std::size_t n = p.grid->voxelCount();
+  if (p.coefficient.size() != n) {
+    throw std::invalid_argument("DiffusionProblem: coefficient size mismatch");
+  }
+  if (!p.sourcePerVoxel.empty() && p.sourcePerVoxel.size() != n) {
+    throw std::invalid_argument("DiffusionProblem: source size mismatch");
+  }
+  if (!p.bottomPlaneDirichlet && p.pins.empty()) {
+    throw std::invalid_argument(
+        "DiffusionProblem: pure-Neumann problem is singular; add a Dirichlet "
+        "plane or pins");
+  }
+}
+
+}  // namespace
+
+DiffusionSolution solveDiffusion(const DiffusionProblem& problem,
+                                 const DiffusionOptions& options,
+                                 const std::vector<double>* initialGuess) {
+  validateProblem(problem);
+  const VoxelGrid& grid = *problem.grid;
+  const std::size_t n = grid.voxelCount();
+  const double h = grid.voxelSize();
+
+  const Indexer idx = buildIndexer(problem);
+  const std::size_t nFree = idx.toVoxel.size();
+
+  nh::util::TripletBuilder builder(nFree, nFree);
+  nh::util::Vector rhs(nFree, 0.0);
+
+  for (std::size_t f = 0; f < nFree; ++f) {
+    const std::size_t v = idx.toVoxel[f];
+    const auto vox = grid.voxel(v);
+    double diag = 0.0;
+
+    forEachNeighbour(grid, problem.coefficient, vox.i, vox.j, vox.k,
+                     [&](std::size_t nv, double g) {
+                       diag += g;
+                       if (idx.toFree[nv] == kPinned) {
+                         rhs[f] += g * idx.pinValue[nv];
+                       } else {
+                         builder.add(f, idx.toFree[nv], -g);
+                       }
+                     });
+
+    // Dirichlet bottom plane: half-cell distance to the boundary face.
+    if (problem.bottomPlaneDirichlet && vox.k == 0) {
+      const double g = 2.0 * problem.coefficient[v] * h;
+      diag += g;
+      rhs[f] += g * problem.bottomPlaneValue;
+    }
+
+    if (!problem.sourcePerVoxel.empty()) rhs[f] += problem.sourcePerVoxel[v];
+    // Tiny diagonal shift keeps voxels fully surrounded by zero-coefficient
+    // material (e.g. oxide voxels in a potential solve) well-defined.
+    builder.add(f, f, diag + 1e-30);
+  }
+
+  const auto matrix = nh::util::SparseMatrix::fromTriplets(builder);
+
+  nh::util::Vector x(nFree, 0.0);
+  if (initialGuess != nullptr && initialGuess->size() == n) {
+    for (std::size_t f = 0; f < nFree; ++f) x[f] = (*initialGuess)[idx.toVoxel[f]];
+  } else if (problem.bottomPlaneDirichlet) {
+    for (auto& value : x) value = problem.bottomPlaneValue;
+  }
+
+  DiffusionSolution solution;
+  solution.stats = nh::util::solveConjugateGradient(matrix, rhs, x, options.relTol,
+                                                    options.maxIterations);
+
+  solution.field.assign(n, 0.0);
+  for (std::size_t v = 0; v < n; ++v) {
+    solution.field[v] =
+        idx.toFree[v] == kPinned ? idx.pinValue[v] : x[idx.toFree[v]];
+  }
+  return solution;
+}
+
+double DiffusionSolution::fluxFromPins(const DiffusionProblem& problem,
+                                       const std::vector<std::size_t>& pinVoxels) const {
+  const VoxelGrid& grid = *problem.grid;
+  std::vector<bool> inSet(grid.voxelCount(), false);
+  for (const std::size_t v : pinVoxels) inSet[v] = true;
+
+  double flux = 0.0;
+  for (const std::size_t v : pinVoxels) {
+    const auto vox = grid.voxel(v);
+    forEachNeighbour(grid, problem.coefficient, vox.i, vox.j, vox.k,
+                     [&](std::size_t nv, double g) {
+                       if (!inSet[nv]) flux += g * (field[v] - field[nv]);
+                     });
+  }
+  return flux;
+}
+
+std::vector<double> DiffusionSolution::dissipationPerVoxel(
+    const DiffusionProblem& problem) const {
+  const VoxelGrid& grid = *problem.grid;
+  std::vector<double> power(grid.voxelCount(), 0.0);
+  for (std::size_t k = 0; k < grid.nz(); ++k) {
+    for (std::size_t j = 0; j < grid.ny(); ++j) {
+      for (std::size_t i = 0; i < grid.nx(); ++i) {
+        const std::size_t v = grid.index(i, j, k);
+        forEachNeighbour(grid, problem.coefficient, i, j, k,
+                         [&](std::size_t nv, double g) {
+                           if (nv < v) return;  // visit each face once
+                           const double dU = field[v] - field[nv];
+                           const double p = g * dU * dU;
+                           power[v] += 0.5 * p;
+                           power[nv] += 0.5 * p;
+                         });
+      }
+    }
+  }
+  return power;
+}
+
+}  // namespace nh::fem

@@ -1,0 +1,75 @@
+#pragma once
+/// \file diffusion.hpp
+/// Generic steady-state scalar diffusion solver on a voxel grid:
+///   -div( c(x) grad u ) = s(x)
+/// discretised with the finite-volume method (harmonic-mean face
+/// coefficients, which is the consistent choice across material
+/// discontinuities). Used twice:
+///  * heat:      c = kappa, u = T, s = Joule power density   (paper Eq. 1)
+///  * potential: c = sigma, u = phi, s = 0 with contacts     (paper Eq. 2)
+///
+/// Boundary conditions: Neumann (insulated) everywhere by default, an
+/// optional Dirichlet bottom plane (z = 0), and optional per-voxel Dirichlet
+/// pins (electrode contacts). Pinned voxels are eliminated from the system,
+/// keeping it symmetric positive definite for the conjugate-gradient solver.
+
+#include <cstddef>
+#include <vector>
+
+#include "fem/grid.hpp"
+#include "util/linsolve.hpp"
+#include "util/sparse.hpp"
+
+namespace nh::fem {
+
+/// A Dirichlet-pinned voxel.
+struct PinnedVoxel {
+  std::size_t voxel = 0;
+  double value = 0.0;
+};
+
+/// Problem description for solveDiffusion().
+struct DiffusionProblem {
+  const VoxelGrid* grid = nullptr;
+  /// Per-voxel coefficient (kappa or sigma); size == voxelCount().
+  std::vector<double> coefficient;
+  /// Source integrated per voxel [W] or [A]; empty means zero.
+  std::vector<double> sourcePerVoxel;
+  /// Dirichlet plane at the grid bottom (z=0 outer face).
+  bool bottomPlaneDirichlet = false;
+  double bottomPlaneValue = 0.0;
+  /// Additional pinned voxels (contacts). Duplicate pins must agree.
+  std::vector<PinnedVoxel> pins;
+};
+
+/// Solver tolerances.
+struct DiffusionOptions {
+  double relTol = 1e-8;
+  std::size_t maxIterations = 20000;
+};
+
+/// Result of a diffusion solve.
+struct DiffusionSolution {
+  std::vector<double> field;            ///< Per-voxel solution (pins included).
+  nh::util::IterativeResult stats;      ///< CG convergence report.
+  bool converged() const { return stats.converged; }
+
+  /// Total flux [W or A] flowing from the pinned voxel set \p pinVoxels into
+  /// the free domain, given the same problem that produced this solution.
+  /// Positive = out of the pins.
+  double fluxFromPins(const DiffusionProblem& problem,
+                      const std::vector<std::size_t>& pinVoxels) const;
+
+  /// Per-voxel dissipation c * |grad u|^2 integrated per voxel [W]; only
+  /// meaningful for the potential solve. Face dissipation is split evenly
+  /// between the two adjacent voxels.
+  std::vector<double> dissipationPerVoxel(const DiffusionProblem& problem) const;
+};
+
+/// Solve the diffusion problem; \p initialGuess (optional, full-size field)
+/// warm-starts the CG iteration (power sweeps re-use previous solutions).
+DiffusionSolution solveDiffusion(const DiffusionProblem& problem,
+                                 const DiffusionOptions& options = {},
+                                 const std::vector<double>* initialGuess = nullptr);
+
+}  // namespace nh::fem

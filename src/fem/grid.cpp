@@ -1,0 +1,33 @@
+#include "fem/grid.hpp"
+
+#include <stdexcept>
+
+namespace nh::fem {
+
+VoxelGrid::VoxelGrid(std::size_t nx, std::size_t ny, std::size_t nz, double h,
+                     Material fill)
+    : nx_(nx), ny_(ny), nz_(nz), h_(h) {
+  if (nx == 0 || ny == 0 || nz == 0) {
+    throw std::invalid_argument("VoxelGrid: dimensions must be > 0");
+  }
+  if (!(h > 0.0)) throw std::invalid_argument("VoxelGrid: voxel size must be > 0");
+  material_.assign(nx * ny * nz, fill);
+}
+
+Voxel VoxelGrid::voxel(std::size_t linear) const {
+  Voxel v;
+  v.i = linear % nx_;
+  v.j = (linear / nx_) % ny_;
+  v.k = linear / (nx_ * ny_);
+  return v;
+}
+
+std::size_t VoxelGrid::countMaterial(Material m) const {
+  std::size_t count = 0;
+  for (const Material x : material_) {
+    if (x == m) ++count;
+  }
+  return count;
+}
+
+}  // namespace nh::fem

@@ -1,0 +1,67 @@
+#pragma once
+/// \file grid.hpp
+/// Uniform structured voxel grid for the finite-volume discretisation of the
+/// crossbar. Cartesian, cubic voxels of edge length h; material id per voxel.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "fem/materials.hpp"
+
+namespace nh::fem {
+
+/// Integer voxel coordinates.
+struct Voxel {
+  std::size_t i = 0;  ///< x index.
+  std::size_t j = 0;  ///< y index.
+  std::size_t k = 0;  ///< z index (0 = substrate bottom).
+  bool operator==(const Voxel&) const = default;
+};
+
+/// Uniform voxel grid with per-voxel material ids.
+class VoxelGrid {
+ public:
+  VoxelGrid() = default;
+  /// Create an nx x ny x nz grid of voxels with edge \p h [m], filled with
+  /// \p fill material.
+  VoxelGrid(std::size_t nx, std::size_t ny, std::size_t nz, double h,
+            Material fill = Material::SiO2);
+
+  std::size_t nx() const { return nx_; }
+  std::size_t ny() const { return ny_; }
+  std::size_t nz() const { return nz_; }
+  double voxelSize() const { return h_; }
+  std::size_t voxelCount() const { return nx_ * ny_ * nz_; }
+
+  /// Linear index of voxel (i, j, k); x fastest, z slowest.
+  std::size_t index(std::size_t i, std::size_t j, std::size_t k) const {
+    return (k * ny_ + j) * nx_ + i;
+  }
+  std::size_t index(const Voxel& v) const { return index(v.i, v.j, v.k); }
+  /// Inverse of index().
+  Voxel voxel(std::size_t linear) const;
+
+  Material material(std::size_t linear) const { return material_[linear]; }
+  Material material(std::size_t i, std::size_t j, std::size_t k) const {
+    return material_[index(i, j, k)];
+  }
+  void setMaterial(std::size_t i, std::size_t j, std::size_t k, Material m) {
+    material_[index(i, j, k)] = m;
+  }
+
+  /// Physical centre coordinate of a voxel along each axis [m].
+  double xCenter(std::size_t i) const { return (static_cast<double>(i) + 0.5) * h_; }
+  double yCenter(std::size_t j) const { return (static_cast<double>(j) + 0.5) * h_; }
+  double zCenter(std::size_t k) const { return (static_cast<double>(k) + 0.5) * h_; }
+
+  /// Count voxels of a given material (diagnostics / tests).
+  std::size_t countMaterial(Material m) const;
+
+ private:
+  std::size_t nx_ = 0, ny_ = 0, nz_ = 0;
+  double h_ = 0.0;
+  std::vector<Material> material_;
+};
+
+}  // namespace nh::fem

@@ -1,0 +1,178 @@
+#include "fem/thermal.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nh::fem {
+
+namespace {
+
+std::vector<double> kappaField(const CrossbarModel3D& model,
+                               const MaterialTable& materials) {
+  const VoxelGrid& grid = model.grid();
+  std::vector<double> kappa(grid.voxelCount());
+  for (std::size_t v = 0; v < grid.voxelCount(); ++v) {
+    kappa[v] = materials.kappa(grid.material(v));
+  }
+  return kappa;
+}
+
+nh::util::Matrix cellAverages(const CrossbarModel3D& model,
+                              const std::vector<double>& field) {
+  const auto& layout = model.layout();
+  nh::util::Matrix out(layout.rows, layout.cols, 0.0);
+  for (std::size_t r = 0; r < layout.rows; ++r) {
+    for (std::size_t c = 0; c < layout.cols; ++c) {
+      out(r, c) = model.cellAverage(field, r, c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ThermalSolution solveThermal(const ThermalScenario& scenario,
+                             const DiffusionOptions& options,
+                             const std::vector<double>* initialGuess) {
+  if (scenario.model == nullptr) throw std::invalid_argument("solveThermal: null model");
+  const CrossbarModel3D& model = *scenario.model;
+  const auto& layout = model.layout();
+  if (scenario.cellPower.rows() != layout.rows ||
+      scenario.cellPower.cols() != layout.cols) {
+    throw std::invalid_argument("solveThermal: cellPower shape mismatch");
+  }
+
+  DiffusionProblem problem;
+  problem.grid = &model.grid();
+  problem.coefficient = kappaField(model, scenario.materials);
+  problem.bottomPlaneDirichlet = true;
+  problem.bottomPlaneValue = scenario.ambientK;
+  problem.sourcePerVoxel.assign(model.grid().voxelCount(), 0.0);
+  for (std::size_t r = 0; r < layout.rows; ++r) {
+    for (std::size_t c = 0; c < layout.cols; ++c) {
+      const double p = scenario.cellPower(r, c);
+      if (p == 0.0) continue;
+      if (p < 0.0) throw std::invalid_argument("solveThermal: negative cell power");
+      const auto& voxels = model.cell(r, c).filamentVoxels;
+      const double perVoxel = p / static_cast<double>(voxels.size());
+      for (const std::size_t v : voxels) problem.sourcePerVoxel[v] += perVoxel;
+    }
+  }
+
+  const DiffusionSolution sol = solveDiffusion(problem, options, initialGuess);
+
+  ThermalSolution out;
+  out.temperature = sol.field;
+  out.stats = sol.stats;
+  out.cellTemperature = cellAverages(model, sol.field);
+  return out;
+}
+
+CoupledSolution solveCoupled(const CoupledScenario& scenario,
+                             const DiffusionOptions& options) {
+  if (scenario.model == nullptr) throw std::invalid_argument("solveCoupled: null model");
+  const CrossbarModel3D& model = *scenario.model;
+  const auto& layout = model.layout();
+  const VoxelGrid& grid = model.grid();
+  if (scenario.wordLineVoltage.size() != layout.rows ||
+      scenario.bitLineVoltage.size() != layout.cols) {
+    throw std::invalid_argument("solveCoupled: line voltage size mismatch");
+  }
+  if (scenario.cellSigma.rows() != layout.rows ||
+      scenario.cellSigma.cols() != layout.cols) {
+    throw std::invalid_argument("solveCoupled: cellSigma shape mismatch");
+  }
+
+  // ---- potential solve (Eq. 2) ---------------------------------------------
+  DiffusionProblem electric;
+  electric.grid = &grid;
+  electric.coefficient.assign(grid.voxelCount(), 0.0);
+  double sigmaMax = 0.0;
+  for (std::size_t v = 0; v < grid.voxelCount(); ++v) {
+    electric.coefficient[v] = scenario.materials.sigma(grid.material(v));
+    sigmaMax = std::max(sigmaMax, electric.coefficient[v]);
+  }
+  for (std::size_t r = 0; r < layout.rows; ++r) {
+    for (std::size_t c = 0; c < layout.cols; ++c) {
+      const double s = scenario.cellSigma(r, c);
+      if (!(s > 0.0)) throw std::invalid_argument("solveCoupled: cellSigma must be > 0");
+      sigmaMax = std::max(sigmaMax, s);
+      for (const std::size_t v : model.cell(r, c).filamentVoxels) {
+        electric.coefficient[v] = s;
+      }
+    }
+  }
+  // Conductivity floor bounds the condition number (see header).
+  const double sigmaFloor = sigmaMax * scenario.sigmaFloorRatio;
+  for (auto& s : electric.coefficient) s = std::max(s, sigmaFloor);
+
+  // Ideal line drivers: pin every electrode voxel at its line voltage.
+  for (std::size_t r = 0; r < layout.rows; ++r) {
+    for (const std::size_t v : model.wordLineVoxels(r)) {
+      electric.pins.push_back({v, scenario.wordLineVoltage[r]});
+    }
+  }
+  for (std::size_t c = 0; c < layout.cols; ++c) {
+    for (const std::size_t v : model.bitLineVoxels(c)) {
+      electric.pins.push_back({v, scenario.bitLineVoltage[c]});
+    }
+  }
+
+  const DiffusionSolution phi = solveDiffusion(electric, options);
+  const std::vector<double> joule = phi.dissipationPerVoxel(electric);
+
+  // ---- heat solve (Eq. 1) -----------------------------------------------------
+  DiffusionProblem heat;
+  heat.grid = &grid;
+  heat.coefficient = [&] {
+    std::vector<double> kappa(grid.voxelCount());
+    for (std::size_t v = 0; v < grid.voxelCount(); ++v) {
+      kappa[v] = scenario.materials.kappa(grid.material(v));
+    }
+    // Filament kappa from Wiedemann-Franz at ambient (per-cell sigma).
+    for (std::size_t r = 0; r < layout.rows; ++r) {
+      for (std::size_t c = 0; c < layout.cols; ++c) {
+        const double kWf = MaterialTable::wiedemannFranz(scenario.cellSigma(r, c),
+                                                         scenario.ambientK);
+        const double kBase = scenario.materials.kappa(Material::Filament);
+        for (const std::size_t v : model.cell(r, c).filamentVoxels) {
+          kappa[v] = std::max(kBase, kWf);
+        }
+      }
+    }
+    return kappa;
+  }();
+  heat.bottomPlaneDirichlet = true;
+  heat.bottomPlaneValue = scenario.ambientK;
+  heat.sourcePerVoxel = joule;
+
+  const DiffusionSolution temp = solveDiffusion(heat, options);
+
+  CoupledSolution out;
+  out.potential = phi.field;
+  out.temperature = temp.field;
+  out.potentialStats = phi.stats;
+  out.thermalStats = temp.stats;
+  out.cellTemperature = nh::util::Matrix(layout.rows, layout.cols, 0.0);
+  out.cellPower = nh::util::Matrix(layout.rows, layout.cols, 0.0);
+  for (std::size_t r = 0; r < layout.rows; ++r) {
+    for (std::size_t c = 0; c < layout.cols; ++c) {
+      out.cellTemperature(r, c) = model.cellAverage(temp.field, r, c);
+    }
+  }
+  // Attribute Joule power to cells: sum over each cell's oxide column
+  // (filament voxels plus the oxide immediately around them carry the
+  // current between the pinned electrodes).
+  for (double p : joule) out.totalPower += p;
+  for (std::size_t r = 0; r < layout.rows; ++r) {
+    for (std::size_t c = 0; c < layout.cols; ++c) {
+      double acc = 0.0;
+      for (const std::size_t v : model.cell(r, c).filamentVoxels) acc += joule[v];
+      out.cellPower(r, c) = acc;
+    }
+  }
+  return out;
+}
+
+}  // namespace nh::fem

@@ -1,0 +1,170 @@
+#include "fem/transient.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/linsolve.hpp"
+
+namespace nh::fem {
+
+HeatCapacityTable HeatCapacityTable::defaults() {
+  HeatCapacityTable t;
+  const auto set = [&t](Material m, double v) {
+    t.values[static_cast<std::size_t>(m)] = v;
+  };
+  // rho * c_p [J m^-3 K^-1], thin-film literature values.
+  set(Material::SiSubstrate, 1.63e6);    // 2330 * 700
+  set(Material::SiO2, 1.63e6);           // 2200 * 740
+  set(Material::Electrode, 2.85e6);      // Pt: 21450 * 133
+  set(Material::SwitchingOxide, 2.7e6);  // HfO2: 9680 * 280
+  set(Material::Filament, 2.7e6);        // oxide-like
+  return t;
+}
+
+double HeatCapacityTable::capacity(Material m) const {
+  const auto i = static_cast<std::size_t>(m);
+  if (i >= static_cast<std::size_t>(Material::Count)) {
+    throw std::out_of_range("HeatCapacityTable::capacity");
+  }
+  return values[i];
+}
+
+double TransientSolution::riseTimeConstant(std::size_t index) const {
+  if (index >= cellTemperature.size() || time.empty()) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  const auto& series = cellTemperature[index];
+  const double start = series.front();
+  const double final = series.back();
+  const double mark = start + (final - start) * 0.632;
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    if ((series[i - 1] < mark && series[i] >= mark) ||
+        (series[i - 1] > mark && series[i] <= mark)) {
+      // Linear interpolation between samples.
+      const double f = (mark - series[i - 1]) / (series[i] - series[i - 1]);
+      return time[i - 1] + f * (time[i] - time[i - 1]);
+    }
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+TransientSolution solveThermalStep(const TransientScenario& scenario,
+                                   const DiffusionOptions& options) {
+  if (scenario.model == nullptr) {
+    throw std::invalid_argument("solveThermalStep: null model");
+  }
+  if (!(scenario.dt > 0.0) || !(scenario.tStop > scenario.dt)) {
+    throw std::invalid_argument("solveThermalStep: need 0 < dt < tStop");
+  }
+  const CrossbarModel3D& model = *scenario.model;
+  const auto& layout = model.layout();
+  const VoxelGrid& grid = model.grid();
+  if (scenario.heatedRow >= layout.rows || scenario.heatedCol >= layout.cols) {
+    throw std::out_of_range("solveThermalStep: heated cell out of range");
+  }
+  const std::size_t n = grid.voxelCount();
+  const double h = grid.voxelSize();
+  const double voxelVolume = h * h * h;
+
+  // Assemble the steady FV operator A (same stamps as solveDiffusion, no
+  // pinned voxels; Dirichlet bottom plane) plus the capacity lump C/dt.
+  std::vector<double> kappa(n), cOverDt(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    const Material m = grid.material(v);
+    kappa[v] = scenario.materials.kappa(m);
+    cOverDt[v] = scenario.capacities.capacity(m) * voxelVolume / scenario.dt;
+  }
+
+  nh::util::TripletBuilder builder(n, n);
+  nh::util::Vector steadyRhs(n, 0.0);
+  const auto faceCoefficient = [](double a, double b) {
+    return (a <= 0.0 || b <= 0.0) ? 0.0 : 2.0 * a * b / (a + b);
+  };
+  for (std::size_t k = 0; k < grid.nz(); ++k) {
+    for (std::size_t j = 0; j < grid.ny(); ++j) {
+      for (std::size_t i = 0; i < grid.nx(); ++i) {
+        const std::size_t v = grid.index(i, j, k);
+        double diag = cOverDt[v];
+        const auto visit = [&](std::size_t nv) {
+          const double g = faceCoefficient(kappa[v], kappa[nv]) * h;
+          if (g <= 0.0) return;
+          diag += g;
+          builder.add(v, nv, -g);
+        };
+        if (i > 0) visit(grid.index(i - 1, j, k));
+        if (i + 1 < grid.nx()) visit(grid.index(i + 1, j, k));
+        if (j > 0) visit(grid.index(i, j - 1, k));
+        if (j + 1 < grid.ny()) visit(grid.index(i, j + 1, k));
+        if (k > 0) visit(grid.index(i, j, k - 1));
+        if (k + 1 < grid.nz()) visit(grid.index(i, j, k + 1));
+        if (k == 0) {  // Dirichlet ambient at the substrate bottom
+          const double g = 2.0 * kappa[v] * h;
+          diag += g;
+          steadyRhs[v] += g * scenario.ambientK;
+        }
+        builder.add(v, v, diag);
+      }
+    }
+  }
+  const auto matrix = nh::util::SparseMatrix::fromTriplets(builder);
+
+  // Heat source.
+  const auto& heated = model.cell(scenario.heatedRow, scenario.heatedCol);
+  nh::util::Vector source(n, 0.0);
+  const double perVoxel =
+      scenario.power / static_cast<double>(heated.filamentVoxels.size());
+  for (const std::size_t v : heated.filamentVoxels) source[v] += perVoxel;
+
+  // Observed cells: heated + the three characteristic neighbours.
+  TransientSolution out;
+  std::vector<std::pair<std::size_t, std::size_t>> observed;
+  observed.emplace_back(scenario.heatedRow, scenario.heatedCol);
+  out.cellLabels.push_back("heated");
+  if (scenario.heatedCol + 1 < layout.cols) {
+    observed.emplace_back(scenario.heatedRow, scenario.heatedCol + 1);
+    out.cellLabels.push_back("word-line neighbour");
+  }
+  if (scenario.heatedRow + 1 < layout.rows) {
+    observed.emplace_back(scenario.heatedRow + 1, scenario.heatedCol);
+    out.cellLabels.push_back("bit-line neighbour");
+  }
+  if (scenario.heatedRow + 1 < layout.rows && scenario.heatedCol + 1 < layout.cols) {
+    observed.emplace_back(scenario.heatedRow + 1, scenario.heatedCol + 1);
+    out.cellLabels.push_back("diagonal neighbour");
+  }
+  out.cellTemperature.assign(observed.size(), {});
+
+  // March: (C/dt + A) T_new = C/dt T_old + q + dirichletRhs.
+  nh::util::Vector temperature(n, scenario.ambientK);
+  nh::util::Vector rhs(n);
+  const std::size_t steps =
+      static_cast<std::size_t>(std::ceil(scenario.tStop / scenario.dt));
+  out.converged = true;
+  const auto record = [&](double t) {
+    out.time.push_back(t);
+    for (std::size_t s = 0; s < observed.size(); ++s) {
+      double acc = 0.0;
+      const auto& cell = model.cell(observed[s].first, observed[s].second);
+      for (const std::size_t v : cell.filamentVoxels) acc += temperature[v];
+      out.cellTemperature[s].push_back(
+          acc / static_cast<double>(cell.filamentVoxels.size()));
+    }
+  };
+  record(0.0);
+  for (std::size_t step = 1; step <= steps; ++step) {
+    for (std::size_t v = 0; v < n; ++v) {
+      rhs[v] = cOverDt[v] * temperature[v] + source[v] + steadyRhs[v];
+    }
+    const auto stats = nh::util::solveConjugateGradient(
+        matrix, rhs, temperature, options.relTol, options.maxIterations);
+    if (!stats.converged) {
+      out.converged = false;
+      break;
+    }
+    record(static_cast<double>(step) * scenario.dt);
+  }
+  return out;
+}
+
+}  // namespace nh::fem

@@ -1,0 +1,106 @@
+#include "jart/ivsweep.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nh::jart {
+
+std::vector<IvPoint> sweepIV(const Params& params, const IvSweepOptions& options) {
+  if (!(options.vMax > 0.0) || !(options.vMin < 0.0)) {
+    throw std::invalid_argument("sweepIV: need vMax > 0 and vMin < 0");
+  }
+  if (!(options.rampRate > 0.0)) {
+    throw std::invalid_argument("sweepIV: rampRate must be > 0");
+  }
+  if (options.samples < 8) throw std::invalid_argument("sweepIV: samples >= 8");
+
+  // Triangular excitation: 0 -> vMax -> 0 -> vMin -> 0.
+  const double legUp = options.vMax / options.rampRate;
+  const double legDown = (options.vMax - options.vMin) / options.rampRate;
+  const double legBack = -options.vMin / options.rampRate;
+  const double total = legUp + legDown + legBack;
+
+  const auto voltageAt = [&](double t) {
+    if (t <= legUp) return options.rampRate * t;
+    if (t <= legUp + legDown) return options.vMax - options.rampRate * (t - legUp);
+    return options.vMin + options.rampRate * (t - legUp - legDown);
+  };
+
+  JartDevice device(params, options.ambientK,
+                    options.nStart > 0.0 ? options.nStart : params.nDiscMin);
+
+  std::vector<IvPoint> loop;
+  loop.reserve(options.samples);
+  const double dt = total / static_cast<double>(options.samples);
+  double t = 0.0;
+  for (std::size_t i = 0; i < options.samples; ++i) {
+    const double v = voltageAt(t + 0.5 * dt);  // midpoint voltage of the step
+    device.advance(v, dt);
+    t += dt;
+    IvPoint p;
+    p.time = t;
+    p.voltage = v;
+    p.current = device.current(v);
+    p.nDisc = device.nDisc();
+    p.temperatureK = device.temperature();
+    loop.push_back(p);
+  }
+  return loop;
+}
+
+IvLoopMetrics analyseLoop(const Params& params, const std::vector<IvPoint>& loop,
+                          double iSetMark) {
+  IvLoopMetrics m;
+  if (loop.empty()) return m;
+
+  // SET voltage: first rising-branch sample whose current crosses iSetMark.
+  for (const auto& p : loop) {
+    if (p.voltage < 0.0) break;  // rising branch ends at the apex crossing 0
+    if (p.current >= iSetMark) {
+      m.vSet = p.voltage;
+      break;
+    }
+  }
+  // Switched to LRS by the end of the positive branch, and back to HRS on
+  // the negative branch?
+  double maxN = 0.0;
+  double minNAfter = params.nDiscMax;
+  bool seenNegative = false;
+  for (const auto& p : loop) {
+    if (p.voltage >= 0.0 && !seenNegative) {
+      maxN = std::max(maxN, p.nDisc);
+    } else {
+      seenNegative = true;
+      minNAfter = std::min(minNAfter, p.nDisc);
+    }
+  }
+  m.switchedToLrs = params.normalisedState(maxN) > 0.9;
+  m.switchedBack = params.normalisedState(minNAfter) < 0.1;
+
+  // V_RESET: negative-branch |I| maximum (current collapses after RESET).
+  double bestI = 0.0;
+  for (const auto& p : loop) {
+    if (p.voltage < 0.0 && std::fabs(p.current) > bestI) {
+      bestI = std::fabs(p.current);
+      m.vReset = p.voltage;
+    }
+  }
+
+  // Hysteresis: compare currents near +0.2 V on the early (HRS) and late
+  // (LRS) passes.
+  double early = 0.0, late = 0.0;
+  for (std::size_t i = 0; i < loop.size(); ++i) {
+    const auto& p = loop[i];
+    if (std::fabs(p.voltage - 0.2) < 0.05) {
+      if (i < loop.size() / 4) {
+        early = std::max(early, std::fabs(p.current));
+      } else if (i < loop.size() / 2) {
+        late = std::max(late, std::fabs(p.current));
+      }
+    }
+  }
+  if (early > 0.0 && late > 0.0) m.hysteresis = late / early;
+  return m;
+}
+
+}  // namespace nh::jart

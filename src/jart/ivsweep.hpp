@@ -1,0 +1,52 @@
+#pragma once
+/// \file ivsweep.hpp
+/// Quasi-static I-V sweeps of a single cell: the classic bipolar-ReRAM
+/// "butterfly" hysteresis loop (SET on the positive branch, RESET on the
+/// negative branch). Used to document the compact model's DC fingerprint
+/// and to verify bipolar switching end to end.
+
+#include <vector>
+
+#include "jart/device.hpp"
+
+namespace nh::jart {
+
+/// One sample along the sweep.
+struct IvPoint {
+  double time = 0.0;         ///< [s] since sweep start.
+  double voltage = 0.0;      ///< Applied voltage [V].
+  double current = 0.0;      ///< Device current [A].
+  double nDisc = 0.0;        ///< State [m^-3].
+  double temperatureK = 0.0; ///< Filament temperature [K].
+};
+
+/// Sweep parameters: a triangular excitation
+/// 0 -> vMax -> vMin -> 0 at a constant |dV/dt|.
+struct IvSweepOptions {
+  double vMax = 1.3;        ///< Positive apex [V] (SET branch).
+  double vMin = -1.5;       ///< Negative apex [V] (RESET branch).
+  double rampRate = 1e7;    ///< |dV/dt| [V/s] (10 V/us: a slow DC-like sweep).
+  std::size_t samples = 400;///< Recorded points over the whole loop.
+  double ambientK = 300.0;
+  double nStart = -1.0;     ///< Initial state; < 0 = deep HRS.
+};
+
+/// Run the sweep on a fresh device; returns the sampled loop.
+std::vector<IvPoint> sweepIV(const Params& params, const IvSweepOptions& options = {});
+
+/// Loop metrics extracted from a sweep (for tests and the bench table).
+struct IvLoopMetrics {
+  double vSet = 0.0;    ///< Voltage where |I| first exceeds iSetMark on the
+                        ///< rising branch [V].
+  double vReset = 0.0;  ///< Voltage of maximum |I| slope reversal on the
+                        ///< negative branch [V] (approximated by the
+                        ///< |I|-maximum location).
+  double hysteresis = 0.0;  ///< Max ratio of up/down branch currents at 0.2 V.
+  bool switchedToLrs = false;
+  bool switchedBack = false;
+};
+
+IvLoopMetrics analyseLoop(const Params& params, const std::vector<IvPoint>& loop,
+                          double iSetMark = 1e-5);
+
+}  // namespace nh::jart

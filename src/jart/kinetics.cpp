@@ -1,0 +1,83 @@
+#include "jart/kinetics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nh::jart {
+
+SwitchingResult switchingTime(const Params& params, double voltage,
+                              const SwitchingOptions& options) {
+  const bool isSet = voltage > 0.0;
+  double nStart = options.nStart;
+  if (nStart <= 0.0) nStart = isSet ? params.nDiscMin : params.nDiscMax;
+
+  JartDevice device(params, options.ambientK, nStart);
+  device.setCrosstalk(options.crosstalkK);
+
+  SwitchingResult result;
+  const auto crossed = [&] {
+    const double x = device.normalisedState();
+    return isSet ? x >= options.targetState : x <= options.targetState;
+  };
+  if (crossed()) {
+    result.switched = true;
+    result.finalNDisc = device.nDisc();
+    result.finalTemperature = device.temperature();
+    return result;
+  }
+
+  // Exponential time stepping: start at 10 ps and grow while nothing moves.
+  // advance() internally substeps, so accuracy is preserved when switching
+  // finally picks up speed; we only need the outer loop for the crossing
+  // bookkeeping and the give-up horizon.
+  double t = 0.0;
+  double dt = 1e-11;
+  while (t < options.maxTime) {
+    const double before = device.normalisedState();
+    device.advance(voltage, dt);
+    const double after = device.normalisedState();
+    t += dt;
+    if (crossed()) {
+      // Linear back-interpolation inside the last step for a smooth series.
+      const double target = options.targetState;
+      double frac = 1.0;
+      if (after != before) frac = std::clamp((target - before) / (after - before), 0.0, 1.0);
+      result.switched = true;
+      result.time = t - dt + frac * dt;
+      result.finalNDisc = device.nDisc();
+      result.finalTemperature = device.temperature();
+      return result;
+    }
+    const double moved = std::fabs(after - before);
+    if (moved < 1e-3) {
+      dt = std::min(dt * 2.0, options.maxTime * 0.05);
+    } else if (moved > 2e-2) {
+      dt = std::max(dt * 0.5, 1e-12);
+    }
+  }
+  result.switched = false;
+  result.time = options.maxTime;
+  result.finalNDisc = device.nDisc();
+  result.finalTemperature = device.temperature();
+  return result;
+}
+
+std::vector<KineticsPoint> kineticsLandscape(const Params& params,
+                                             const std::vector<double>& voltages,
+                                             const std::vector<double>& temperatures,
+                                             double maxTime) {
+  std::vector<KineticsPoint> out;
+  out.reserve(voltages.size() * temperatures.size());
+  for (double t0 : temperatures) {
+    for (double v : voltages) {
+      SwitchingOptions opt;
+      opt.ambientK = t0;
+      opt.maxTime = maxTime;
+      const SwitchingResult r = switchingTime(params, v, opt);
+      out.push_back({v, t0, r.time, r.switched});
+    }
+  }
+  return out;
+}
+
+}  // namespace nh::jart

@@ -1,0 +1,53 @@
+#pragma once
+/// \file kinetics.hpp
+/// Standalone switching-kinetics studies on a single device: the
+/// time-to-SET/RESET landscape t(V, T) that underpins the attack (von
+/// Witzleben et al. 2017: switching time depends exponentially on filament
+/// temperature; Menzel et al. 2011: ultra-nonlinear voltage dependence).
+
+#include <vector>
+
+#include "jart/device.hpp"
+
+namespace nh::jart {
+
+/// Outcome of a constant-stress switching experiment.
+struct SwitchingResult {
+  bool switched = false;  ///< Target state reached before maxTime.
+  double time = 0.0;      ///< Time of crossing [s] (== maxTime when not switched).
+  double finalNDisc = 0.0;
+  double finalTemperature = 0.0;
+};
+
+/// Options for switchingTime().
+struct SwitchingOptions {
+  double ambientK = 300.0;
+  double crosstalkK = 0.0;    ///< Constant additional temperature (Eq. 5 input).
+  double nStart = -1.0;       ///< Initial N_disc; < 0 = deep HRS (SET) / LRS (RESET).
+  double targetState = 0.5;   ///< Normalised state to cross (0..1).
+  double maxTime = 1.0;       ///< Give-up horizon [s].
+};
+
+/// Time for a device under constant applied voltage \p voltage to cross the
+/// target normalised state. SET when voltage > 0, RESET when voltage < 0.
+/// Integrates conduction + self-heating + kinetics with adaptive substeps
+/// (exponential time stepping, so the 10-decade dynamic range of t_SET is
+/// swept efficiently).
+SwitchingResult switchingTime(const Params& params, double voltage,
+                              const SwitchingOptions& options = {});
+
+/// One sweep point of the kinetics landscape bench.
+struct KineticsPoint {
+  double voltage = 0.0;
+  double temperatureK = 0.0;
+  double time = 0.0;
+  bool switched = false;
+};
+
+/// Evaluate t_SET over a (voltage x ambient-temperature) grid.
+std::vector<KineticsPoint> kineticsLandscape(const Params& params,
+                                             const std::vector<double>& voltages,
+                                             const std::vector<double>& temperatures,
+                                             double maxTime = 1.0);
+
+}  // namespace nh::jart

@@ -1,0 +1,146 @@
+#include "jart/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace nh::jart {
+
+using nh::util::kBoltzmannEv;
+
+Model::Model(Params params) : params_(params) {
+  params_.validate();
+  logWindowRatio_ = std::log(params_.nDiscMax / params_.nDiscMin);
+}
+
+double Model::schottkyCurrent(double vs, double nDisc, double temperatureK) const {
+  const Params& p = params_;
+  const double area = p.filamentArea();
+  const double tt = temperatureK * temperatureK;
+  const double x = p.normalisedState(nDisc);
+
+  if (vs >= 0.0) {
+    // Forward (SET polarity): thermionic emission over a barrier that the
+    // donor concentration in the disc lowers (more vacancies -> thinner,
+    // lower effective barrier).
+    const double phi = p.phiBarrier0 - p.phiLowering * x;
+    const double i0 = area * p.richardson * tt *
+                      std::exp(-phi / (kBoltzmannEv * temperatureK));
+    const double vt = p.idealityFwd * kBoltzmannEv * temperatureK;
+    const double arg = std::min(vs / vt, 60.0);
+    return i0 * (std::exp(arg) - 1.0);
+  }
+  // Reverse (RESET polarity): tunnelling-assisted leaky reverse conduction,
+  // modelled as a soft exponential with large ideality.
+  const double phi = p.phiBarrierRev - p.phiLowering * x;
+  const double i0 = area * p.richardson * tt *
+                    std::exp(-std::max(phi, 0.02) / (kBoltzmannEv * temperatureK));
+  const double vt = p.idealityRev * kBoltzmannEv * temperatureK;
+  const double arg = std::min(-vs / vt, 60.0);
+  return -i0 * (std::exp(arg) - 1.0);
+}
+
+Conduction Model::solveConduction(double voltage, double nDisc,
+                                  double temperatureK) const {
+  const Params& p = params_;
+  Conduction out;
+  if (voltage == 0.0) return out;
+
+  const double rOhmic = p.discResistance(nDisc) + p.plugResistance() + p.rSeries;
+
+  // Solve f(vs) = vs + R * I_sch(vs) - V = 0. I_sch is monotone increasing
+  // in vs, so f is monotone: bracket [min(0,V), max(0,V)] always contains
+  // the root. Newton with bisection safeguard.
+  double lo = std::min(0.0, voltage);
+  double hi = std::max(0.0, voltage);
+  double vs = voltage * 0.5;
+  bool converged = false;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double i = schottkyCurrent(vs, nDisc, temperatureK);
+    const double f = vs + rOhmic * i - voltage;
+    if (std::fabs(f) < 1e-12 * std::max(1.0, std::fabs(voltage))) {
+      converged = true;
+      break;
+    }
+    if (f > 0.0) {
+      hi = vs;
+    } else {
+      lo = vs;
+    }
+    // Numerical derivative for the Newton step.
+    const double h = 1e-7 * std::max(1.0, std::fabs(vs)) + 1e-12;
+    const double di = (schottkyCurrent(vs + h, nDisc, temperatureK) -
+                       schottkyCurrent(vs - h, nDisc, temperatureK)) /
+                      (2.0 * h);
+    const double fp = 1.0 + rOhmic * di;
+    double vsNew = vs - f / fp;
+    if (!(vsNew > lo && vsNew < hi)) vsNew = 0.5 * (lo + hi);  // bisect
+    if (std::fabs(vsNew - vs) < 1e-15) {
+      vs = vsNew;
+      converged = true;
+      break;
+    }
+    vs = vsNew;
+  }
+
+  const double i = schottkyCurrent(vs, nDisc, temperatureK);
+  out.current = i;
+  out.vSchottky = vs;
+  out.vDisc = i * p.discResistance(nDisc);
+  // Power heating the filament: everything except the external series
+  // resistance (which sits in the electrodes, away from the filament).
+  out.powerFilament = std::fabs(i * (voltage - i * p.rSeries));
+  out.converged = converged;
+  return out;
+}
+
+double Model::windowSet(double nDisc) const {
+  const Params& p = params_;
+  const double frac = nDisc / p.nDiscMax;
+  if (frac >= 1.0) return 0.0;
+  return 1.0 - std::pow(frac, p.windowExponent);
+}
+
+double Model::windowReset(double nDisc) const {
+  const Params& p = params_;
+  const double frac = p.nDiscMin / nDisc;
+  if (frac >= 1.0) return 0.0;
+  return 1.0 - std::pow(frac, p.windowExponent);
+}
+
+double Model::ionicRate(double vDisc, double nDisc, double temperatureK) const {
+  const Params& p = params_;
+  if (vDisc == 0.0) return 0.0;
+  const double gamma = p.fieldCoefficient();  // [K/V]
+  if (vDisc > 0.0) {
+    // SET: vacancies drift from the plug into the disc.
+    const double arrhenius =
+        std::exp(-p.activationEnergySet / (kBoltzmannEv * temperatureK));
+    const double field = std::sinh(std::min(gamma * vDisc / temperatureK, 60.0));
+    return p.kineticPrefactorSet * arrhenius * field * windowSet(nDisc);
+  }
+  // RESET: vacancies drift back toward the plug.
+  const double arrhenius =
+      std::exp(-p.activationEnergyReset / (kBoltzmannEv * temperatureK));
+  const double field = std::sinh(std::min(gamma * (-vDisc) / temperatureK, 60.0));
+  return -p.kineticPrefactorReset * arrhenius * field * windowReset(nDisc);
+}
+
+double Model::steadyTemperature(double powerFilament, double ambientK,
+                                double crosstalkK) const {
+  return ambientK + crosstalkK + params_.rThEff * powerFilament;
+}
+
+double Model::resistance(double readVoltage, double nDisc,
+                         double temperatureK) const {
+  if (readVoltage == 0.0) {
+    throw std::invalid_argument("Model::resistance: readVoltage must be non-zero");
+  }
+  const Conduction c = solveConduction(readVoltage, nDisc, temperatureK);
+  if (c.current == 0.0) return 1e15;
+  return readVoltage / c.current;
+}
+
+}  // namespace nh::jart

@@ -1,0 +1,187 @@
+#include "spice/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/linsolve.hpp"
+#include "util/log.hpp"
+
+namespace nh::spice {
+
+namespace {
+
+using nh::util::Matrix;
+using nh::util::Vector;
+
+/// One Newton solve of the MNA system at a fixed (time, dt).
+SolveResult newtonSolve(Circuit& circuit, double time, double dt, bool transient,
+                        const Vector& xPrev, const NewtonOptions& options,
+                        const Vector& initialGuess) {
+  const std::size_t n = circuit.unknownCount();
+  const std::size_t nodeUnknowns = circuit.nodeCount() - 1;
+
+  SolveResult result;
+  result.x = initialGuess.size() == n ? initialGuess : Vector(n, 0.0);
+
+  Matrix jacobian(n, n);
+  Vector rhs(n);
+
+  const std::size_t maxIter = circuit.hasNonlinear() ? options.maxIterations : 1;
+  for (std::size_t iter = 0; iter < maxIter; ++iter) {
+    jacobian.fill(0.0);
+    std::fill(rhs.begin(), rhs.end(), 0.0);
+
+    StampContext ctx{jacobian, rhs, result.x, xPrev, time, dt, transient};
+    for (const auto& e : circuit.elements()) e->stamp(ctx);
+    // gmin from every node to ground keeps otherwise-floating nodes defined.
+    for (std::size_t i = 0; i < nodeUnknowns; ++i) jacobian(i, i) += circuit.gmin();
+
+    auto lu = nh::util::LuFactorization::factor(jacobian);
+    if (!lu) {
+      result.converged = false;
+      return result;
+    }
+    Vector xNew = lu->solve(rhs);
+
+    // Voltage limiting: clamp node-voltage updates to keep the exponential
+    // devices inside a trust region (standard SPICE practice). Linear
+    // circuits take the exact solve -- limiting would truncate it.
+    double maxUpdate = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double delta = xNew[i] - result.x[i];
+      if (circuit.hasNonlinear() && i < nodeUnknowns) {
+        delta = std::clamp(delta, -options.maxStepVoltage, options.maxStepVoltage);
+      }
+      result.x[i] += delta;
+      if (i < nodeUnknowns) maxUpdate = std::max(maxUpdate, std::fabs(delta));
+    }
+    result.iterations = iter + 1;
+    result.maxUpdate = maxUpdate;
+
+    if (!circuit.hasNonlinear()) {
+      result.converged = true;
+      return result;
+    }
+    double tolerance = options.absTol;
+    for (std::size_t i = 0; i < nodeUnknowns; ++i) {
+      tolerance = std::max(tolerance,
+                           options.absTol + options.relTol * std::fabs(result.x[i]));
+    }
+    if (maxUpdate < tolerance) {
+      result.converged = true;
+      return result;
+    }
+  }
+  result.converged = !circuit.hasNonlinear();
+  return result;
+}
+
+}  // namespace
+
+SolveResult solveDc(Circuit& circuit, const NewtonOptions& options,
+                    const Vector& initialGuess) {
+  circuit.finalize();
+  const Vector xPrev(circuit.unknownCount(), 0.0);
+  return newtonSolve(circuit, /*time=*/0.0, /*dt=*/0.0, /*transient=*/false,
+                     xPrev, options, initialGuess);
+}
+
+std::size_t TransientResult::seriesIndex(const std::string& label) const {
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] == label) return i;
+  }
+  throw std::out_of_range("TransientResult: no series '" + label + "'");
+}
+
+const std::vector<double>& TransientResult::seriesFor(const std::string& label) const {
+  return series[seriesIndex(label)];
+}
+
+TransientResult runTransient(Circuit& circuit, const TransientOptions& options,
+                             const std::vector<Probe>& probes) {
+  if (!(options.tStop > 0.0)) {
+    throw std::invalid_argument("runTransient: tStop must be > 0");
+  }
+  circuit.finalize();
+
+  TransientResult result;
+  result.labels.reserve(probes.size());
+  for (const auto& p : probes) result.labels.push_back(p.label);
+  result.series.assign(probes.size(), {});
+
+  // Initial condition: DC operating point at t = 0.
+  SolveResult op = solveDc(circuit, options.newton);
+  if (!op.converged) {
+    result.failureReason = "initial DC operating point did not converge";
+    return result;
+  }
+  Vector x = op.x;
+
+  const auto record = [&](double t, const Vector& sol) {
+    result.time.push_back(t);
+    for (std::size_t p = 0; p < probes.size(); ++p) {
+      result.series[p].push_back(probes[p].extract(sol, t));
+    }
+  };
+  record(0.0, x);
+
+  double t = 0.0;
+  double dt = std::min(options.dtInitial, options.dtMax);
+  while (t < options.tStop - 1e-18) {
+    double step = std::min(dt, options.tStop - t);
+    if (options.alignToBreakpoints) {
+      const double bp = circuit.nextBreakpoint(t + 1e-18);
+      if (bp > t && bp < t + step) step = bp - t;
+    }
+
+    const SolveResult sr = newtonSolve(circuit, t + step, step, /*transient=*/true,
+                                       x, options.newton, x);
+    if (!sr.converged) {
+      // Convergence failure: shrink the step and retry.
+      dt *= 0.25;
+      if (dt < options.dtMin) {
+        result.failureReason = "timestep underflow at t=" + std::to_string(t);
+        return result;
+      }
+      continue;
+    }
+
+    t += step;
+    x = sr.x;
+    const AcceptContext acc{x, t, step};
+    for (const auto& e : circuit.elements()) e->acceptStep(acc);
+    if (options.onStepAccepted) options.onStepAccepted(x, t, step);
+    record(t, x);
+
+    // Gentle step growth after easy Newton solves.
+    if (sr.iterations <= 5) {
+      dt = std::min(dt * 1.5, options.dtMax);
+    } else if (sr.iterations > 20) {
+      dt = std::max(dt * 0.5, options.dtMin);
+    }
+  }
+  result.completed = true;
+  return result;
+}
+
+Probe probeNodeVoltage(const Circuit& circuit, const std::string& nodeName) {
+  const NodeId id = circuit.findNode(nodeName);
+  return Probe{"v(" + nodeName + ")", [id](const Vector& x, double) {
+                 return id == 0 ? 0.0 : x[id - 1];
+               }};
+}
+
+Probe probeDifferentialVoltage(const Circuit& circuit, const std::string& nodeA,
+                               const std::string& nodeB) {
+  const NodeId a = circuit.findNode(nodeA);
+  const NodeId b = circuit.findNode(nodeB);
+  return Probe{"v(" + nodeA + "," + nodeB + ")", [a, b](const Vector& x, double) {
+                 const double va = a == 0 ? 0.0 : x[a - 1];
+                 const double vb = b == 0 ? 0.0 : x[b - 1];
+                 return va - vb;
+               }};
+}
+
+}  // namespace nh::spice

@@ -1,0 +1,45 @@
+#pragma once
+/// \file netlist_parser.hpp
+/// SPICE-style netlist text parser for the circuit engine. Supports the
+/// element cards the engine implements, with standard engineering suffixes:
+///
+///   * comment                          ; '*' or ';' start a comment
+///   R<name> <n+> <n-> <value>          ; resistor [Ohm]
+///   C<name> <n+> <n-> <value>          ; capacitor [F]
+///   V<name> <n+> <n-> DC <value>       ; DC voltage source [V]
+///   V<name> <n+> <n-> PULSE(v0 v1 delay rise fall width period [count])
+///   V<name> <n+> <n-> PWL(t0 v0 t1 v1 ...)
+///   I<name> <n+> <n-> DC <value>       ; DC current source [A]
+///   D<name> <anode> <cathode> [Is] [n] ; diode
+///   .end                               ; optional terminator
+///
+/// Values accept suffixes f p n u m k meg g t (case-insensitive), e.g.
+/// "1k", "50n", "2.5meg". Node "0" (or "gnd") is ground.
+
+#include <string>
+
+#include "spice/circuit.hpp"
+
+namespace nh::spice {
+
+/// Result of parsing: the number of each element kind instantiated.
+struct NetlistSummary {
+  std::size_t resistors = 0;
+  std::size_t capacitors = 0;
+  std::size_t voltageSources = 0;
+  std::size_t currentSources = 0;
+  std::size_t diodes = 0;
+  std::size_t total() const {
+    return resistors + capacitors + voltageSources + currentSources + diodes;
+  }
+};
+
+/// Parse \p text into \p circuit (appending to whatever it already holds).
+/// Throws std::runtime_error with line context on malformed input.
+NetlistSummary parseNetlist(Circuit& circuit, const std::string& text);
+
+/// Parse a SPICE value with engineering suffix ("4.7k" -> 4700).
+/// Throws std::invalid_argument on malformed values.
+double parseSpiceValue(const std::string& token);
+
+}  // namespace nh::spice

@@ -1,0 +1,55 @@
+#pragma once
+/// \file csv.hpp
+/// Minimal CSV reader/writer used to export benchmark series (figure data)
+/// and to load tabulated inputs. No quoting/escaping beyond what the project
+/// itself emits (plain numeric/identifier fields).
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace nh::util {
+
+/// In-memory CSV table: a header row plus data rows of equal width.
+class CsvTable {
+ public:
+  CsvTable() = default;
+  explicit CsvTable(std::vector<std::string> header);
+
+  const std::vector<std::string>& header() const { return header_; }
+  std::size_t rowCount() const { return rows_.size(); }
+  std::size_t columnCount() const { return header_.size(); }
+
+  /// Append a row; width must match the header. Values are stringified
+  /// with max_digits10 precision for doubles.
+  void addRow(const std::vector<std::string>& row);
+  void addRow(const std::vector<double>& row);
+
+  const std::vector<std::string>& row(std::size_t i) const { return rows_[i]; }
+  /// Cell accessors (by index / by column name). Throw on bad access.
+  const std::string& cell(std::size_t row, std::size_t col) const;
+  double cellAsDouble(std::size_t row, std::size_t col) const;
+  double cellAsDouble(std::size_t row, const std::string& columnName) const;
+  /// Column index for \p name; throws std::out_of_range when absent.
+  std::size_t columnIndex(const std::string& name) const;
+  /// Entire column as doubles.
+  std::vector<double> columnAsDouble(const std::string& name) const;
+
+  /// Serialise to a string ("a,b\n1,2\n").
+  std::string toString() const;
+  /// Write to \p path (creates parent directories). Throws on I/O error.
+  void save(const std::filesystem::path& path) const;
+  /// Parse from a string; first line is the header.
+  static CsvTable fromString(const std::string& text);
+  /// Load from file. Throws on I/O or parse error.
+  static CsvTable load(const std::filesystem::path& path);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with enough digits to round-trip.
+std::string formatDouble(double v);
+
+}  // namespace nh::util

@@ -1,0 +1,53 @@
+#include "util/interp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace nh::util {
+
+PiecewiseLinear::PiecewiseLinear(std::vector<double> x, std::vector<double> y)
+    : x_(std::move(x)), y_(std::move(y)) {
+  if (x_.size() != y_.size()) {
+    throw std::invalid_argument("PiecewiseLinear: size mismatch");
+  }
+  if (x_.empty()) throw std::invalid_argument("PiecewiseLinear: need >= 1 knot");
+  for (std::size_t i = 1; i < x_.size(); ++i) {
+    if (!(x_[i] > x_[i - 1])) {
+      throw std::invalid_argument("PiecewiseLinear: x must be strictly increasing");
+    }
+  }
+}
+
+double PiecewiseLinear::operator()(double x) const {
+  if (x <= x_.front()) return y_.front();
+  if (x >= x_.back()) return y_.back();
+  const auto it = std::upper_bound(x_.begin(), x_.end(), x);
+  const std::size_t hi = static_cast<std::size_t>(it - x_.begin());
+  const std::size_t lo = hi - 1;
+  const double t = (x - x_[lo]) / (x_[hi] - x_[lo]);
+  return y_[lo] + t * (y_[hi] - y_[lo]);
+}
+
+double lerp(double a, double b, double t) { return a + (b - a) * t; }
+
+double firstCrossing(const std::vector<double>& xs, const std::vector<double>& ys,
+                     double level) {
+  if (xs.size() != ys.size() || xs.size() < 2) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    const double y0 = ys[i - 1] - level;
+    const double y1 = ys[i] - level;
+    if (y0 == 0.0) return xs[i - 1];
+    if (y0 * y1 < 0.0) {
+      const double t = y0 / (y0 - y1);
+      return lerp(xs[i - 1], xs[i], t);
+    }
+  }
+  if (ys.back() == level) return xs.back();
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+}  // namespace nh::util

@@ -1,0 +1,38 @@
+#pragma once
+/// \file interp.hpp
+/// 1-D piecewise-linear interpolation over a monotonically increasing grid.
+/// Used for tabulated waveforms (PWL sources) and post-processing of swept
+/// benchmark series (crossover detection).
+
+#include <vector>
+
+namespace nh::util {
+
+/// Piecewise-linear function defined by (x, y) knots with strictly
+/// increasing x. Evaluation clamps outside the knot range.
+class PiecewiseLinear {
+ public:
+  PiecewiseLinear() = default;
+  /// Throws std::invalid_argument when sizes differ, fewer than one knot is
+  /// given, or x is not strictly increasing.
+  PiecewiseLinear(std::vector<double> x, std::vector<double> y);
+
+  double operator()(double x) const;
+  std::size_t knotCount() const { return x_.size(); }
+  const std::vector<double>& xs() const { return x_; }
+  const std::vector<double>& ys() const { return y_; }
+
+ private:
+  std::vector<double> x_;
+  std::vector<double> y_;
+};
+
+/// Linear interpolation between two points.
+double lerp(double a, double b, double t);
+
+/// Find x where the piecewise-linear series (xs, ys) first crosses \p level
+/// (series need not be monotone). Returns NaN when it never crosses.
+double firstCrossing(const std::vector<double>& xs, const std::vector<double>& ys,
+                     double level);
+
+}  // namespace nh::util

@@ -1,0 +1,90 @@
+#include "util/linreg.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nh::util {
+
+namespace {
+void checkInputs(const std::vector<double>& x, const std::vector<double>& y) {
+  if (x.size() != y.size()) throw std::invalid_argument("fitLinear: size mismatch");
+  if (x.size() < 2) throw std::invalid_argument("fitLinear: need >= 2 samples");
+}
+
+double mean(const std::vector<double>& v) {
+  double acc = 0.0;
+  for (double x : v) acc += x;
+  return acc / static_cast<double>(v.size());
+}
+}  // namespace
+
+LinearFit fitLinear(const std::vector<double>& x, const std::vector<double>& y) {
+  checkInputs(x, y);
+  const double mx = mean(x);
+  const double my = mean(y);
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0) throw std::invalid_argument("fitLinear: degenerate x values");
+
+  LinearFit fit;
+  fit.samples = x.size();
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  if (syy <= 0.0) {
+    fit.rSquared = 1.0;  // y constant and perfectly predicted by the constant fit
+  } else {
+    double ssRes = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double e = y[i] - (fit.intercept + fit.slope * x[i]);
+      ssRes += e * e;
+    }
+    fit.rSquared = 1.0 - ssRes / syy;
+  }
+  return fit;
+}
+
+LinearFit fitProportional(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  checkInputs(x, y);
+  double sxx = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  if (sxx <= 0.0) throw std::invalid_argument("fitProportional: degenerate x");
+
+  LinearFit fit;
+  fit.samples = x.size();
+  fit.slope = sxy / sxx;
+  fit.intercept = 0.0;
+  double ssRes = 0.0, ssTot = 0.0;
+  const double my = mean(y);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double e = y[i] - fit.slope * x[i];
+    ssRes += e * e;
+    ssTot += (y[i] - my) * (y[i] - my);
+  }
+  fit.rSquared = (ssTot > 0.0) ? 1.0 - ssRes / ssTot : 1.0;
+  return fit;
+}
+
+double pearson(const std::vector<double>& x, const std::vector<double>& y) {
+  checkInputs(x, y);
+  const double mx = mean(x), my = mean(y);
+  double sxx = 0.0, syy = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxx += (x[i] - mx) * (x[i] - mx);
+    syy += (y[i] - my) * (y[i] - my);
+    sxy += (x[i] - mx) * (y[i] - my);
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace nh::util

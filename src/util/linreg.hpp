@@ -1,0 +1,32 @@
+#pragma once
+/// \file linreg.hpp
+/// Ordinary least-squares utilities. The alpha-value extraction of the paper
+/// (Eq. 3 and Eq. 4) is a linear regression of cell temperature against
+/// dissipated power; R^2 is reported so callers can assert linearity.
+
+#include <cstddef>
+#include <vector>
+
+namespace nh::util {
+
+/// Result of a simple y = intercept + slope * x fit.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double rSquared = 0.0;   ///< Coefficient of determination.
+  std::size_t samples = 0;
+};
+
+/// Fit y = a + b*x by ordinary least squares. Requires >= 2 samples with
+/// non-degenerate x spread; throws std::invalid_argument otherwise.
+LinearFit fitLinear(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Fit y = b*x (zero intercept). Useful when T0 is known exactly and we fit
+/// the excess temperature directly against power.
+LinearFit fitProportional(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+/// Pearson correlation coefficient.
+double pearson(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace nh::util

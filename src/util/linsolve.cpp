@@ -1,0 +1,205 @@
+#include "util/linsolve.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace nh::util {
+
+std::optional<LuFactorization> LuFactorization::factor(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("LuFactorization: matrix must be square");
+  }
+  const std::size_t n = a.rows();
+  LuFactorization f;
+  f.lu_ = a;
+  f.perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) f.perm_[i] = i;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot: largest |value| in column k at/below the diagonal.
+    std::size_t pivot = k;
+    double best = std::fabs(f.lu_(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double v = std::fabs(f.lu_(r, k));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-300) return std::nullopt;  // numerically singular
+    if (pivot != k) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(f.lu_(k, c), f.lu_(pivot, c));
+      std::swap(f.perm_[k], f.perm_[pivot]);
+    }
+    const double inv = 1.0 / f.lu_(k, k);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double m = f.lu_(r, k) * inv;
+      f.lu_(r, k) = m;
+      if (m == 0.0) continue;
+      for (std::size_t c = k + 1; c < n; ++c) f.lu_(r, c) -= m * f.lu_(k, c);
+    }
+  }
+  return f;
+}
+
+Vector LuFactorization::solve(const Vector& b) const {
+  const std::size_t n = lu_.rows();
+  if (b.size() != n) throw std::invalid_argument("LuFactorization::solve: size mismatch");
+  Vector x(n);
+  // Apply permutation, then forward substitution (unit lower triangle).
+  for (std::size_t i = 0; i < n; ++i) x[i] = b[perm_[i]];
+  for (std::size_t i = 1; i < n; ++i) {
+    double acc = x[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu_(i, j) * x[j];
+    x[i] = acc;
+  }
+  // Back substitution (upper triangle).
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = x[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= lu_(ii, j) * x[j];
+    x[ii] = acc / lu_(ii, ii);
+  }
+  return x;
+}
+
+double LuFactorization::absDeterminant() const {
+  double det = 1.0;
+  for (std::size_t i = 0; i < lu_.rows(); ++i) det *= std::fabs(lu_(i, i));
+  return det;
+}
+
+Vector solveDense(const Matrix& a, const Vector& b) {
+  auto f = LuFactorization::factor(a);
+  if (!f) throw std::runtime_error("solveDense: singular matrix");
+  return f->solve(b);
+}
+
+IterativeResult solveConjugateGradient(const SparseMatrix& a, const Vector& b,
+                                       Vector& x, double relTol,
+                                       std::size_t maxIter) {
+  const std::size_t n = b.size();
+  assert(a.rows() == n && a.cols() == n);
+  if (x.size() != n) x.assign(n, 0.0);
+
+  // Jacobi preconditioner M^-1 = 1/diag(A).
+  Vector invDiag = a.diagonal();
+  for (auto& d : invDiag) d = (std::fabs(d) > 1e-300) ? 1.0 / d : 1.0;
+
+  Vector r(n), z(n), p(n), ap(n);
+  a.multiplyInto(x, ap);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - ap[i];
+  const double bNorm = norm2(b);
+  if (bNorm == 0.0) {
+    x.assign(n, 0.0);
+    return {true, 0, 0.0};
+  }
+
+  for (std::size_t i = 0; i < n; ++i) z[i] = invDiag[i] * r[i];
+  p = z;
+  double rz = dot(r, z);
+
+  IterativeResult result;
+  for (std::size_t it = 0; it < maxIter; ++it) {
+    a.multiplyInto(p, ap);
+    const double pap = dot(p, ap);
+    if (pap <= 0.0) break;  // not SPD (or breakdown)
+    const double alpha = rz / pap;
+    axpy(alpha, p, x);
+    axpy(-alpha, ap, r);
+    const double res = norm2(r) / bNorm;
+    result.iterations = it + 1;
+    result.residualNorm = res;
+    if (res < relTol) {
+      result.converged = true;
+      return result;
+    }
+    for (std::size_t i = 0; i < n; ++i) z[i] = invDiag[i] * r[i];
+    const double rzNew = dot(r, z);
+    const double beta = rzNew / rz;
+    rz = rzNew;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+  return result;
+}
+
+IterativeResult solveBiCgStab(const SparseMatrix& a, const Vector& b, Vector& x,
+                              double relTol, std::size_t maxIter) {
+  const std::size_t n = b.size();
+  assert(a.rows() == n && a.cols() == n);
+  if (x.size() != n) x.assign(n, 0.0);
+
+  Vector invDiag = a.diagonal();
+  for (auto& d : invDiag) d = (std::fabs(d) > 1e-300) ? 1.0 / d : 1.0;
+
+  Vector r(n), rHat(n), p(n, 0.0), v(n, 0.0), s(n), t(n), y(n), z(n);
+  a.multiplyInto(x, v);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - v[i];
+  rHat = r;
+  const double bNorm = norm2(b);
+  if (bNorm == 0.0) {
+    x.assign(n, 0.0);
+    return {true, 0, 0.0};
+  }
+
+  double rho = 1.0, alpha = 1.0, omega = 1.0;
+  std::fill(v.begin(), v.end(), 0.0);
+
+  IterativeResult result;
+  for (std::size_t it = 0; it < maxIter; ++it) {
+    const double rhoNew = dot(rHat, r);
+    if (std::fabs(rhoNew) < 1e-300) break;
+    const double beta = (rhoNew / rho) * (alpha / omega);
+    rho = rhoNew;
+    for (std::size_t i = 0; i < n; ++i) p[i] = r[i] + beta * (p[i] - omega * v[i]);
+    for (std::size_t i = 0; i < n; ++i) y[i] = invDiag[i] * p[i];
+    a.multiplyInto(y, v);
+    alpha = rho / dot(rHat, v);
+    for (std::size_t i = 0; i < n; ++i) s[i] = r[i] - alpha * v[i];
+    if (norm2(s) / bNorm < relTol) {
+      axpy(alpha, y, x);
+      result.converged = true;
+      result.iterations = it + 1;
+      result.residualNorm = norm2(s) / bNorm;
+      return result;
+    }
+    for (std::size_t i = 0; i < n; ++i) z[i] = invDiag[i] * s[i];
+    a.multiplyInto(z, t);
+    const double tt = dot(t, t);
+    if (tt < 1e-300) break;
+    omega = dot(t, s) / tt;
+    for (std::size_t i = 0; i < n; ++i) x[i] += alpha * y[i] + omega * z[i];
+    for (std::size_t i = 0; i < n; ++i) r[i] = s[i] - omega * t[i];
+    const double res = norm2(r) / bNorm;
+    result.iterations = it + 1;
+    result.residualNorm = res;
+    if (res < relTol) {
+      result.converged = true;
+      return result;
+    }
+    if (std::fabs(omega) < 1e-300) break;
+  }
+  return result;
+}
+
+Vector solveTridiagonal(const Vector& lower, const Vector& diag,
+                        const Vector& upper, const Vector& rhs) {
+  const std::size_t n = diag.size();
+  if (lower.size() != n - 1 || upper.size() != n - 1 || rhs.size() != n) {
+    throw std::invalid_argument("solveTridiagonal: size mismatch");
+  }
+  Vector c(n - 1), d(n);
+  c[0] = upper[0] / diag[0];
+  d[0] = rhs[0] / diag[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    const double m = diag[i] - lower[i - 1] * (i - 1 < c.size() ? c[i - 1] : 0.0);
+    if (i < n - 1) c[i] = upper[i] / m;
+    d[i] = (rhs[i] - lower[i - 1] * d[i - 1]) / m;
+  }
+  Vector x(n);
+  x[n - 1] = d[n - 1];
+  for (std::size_t ii = n - 1; ii-- > 0;) x[ii] = d[ii] - c[ii] * x[ii + 1];
+  return x;
+}
+
+}  // namespace nh::util

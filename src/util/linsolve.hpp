@@ -1,0 +1,64 @@
+#pragma once
+/// \file linsolve.hpp
+/// Linear solvers: dense LU with partial pivoting for the small MNA systems,
+/// and Jacobi-preconditioned conjugate gradient / BiCGSTAB for the large
+/// symmetric-positive-definite systems produced by the finite-volume PDE
+/// discretisations.
+
+#include <cstddef>
+#include <optional>
+
+#include "util/matrix.hpp"
+#include "util/sparse.hpp"
+
+namespace nh::util {
+
+/// Outcome of an iterative solve.
+struct IterativeResult {
+  bool converged = false;
+  std::size_t iterations = 0;
+  double residualNorm = 0.0;  ///< Final ||b - A x|| / ||b||.
+};
+
+/// LU factorisation with partial pivoting of a square dense matrix.
+/// Factor once, solve many right-hand sides (the transient circuit loop
+/// re-uses the factorisation while the Jacobian is frozen).
+class LuFactorization {
+ public:
+  /// Factor \p a. Returns std::nullopt when the matrix is singular to
+  /// working precision.
+  static std::optional<LuFactorization> factor(const Matrix& a);
+
+  /// Solve A x = b for one right-hand side.
+  Vector solve(const Vector& b) const;
+
+  /// abs(product of U diagonal) — cheap singularity diagnostic.
+  double absDeterminant() const;
+
+ private:
+  LuFactorization() = default;
+  Matrix lu_;
+  std::vector<std::size_t> perm_;
+};
+
+/// Convenience one-shot dense solve. Throws std::runtime_error on singular A.
+Vector solveDense(const Matrix& a, const Vector& b);
+
+/// Jacobi (diagonal) preconditioned conjugate gradient for SPD systems.
+/// \p x is used as the initial guess and holds the solution on return.
+IterativeResult solveConjugateGradient(const SparseMatrix& a, const Vector& b,
+                                       Vector& x, double relTol = 1e-8,
+                                       std::size_t maxIter = 10000);
+
+/// Jacobi-preconditioned BiCGSTAB for general (possibly nonsymmetric)
+/// systems; used as a fallback/validation path.
+IterativeResult solveBiCgStab(const SparseMatrix& a, const Vector& b, Vector& x,
+                              double relTol = 1e-8, std::size_t maxIter = 10000);
+
+/// Thomas algorithm for tridiagonal systems (used by 1-D analytic
+/// verification problems in the FEM tests).
+/// \p lower has n-1 entries, \p diag n, \p upper n-1.
+Vector solveTridiagonal(const Vector& lower, const Vector& diag,
+                        const Vector& upper, const Vector& rhs);
+
+}  // namespace nh::util

@@ -1,0 +1,78 @@
+#pragma once
+/// \file matrix.hpp
+/// Small dense linear-algebra types used by the circuit (MNA) and regression
+/// code paths. Row-major storage; sizes in this project are tiny (tens of
+/// unknowns), so clarity is preferred over blocking/vectorisation tricks.
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace nh::util {
+
+/// Dense column vector of doubles.
+using Vector = std::vector<double>;
+
+/// Row-major dense matrix with bounds-checked element access in debug builds.
+class Matrix {
+ public:
+  Matrix() = default;
+  /// Create a \p rows x \p cols matrix filled with \p fill.
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+  /// Create from nested initializer lists; all rows must have equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> init);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Direct access to the row-major backing store.
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  /// Reset every element to \p value.
+  void fill(double value);
+  /// Resize (destructive) and fill with \p value.
+  void resize(std::size_t rows, std::size_t cols, double value = 0.0);
+
+  /// Matrix-vector product y = A*x. Requires x.size() == cols().
+  Vector multiply(const Vector& x) const;
+  /// Matrix-matrix product (this * other).
+  Matrix multiply(const Matrix& other) const;
+  /// Transposed copy.
+  Matrix transposed() const;
+  /// Identity matrix of dimension \p n.
+  static Matrix identity(std::size_t n);
+
+  /// Max-absolute-element norm.
+  double maxAbs() const;
+
+  bool operator==(const Matrix& other) const = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// ---- free vector helpers ---------------------------------------------------
+
+/// Euclidean norm of \p v.
+double norm2(const Vector& v);
+/// Max-absolute norm of \p v.
+double normInf(const Vector& v);
+/// Dot product (sizes must match).
+double dot(const Vector& a, const Vector& b);
+/// y += alpha * x (sizes must match).
+void axpy(double alpha, const Vector& x, Vector& y);
+/// Element-wise a - b.
+Vector subtract(const Vector& a, const Vector& b);
+/// Element-wise a + b.
+Vector add(const Vector& a, const Vector& b);
+/// alpha * v.
+Vector scale(double alpha, const Vector& v);
+
+}  // namespace nh::util

@@ -1,0 +1,107 @@
+#pragma once
+/// \file rng.hpp
+/// Deterministic xoshiro256** PRNG. Used by the variability extension of the
+/// JART model, by property-based tests, and by the security-scenario
+/// examples. Seeded explicitly everywhere so runs are reproducible.
+
+#include <cmath>
+#include <cstdint>
+
+namespace nh::util {
+
+/// xoshiro256** (Blackman & Vigna). Deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Reset state from a single seed via SplitMix64 expansion.
+  void reseed(std::uint64_t seed);
+
+  /// Next raw 64-bit value.
+  std::uint64_t nextU64();
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [0, n) — n must be > 0.
+  std::uint64_t uniformInt(std::uint64_t n);
+  /// Standard normal via Box-Muller (deterministic pairing).
+  double normal();
+  /// Normal with given mean/stddev.
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+  /// Bernoulli trial.
+  bool bernoulli(double p) { return uniform() < p; }
+
+ private:
+  static std::uint64_t splitMix64(std::uint64_t& state);
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4] = {};
+  bool haveSpare_ = false;
+  double spare_ = 0.0;
+};
+
+inline void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitMix64(sm);
+  haveSpare_ = false;
+}
+
+inline std::uint64_t Rng::splitMix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+inline std::uint64_t Rng::nextU64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+inline double Rng::uniform() {
+  // 53 random mantissa bits -> [0, 1).
+  return static_cast<double>(nextU64() >> 11) * 0x1.0p-53;
+}
+
+inline double Rng::uniform(double lo, double hi) {
+  return lo + (hi - lo) * uniform();
+}
+
+inline std::uint64_t Rng::uniformInt(std::uint64_t n) {
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~0ULL - (~0ULL % n);
+  std::uint64_t v;
+  do {
+    v = nextU64();
+  } while (v >= limit);
+  return v % n;
+}
+
+inline double Rng::normal() {
+  if (haveSpare_) {
+    haveSpare_ = false;
+    return spare_;
+  }
+  double u1;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  const double twoPiU2 = 2.0 * 3.14159265358979323846 * u2;
+  spare_ = mag * std::sin(twoPiU2);
+  haveSpare_ = true;
+  return mag * std::cos(twoPiU2);
+}
+
+}  // namespace nh::util

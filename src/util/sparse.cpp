@@ -1,0 +1,108 @@
+#include "util/sparse.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace nh::util {
+
+void TripletBuilder::add(std::size_t r, std::size_t c, double value) {
+  if (r >= rows_ || c >= cols_) {
+    throw std::out_of_range("TripletBuilder::add: index out of range");
+  }
+  entries_.push_back({r, c, value});
+}
+
+SparseMatrix SparseMatrix::fromTriplets(const TripletBuilder& builder) {
+  SparseMatrix m;
+  m.rows_ = builder.rows();
+  m.cols_ = builder.cols();
+
+  // Count entries per row, then bucket-sort into CSR order.
+  std::vector<std::size_t> counts(m.rows_ + 1, 0);
+  for (const auto& e : builder.entries()) counts[e.row + 1]++;
+  for (std::size_t r = 0; r < m.rows_; ++r) counts[r + 1] += counts[r];
+
+  std::vector<std::size_t> cols(builder.entryCount());
+  std::vector<double> vals(builder.entryCount());
+  {
+    std::vector<std::size_t> cursor(counts.begin(), counts.end() - 1);
+    for (const auto& e : builder.entries()) {
+      const std::size_t slot = cursor[e.row]++;
+      cols[slot] = e.col;
+      vals[slot] = e.value;
+    }
+  }
+
+  // Sort each row by column and merge duplicates.
+  m.rowPtr_.assign(m.rows_ + 1, 0);
+  m.colIdx_.reserve(cols.size());
+  m.values_.reserve(vals.size());
+  for (std::size_t r = 0; r < m.rows_; ++r) {
+    const std::size_t begin = counts[r];
+    const std::size_t end = counts[r + 1];
+    std::vector<std::size_t> order(end - begin);
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = begin + i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return cols[a] < cols[b]; });
+    for (std::size_t i = 0; i < order.size();) {
+      const std::size_t c = cols[order[i]];
+      double acc = 0.0;
+      while (i < order.size() && cols[order[i]] == c) {
+        acc += vals[order[i]];
+        ++i;
+      }
+      m.colIdx_.push_back(c);
+      m.values_.push_back(acc);
+    }
+    m.rowPtr_[r + 1] = m.colIdx_.size();
+  }
+  return m;
+}
+
+Vector SparseMatrix::multiply(const Vector& x) const {
+  Vector y(rows_, 0.0);
+  multiplyInto(x, y);
+  return y;
+}
+
+void SparseMatrix::multiplyInto(const Vector& x, Vector& y) const {
+  assert(x.size() == cols_);
+  assert(y.size() == rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t k = rowPtr_[r]; k < rowPtr_[r + 1]; ++k) {
+      acc += values_[k] * x[colIdx_[k]];
+    }
+    y[r] = acc;
+  }
+}
+
+double SparseMatrix::at(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("SparseMatrix::at");
+  const auto begin = colIdx_.begin() + static_cast<std::ptrdiff_t>(rowPtr_[r]);
+  const auto end = colIdx_.begin() + static_cast<std::ptrdiff_t>(rowPtr_[r + 1]);
+  const auto it = std::lower_bound(begin, end, c);
+  if (it == end || *it != c) return 0.0;
+  return values_[static_cast<std::size_t>(it - colIdx_.begin())];
+}
+
+Vector SparseMatrix::diagonal() const {
+  Vector d(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_ && r < cols_; ++r) d[r] = at(r, r);
+  return d;
+}
+
+bool SparseMatrix::isSymmetric(double tol) const {
+  if (rows_ != cols_) return false;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = rowPtr_[r]; k < rowPtr_[r + 1]; ++k) {
+      const std::size_t c = colIdx_[k];
+      if (std::fabs(values_[k] - at(c, r)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace nh::util

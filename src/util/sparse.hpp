@@ -1,0 +1,76 @@
+#pragma once
+/// \file sparse.hpp
+/// Compressed-sparse-row matrix plus a triplet (COO) builder. Used by the
+/// finite-volume PDE solvers in nh::fem, where systems reach ~10^6 unknowns.
+
+#include <cstddef>
+#include <vector>
+
+#include "util/matrix.hpp"
+
+namespace nh::util {
+
+/// Coordinate-format accumulator: duplicate entries are summed on conversion,
+/// which is exactly what stamp-style FEM/MNA assembly wants.
+class TripletBuilder {
+ public:
+  TripletBuilder(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols) {}
+
+  /// Accumulate \p value at (\p r, \p c).
+  void add(std::size_t r, std::size_t c, double value);
+  /// Number of accumulated (possibly duplicate) entries.
+  std::size_t entryCount() const { return entries_.size(); }
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  struct Entry {
+    std::size_t row;
+    std::size_t col;
+    double value;
+  };
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<Entry> entries_;
+};
+
+/// Immutable CSR sparse matrix.
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+  /// Build from a triplet accumulator (duplicates summed, rows sorted).
+  static SparseMatrix fromTriplets(const TripletBuilder& builder);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nonZeros() const { return values_.size(); }
+
+  /// y = A * x.
+  Vector multiply(const Vector& x) const;
+  /// y = A * x without allocation; \p y must have rows() elements.
+  void multiplyInto(const Vector& x, Vector& y) const;
+
+  /// Value at (r, c); zero when the entry is not stored. O(log nnz(row)).
+  double at(std::size_t r, std::size_t c) const;
+  /// Extract the diagonal (missing entries read as zero).
+  Vector diagonal() const;
+  /// True when the matrix equals its transpose within \p tol (used by tests
+  /// and to validate that FEM assembly produced a symmetric operator).
+  bool isSymmetric(double tol = 1e-12) const;
+
+  // Raw CSR access for solver kernels.
+  const std::vector<std::size_t>& rowPtr() const { return rowPtr_; }
+  const std::vector<std::size_t>& colIdx() const { return colIdx_; }
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> rowPtr_;
+  std::vector<std::size_t> colIdx_;
+  std::vector<double> values_;
+};
+
+}  // namespace nh::util

@@ -1,0 +1,104 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace nh::util {
+
+AsciiTable::AsciiTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void AsciiTable::addRow(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("AsciiTable::addRow: width mismatch");
+  }
+  rows_.push_back(std::move(row));
+}
+
+void AsciiTable::addNote(std::string note) { notes_.push_back(std::move(note)); }
+
+std::string AsciiTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto rule = [&] {
+    std::string s = "+";
+    for (std::size_t w : widths) s += std::string(w + 2, '-') + "+";
+    return s + "\n";
+  }();
+
+  std::ostringstream os;
+  if (!title_.empty()) os << title_ << "\n";
+  os << rule;
+  const auto emitRow = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << row[c] << std::string(widths[c] - row[c].size(), ' ') << " |";
+    }
+    os << "\n";
+  };
+  emitRow(header_);
+  os << rule;
+  for (const auto& row : rows_) emitRow(row);
+  os << rule;
+  for (const auto& note : notes_) os << "  " << note << "\n";
+  return os.str();
+}
+
+void AsciiTable::print() const { std::cout << render() << std::flush; }
+
+std::string AsciiTable::fixed(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string AsciiTable::scientific(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", decimals, v);
+  return buf;
+}
+
+std::string AsciiTable::si(double v, const std::string& unit, int decimals) {
+  struct Prefix {
+    double factor;
+    const char* name;
+  };
+  static constexpr Prefix kPrefixes[] = {
+      {1e12, "T"}, {1e9, "G"}, {1e6, "M"}, {1e3, "k"},
+      {1.0, ""},   {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"}, {1e-12, "p"},
+  };
+  if (v == 0.0) return "0 " + unit;
+  const double mag = std::fabs(v);
+  for (const auto& p : kPrefixes) {
+    if (mag >= p.factor) {
+      return fixed(v / p.factor, decimals) + " " + p.name + unit;
+    }
+  }
+  return scientific(v, decimals) + " " + unit;
+}
+
+std::string AsciiTable::grouped(long long v) {
+  const bool neg = v < 0;
+  std::string digits = std::to_string(neg ? -v : v);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  if (neg) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace nh::util

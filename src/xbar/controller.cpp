@@ -1,0 +1,103 @@
+#include "xbar/controller.hpp"
+
+#include <stdexcept>
+
+namespace nh::xbar {
+
+MemoryController::MemoryController(FastEngine& engine, ControllerConfig config)
+    : engine_(&engine), config_(config) {
+  wordLineActivations_.assign(engine.array().rows(), 0);
+  bitLineActivations_.assign(engine.array().cols(), 0);
+}
+
+std::size_t MemoryController::writeBit(std::size_t row, std::size_t col, bool value) {
+  auto& array = engine_->array();
+  auto& device = array.cell(row, col);
+  const double amplitude = value ? config_.vSet : config_.vReset;
+  const double width = value ? config_.setPulseWidth : config_.resetPulseWidth;
+  const LineBias bias = selectBias(config_.scheme, array.rows(), array.cols(),
+                                   row, col, amplitude);
+
+  for (std::size_t attempt = 1; attempt <= config_.maxWriteAttempts; ++attempt) {
+    engine_->applyPulse(bias, width, config_.interPulseGap);
+    ++wordLineActivations_[row];
+    ++bitLineActivations_[col];
+    const double x = device.normalisedState();
+    if (value ? (x >= config_.verifyLrsLevel) : (x <= config_.verifyHrsLevel)) {
+      return attempt;
+    }
+  }
+  throw std::runtime_error("MemoryController::writeBit: verify failed at (" +
+                           std::to_string(row) + "," + std::to_string(col) + ")");
+}
+
+void MemoryController::writeImage(const std::vector<bool>& bits) {
+  auto& array = engine_->array();
+  if (bits.size() != array.cellCount()) {
+    throw std::invalid_argument("writeImage: bit count mismatch");
+  }
+  // RESET pass first, then SET pass: avoids SET-disturbing freshly reset
+  // neighbours with the long RESET tails.
+  for (std::size_t r = 0; r < array.rows(); ++r) {
+    for (std::size_t c = 0; c < array.cols(); ++c) {
+      if (!bits[r * array.cols() + c] &&
+          array.stateOf(r, c) != CellState::Hrs) {
+        writeBit(r, c, false);
+      }
+    }
+  }
+  for (std::size_t r = 0; r < array.rows(); ++r) {
+    for (std::size_t c = 0; c < array.cols(); ++c) {
+      if (bits[r * array.cols() + c] && array.stateOf(r, c) != CellState::Lrs) {
+        writeBit(r, c, true);
+      }
+    }
+  }
+}
+
+ReadResult MemoryController::readBit(std::size_t row, std::size_t col) {
+  auto& array = engine_->array();
+  const LineBias bias =
+      readBias(array.rows(), array.cols(), row, col, config_.vRead);
+  engine_->applyBias(bias, config_.readPulseWidth);
+
+  ReadResult result;
+  const auto& device = array.cell(row, col);
+  result.resistance = device.readResistance(config_.vRead);
+  result.current = config_.vRead / result.resistance;
+  result.state = result.resistance <= config_.readThresholdOhms ? CellState::Lrs
+                                                                : CellState::Hrs;
+  return result;
+}
+
+std::vector<bool> MemoryController::readImage() {
+  auto& array = engine_->array();
+  std::vector<bool> bits(array.cellCount());
+  for (std::size_t r = 0; r < array.rows(); ++r) {
+    for (std::size_t c = 0; c < array.cols(); ++c) {
+      bits[r * array.cols() + c] = readBit(r, c).state == CellState::Lrs;
+    }
+  }
+  return bits;
+}
+
+std::size_t MemoryController::hammer(std::size_t row, std::size_t col,
+                                     std::size_t count, double width, double period,
+                                     const FastEngine::PulseCallback& stopCondition) {
+  auto& array = engine_->array();
+  const LineBias bias = selectBias(config_.scheme, array.rows(), array.cols(),
+                                   row, col, config_.vSet);
+  const double gap = period > width ? period - width : width;  // default 50% duty
+  const PulseTrainResult result =
+      engine_->applyPulseTrain(bias, width, gap, count, stopCondition);
+  wordLineActivations_[row] += result.pulsesApplied;
+  bitLineActivations_[col] += result.pulsesApplied;
+  return result.pulsesApplied;
+}
+
+void MemoryController::resetActivationCounters() {
+  wordLineActivations_.assign(wordLineActivations_.size(), 0);
+  bitLineActivations_.assign(bitLineActivations_.size(), 0);
+}
+
+}  // namespace nh::xbar

@@ -1,0 +1,85 @@
+#pragma once
+/// \file controller.hpp
+/// The memory controller (paper Fig. 2c): generates and drives pulses for
+/// word/bit lines, performs verified writes and disturb-minimising reads,
+/// and exposes the hammer primitive the attack is built on. Operation
+/// counters per line feed the hammer-count countermeasure in nh::core.
+
+#include <cstdint>
+#include <vector>
+
+#include "xbar/fastsim.hpp"
+
+namespace nh::xbar {
+
+/// Controller timing/level parameters.
+struct ControllerConfig {
+  BiasScheme scheme = BiasScheme::Half;
+  double vSet = 1.05;          ///< SET amplitude [V] (paper Sec. III).
+  double vReset = -1.30;       ///< RESET amplitude [V].
+  double vRead = 0.20;         ///< Read amplitude [V].
+  double setPulseWidth = 100e-9;
+  double resetPulseWidth = 10e-6;  ///< RESET is slower at this bias point.
+  double readPulseWidth = 50e-9;
+  double interPulseGap = 50e-9;
+  /// Verified writes: re-pulse until the state crosses the verify level.
+  std::size_t maxWriteAttempts = 8;
+  /// Read thresholds on the normalised state for write-verify.
+  double verifyLrsLevel = 0.9;
+  double verifyHrsLevel = 0.1;
+  /// Binary read decision: resistance at vRead below this reads as 1 (LRS).
+  /// Set to the geometric middle of the detector window.
+  double readThresholdOhms = 4.0e5;
+};
+
+/// Result of a read operation.
+struct ReadResult {
+  CellState state = CellState::Hrs;
+  double resistance = 0.0;  ///< [Ohm] at vRead.
+  double current = 0.0;     ///< [A] at vRead.
+};
+
+/// The controller drives one array through a FastEngine.
+class MemoryController {
+ public:
+  MemoryController(FastEngine& engine, ControllerConfig config = {});
+
+  const ControllerConfig& config() const { return config_; }
+  FastEngine& engine() { return *engine_; }
+
+  /// Verified write of a logical bit. Returns the number of programming
+  /// pulses used; throws std::runtime_error when verification keeps failing.
+  std::size_t writeBit(std::size_t row, std::size_t col, bool value);
+  /// Write a whole row-major bit image (size rows*cols).
+  void writeImage(const std::vector<bool>& bits);
+
+  /// Disturb-minimising read (V/2 read bias held for readPulseWidth).
+  ReadResult readBit(std::size_t row, std::size_t col);
+  /// Read the whole array into a row-major bit vector.
+  std::vector<bool> readImage();
+
+  /// The hammer primitive: \p count SET-polarity pulses of \p width on cell
+  /// (row, col) under the configured scheme with 50% duty cycle (period =
+  /// 2*width) unless \p period > 0. Returns the pulses actually applied
+  /// (== count unless \p stopCondition fired).
+  std::size_t hammer(std::size_t row, std::size_t col, std::size_t count,
+                     double width, double period = 0.0,
+                     const FastEngine::PulseCallback& stopCondition = {});
+
+  /// Per-word-line / per-bit-line activation counters (writes + hammers).
+  const std::vector<std::uint64_t>& wordLineActivations() const {
+    return wordLineActivations_;
+  }
+  const std::vector<std::uint64_t>& bitLineActivations() const {
+    return bitLineActivations_;
+  }
+  void resetActivationCounters();
+
+ private:
+  FastEngine* engine_;
+  ControllerConfig config_;
+  std::vector<std::uint64_t> wordLineActivations_;
+  std::vector<std::uint64_t> bitLineActivations_;
+};
+
+}  // namespace nh::xbar

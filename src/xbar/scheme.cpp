@@ -1,0 +1,62 @@
+#include "xbar/scheme.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nh::xbar {
+
+LineBias selectBias(BiasScheme scheme, std::size_t rows, std::size_t cols,
+                    std::size_t selRow, std::size_t selCol, double voltage) {
+  if (selRow >= rows || selCol >= cols) {
+    throw std::out_of_range("selectBias: selected cell out of range");
+  }
+  const double mag = std::fabs(voltage);
+  const bool set = voltage >= 0.0;
+  LineBias bias;
+  switch (scheme) {
+    case BiasScheme::Half:
+      bias.wordLine.assign(rows, mag / 2.0);
+      bias.bitLine.assign(cols, mag / 2.0);
+      break;
+    case BiasScheme::Third:
+      // SET: unselected word lines at V/3, unselected bit lines at 2V/3
+      // (selected cell V, half-selected V/3, unselected -V/3). RESET mirrors
+      // the assignment so half-selected cells see -V/3.
+      bias.wordLine.assign(rows, set ? mag / 3.0 : 2.0 * mag / 3.0);
+      bias.bitLine.assign(cols, set ? 2.0 * mag / 3.0 : mag / 3.0);
+      break;
+  }
+  if (set) {
+    bias.wordLine[selRow] = mag;
+    bias.bitLine[selCol] = 0.0;
+  } else {
+    // RESET polarity: swap the roles so the selected cell sees -|V|.
+    bias.wordLine[selRow] = 0.0;
+    bias.bitLine[selCol] = mag;
+  }
+  return bias;
+}
+
+LineBias idleBias(std::size_t rows, std::size_t cols) {
+  LineBias bias;
+  bias.wordLine.assign(rows, 0.0);
+  bias.bitLine.assign(cols, 0.0);
+  return bias;
+}
+
+LineBias readBias(std::size_t rows, std::size_t cols, std::size_t selRow,
+                  std::size_t selCol, double vRead) {
+  return selectBias(BiasScheme::Half, rows, cols, selRow, selCol, vRead);
+}
+
+nh::util::Matrix cellVoltageMap(const LineBias& bias) {
+  nh::util::Matrix out(bias.wordLine.size(), bias.bitLine.size(), 0.0);
+  for (std::size_t r = 0; r < bias.wordLine.size(); ++r) {
+    for (std::size_t c = 0; c < bias.bitLine.size(); ++c) {
+      out(r, c) = bias.cellVoltage(r, c);
+    }
+  }
+  return out;
+}
+
+}  // namespace nh::xbar

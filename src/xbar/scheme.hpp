@@ -1,0 +1,51 @@
+#pragma once
+/// \file scheme.hpp
+/// Crossbar biasing schemes. The paper's experiments use the V/2 scheme:
+/// the selected word line is driven to V and the selected bit line to 0;
+/// every other line sits at V/2, so exactly the cells sharing a line with
+/// the selected cell see a V/2 stress and all remaining cells see none.
+/// The V/3 scheme (supported as a countermeasure ablation) reduces the
+/// half-select stress to V/3 at the cost of stressing *every* cell.
+
+#include <cstddef>
+
+#include "util/matrix.hpp"
+#include "xbar/array.hpp"
+
+namespace nh::xbar {
+
+enum class BiasScheme {
+  Half,  ///< V/2 scheme (paper default).
+  Third, ///< V/3 scheme.
+};
+
+/// Driver voltages for all lines during one operation.
+struct LineBias {
+  nh::util::Vector wordLine;  ///< Size rows [V].
+  nh::util::Vector bitLine;   ///< Size cols [V].
+
+  /// Ideal-driver cell voltage (word - bit) at (row, col).
+  double cellVoltage(std::size_t row, std::size_t col) const {
+    return wordLine[row] - bitLine[col];
+  }
+};
+
+/// Line bias selecting cell (row, col) with signed amplitude \p voltage.
+/// voltage > 0 applies the SET polarity to the selected cell, voltage < 0
+/// the RESET polarity; half-selected cells see +-voltage/2 (or /3).
+LineBias selectBias(BiasScheme scheme, std::size_t rows, std::size_t cols,
+                    std::size_t selRow, std::size_t selCol, double voltage);
+
+/// All-lines-idle bias (0 V everywhere).
+LineBias idleBias(std::size_t rows, std::size_t cols);
+
+/// Read bias: selected word line at vRead, selected bit line grounded,
+/// unselected lines at vRead/2 (disturb-minimising read).
+LineBias readBias(std::size_t rows, std::size_t cols, std::size_t selRow,
+                  std::size_t selCol, double vRead);
+
+/// Expected ideal-driver voltage map of a bias (rows x cols), for tests and
+/// documentation dumps.
+nh::util::Matrix cellVoltageMap(const LineBias& bias);
+
+}  // namespace nh::xbar

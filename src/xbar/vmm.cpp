@@ -1,0 +1,42 @@
+#include "xbar/vmm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nh::xbar {
+
+nh::util::Vector vmmCurrents(const CrossbarArray& array,
+                             const nh::util::Vector& inputs,
+                             const VmmOptions& options) {
+  if (inputs.size() != array.rows()) {
+    throw std::invalid_argument("vmmCurrents: input size mismatch");
+  }
+  for (const double v : inputs) {
+    if (std::fabs(v) > options.vMax + 1e-12) {
+      throw std::invalid_argument("vmmCurrents: input exceeds vMax");
+    }
+  }
+  nh::util::Vector currents(array.cols(), 0.0);
+  for (std::size_t r = 0; r < array.rows(); ++r) {
+    if (inputs[r] == 0.0) continue;
+    for (std::size_t c = 0; c < array.cols(); ++c) {
+      currents[c] += array.cell(r, c).current(inputs[r]);
+    }
+  }
+  return currents;
+}
+
+nh::util::Matrix conductanceMatrix(const CrossbarArray& array, double probeVoltage) {
+  if (probeVoltage == 0.0) {
+    throw std::invalid_argument("conductanceMatrix: probeVoltage must be non-zero");
+  }
+  nh::util::Matrix g(array.rows(), array.cols(), 0.0);
+  for (std::size_t r = 0; r < array.rows(); ++r) {
+    for (std::size_t c = 0; c < array.cols(); ++c) {
+      g(r, c) = array.cell(r, c).current(probeVoltage) / probeVoltage;
+    }
+  }
+  return g;
+}
+
+}  // namespace nh::xbar

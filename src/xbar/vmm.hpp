@@ -1,0 +1,31 @@
+#pragma once
+/// \file vmm.hpp
+/// Computing-in-memory readout: analog vector-matrix multiplication on the
+/// crossbar (the neuromorphic-accelerator use case motivating the paper's
+/// Sec. VI threat analysis). Input voltages drive the word lines, all bit
+/// lines are virtually grounded, and the bit-line currents realise
+/// I_c = sum_r G(r,c) * V_r.
+
+#include "util/matrix.hpp"
+#include "xbar/array.hpp"
+
+namespace nh::xbar {
+
+/// Options for the analog VMM readout.
+struct VmmOptions {
+  /// Largest input voltage magnitude [V]; inputs are expected within
+  /// [-vMax, vMax]. Kept below the disturb threshold.
+  double vMax = 0.2;
+};
+
+/// Bit-line currents [A] for word-line input voltages \p inputs (size rows).
+/// Uses each cell's instantaneous conduction; does not disturb state.
+nh::util::Vector vmmCurrents(const CrossbarArray& array,
+                             const nh::util::Vector& inputs,
+                             const VmmOptions& options = {});
+
+/// Effective conductance matrix G(r,c) = I/V at \p probeVoltage [S].
+nh::util::Matrix conductanceMatrix(const CrossbarArray& array,
+                                   double probeVoltage = 0.2);
+
+}  // namespace nh::xbar

@@ -1,0 +1,151 @@
+#include "core/defense.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/scenario.hpp"
+
+namespace nh::core {
+namespace {
+
+StudyConfig fastConfig() {
+  StudyConfig cfg;
+  cfg.spacing = 10e-9;  // flips within a few hundred pulses
+  return cfg;
+}
+
+TEST(Scrubbing, FrequentScrubbingPreventsTheFlip) {
+  // Scrub well below the undefended pulses-to-flip: attack must fail.
+  AttackStudy reference(fastConfig());
+  const auto undefended = reference.attackCenter(HammerPulse{}, 100000);
+  ASSERT_TRUE(undefended.flipped);
+
+  ScrubbingConfig scrub;
+  scrub.intervalPulses = std::max<std::size_t>(undefended.pulsesToFlip / 10, 1);
+  const auto outcome = evaluateScrubbing(fastConfig(), HammerPulse{}, scrub,
+                                         3 * undefended.pulsesToFlip);
+  EXPECT_FALSE(outcome.attackSucceeded);
+  EXPECT_GT(outcome.scrubPasses, 0u);
+  EXPECT_GT(outcome.cellsRefreshed, 0u);
+  EXPECT_EQ(outcome.pulsesSurvived, 3 * undefended.pulsesToFlip);
+}
+
+TEST(Scrubbing, SlowScrubbingFails) {
+  AttackStudy reference(fastConfig());
+  const auto undefended = reference.attackCenter(HammerPulse{}, 100000);
+  ASSERT_TRUE(undefended.flipped);
+
+  ScrubbingConfig scrub;
+  scrub.intervalPulses = 10 * undefended.pulsesToFlip;  // far too slow
+  const auto outcome = evaluateScrubbing(fastConfig(), HammerPulse{}, scrub,
+                                         5 * undefended.pulsesToFlip);
+  EXPECT_TRUE(outcome.attackSucceeded);
+  EXPECT_LE(outcome.pulsesUntilFlip, 2 * undefended.pulsesToFlip);
+}
+
+TEST(Scrubbing, Validation) {
+  ScrubbingConfig scrub;
+  scrub.intervalPulses = 0;
+  EXPECT_THROW(evaluateScrubbing(fastConfig(), HammerPulse{}, scrub, 100),
+               std::invalid_argument);
+}
+
+TEST(Monitor, TightThresholdDetectsBeforeFlip) {
+  AttackStudy reference(fastConfig());
+  const auto undefended = reference.attackCenter(HammerPulse{}, 100000);
+  ASSERT_TRUE(undefended.flipped);
+
+  MonitorConfig monitor;
+  monitor.lineThreshold = undefended.pulsesToFlip / 4;
+  const auto outcome =
+      evaluateMonitor(fastConfig(), HammerPulse{}, monitor, 100000);
+  EXPECT_TRUE(outcome.attackDetected);
+  EXPECT_FALSE(outcome.flippedBeforeDetection);
+  EXPECT_LT(outcome.pulsesUntilDetection, outcome.pulsesUntilFlip);
+}
+
+TEST(Monitor, LooseThresholdMissesTheAttack) {
+  AttackStudy reference(fastConfig());
+  const auto undefended = reference.attackCenter(HammerPulse{}, 100000);
+  ASSERT_TRUE(undefended.flipped);
+
+  MonitorConfig monitor;
+  monitor.lineThreshold = 10 * undefended.pulsesToFlip;
+  const auto outcome =
+      evaluateMonitor(fastConfig(), HammerPulse{}, monitor, 100000);
+  EXPECT_TRUE(outcome.flippedBeforeDetection);
+}
+
+TEST(Monitor, Validation) {
+  MonitorConfig monitor;
+  monitor.lineThreshold = 0;
+  EXPECT_THROW(evaluateMonitor(fastConfig(), HammerPulse{}, monitor, 100),
+               std::invalid_argument);
+}
+
+TEST(Throttling, DutyCycleBarelyChangesPulsesToFlip) {
+  // The key negative result: the victim heating happens within each pulse
+  // (thermal time constant ~ ns), so enforcing idle time between pulses
+  // does not raise the pulse count materially -- it only stretches wall
+  // clock.
+  const auto outcomes =
+      evaluateThrottling(fastConfig(), 50e-9, {0.5, 0.1}, 100000);
+  ASSERT_EQ(outcomes.size(), 2u);
+  ASSERT_TRUE(outcomes[0].flipped && outcomes[1].flipped);
+  const double ratio = static_cast<double>(outcomes[1].pulses) /
+                       static_cast<double>(outcomes[0].pulses);
+  EXPECT_NEAR(ratio, 1.0, 0.25);
+  // Wall clock stretches with the enforced idle time.
+  EXPECT_GT(outcomes[1].wallClockTime, 3.0 * outcomes[0].wallClockTime);
+}
+
+TEST(Throttling, Validation) {
+  EXPECT_THROW(evaluateThrottling(fastConfig(), 50e-9, {1.5}, 100),
+               std::invalid_argument);
+}
+
+// ---- scenarios ------------------------------------------------------------------
+
+/// Scenarios run at the paper's default 50 nm spacing: the word-line victim
+/// couples twice as strongly as any other neighbour, so the targeted bit
+/// flips long before collateral damage appears.
+StudyConfig scenarioConfig() {
+  StudyConfig cfg;
+  cfg.spacing = 50e-9;
+  return cfg;
+}
+
+TEST(PrivilegeEscalation, FlipsVictimBitWithoutCollateral) {
+  PrivilegeEscalationScenario scenario(scenarioConfig());
+  const auto report = scenario.run(HammerPulse{}, 200000);
+  ASSERT_TRUE(report.succeeded);
+  EXPECT_GT(report.pulses, 0u);
+  EXPECT_GT(report.attackSeconds, 0.0);
+  // The victim bit flipped 0 -> 1.
+  const std::size_t cols = 5;
+  const std::size_t victimIndex = report.victimBit.row * cols + report.victimBit.col;
+  EXPECT_FALSE(report.memoryBefore[victimIndex]);
+  EXPECT_TRUE(report.memoryAfter[victimIndex]);
+  // Memory isolation was violated surgically: no other bit changed.
+  EXPECT_EQ(report.collateralFlips, 0u);
+}
+
+TEST(WeightAttack, DegradesAnalogAccuracy) {
+  WeightAttackScenario scenario(scenarioConfig());
+  EXPECT_EQ(scenario.testSetSize(), 200u);
+  const auto report = scenario.run(HammerPulse{}, 500000);
+  // The trained ternary classifier must work before the attack.
+  EXPECT_GT(report.digitalAccuracy, 0.85);
+  EXPECT_GT(report.accuracyBefore, 0.75);
+  ASSERT_TRUE(report.weightFlipped);
+  // Corrupting the strongest class-1 weight costs accuracy.
+  EXPECT_LT(report.accuracyAfter, report.accuracyBefore - 0.05);
+}
+
+TEST(WeightAttack, RequiresFiveByFive) {
+  StudyConfig cfg = scenarioConfig();
+  cfg.rows = 4;
+  EXPECT_THROW(WeightAttackScenario s(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nh::core

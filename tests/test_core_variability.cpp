@@ -1,0 +1,68 @@
+#include "core/variability.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nh::core {
+namespace {
+
+VariabilityConfig quickConfig() {
+  VariabilityConfig cfg;
+  cfg.base.spacing = 10e-9;  // fast flips
+  cfg.trials = 6;
+  cfg.sigma = 0.05;
+  cfg.budget = 500'000;
+  return cfg;
+}
+
+TEST(Variability, DeterministicForSeed) {
+  const auto a = runVariabilityStudy(quickConfig());
+  const auto b = runVariabilityStudy(quickConfig());
+  EXPECT_EQ(a.pulsesPerTrial, b.pulsesPerTrial);
+}
+
+TEST(Variability, AllTrialsFlipAtModerateSigma) {
+  const auto r = runVariabilityStudy(quickConfig());
+  EXPECT_EQ(r.trials, 6u);
+  EXPECT_EQ(r.flips, 6u);
+  EXPECT_DOUBLE_EQ(r.flipRate, 1.0);
+  EXPECT_GE(r.medianPulses, r.minPulses);
+  EXPECT_GE(r.maxPulses, r.medianPulses);
+}
+
+TEST(Variability, TrialsActuallyDiffer) {
+  const auto r = runVariabilityStudy(quickConfig());
+  ASSERT_GE(r.pulsesPerTrial.size(), 2u);
+  EXPECT_GT(r.maxPulses, r.minPulses);
+  EXPECT_GT(r.spreadDecades, 0.0);
+}
+
+TEST(Variability, LargerSigmaSpreadsMore) {
+  VariabilityConfig narrow = quickConfig();
+  narrow.sigma = 0.01;
+  VariabilityConfig wide = quickConfig();
+  wide.sigma = 0.10;
+  wide.budget = 5'000'000;  // slow corners need more budget
+  const auto a = runVariabilityStudy(narrow);
+  const auto b = runVariabilityStudy(wide);
+  ASSERT_GT(a.flips, 0u);
+  ASSERT_GT(b.flips, 0u);
+  EXPECT_GT(b.spreadDecades, a.spreadDecades);
+}
+
+TEST(Variability, ZeroSigmaCollapsesSpread) {
+  VariabilityConfig cfg = quickConfig();
+  cfg.sigma = 0.0;
+  const auto r = runVariabilityStudy(cfg);
+  ASSERT_EQ(r.flips, r.trials);
+  EXPECT_EQ(r.minPulses, r.maxPulses);
+  EXPECT_NEAR(r.spreadDecades, 0.0, 1e-12);
+}
+
+TEST(Variability, Validation) {
+  VariabilityConfig cfg = quickConfig();
+  cfg.trials = 0;
+  EXPECT_THROW(runVariabilityStudy(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nh::core

@@ -1,0 +1,167 @@
+#include "fem/alpha.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fem/thermal.hpp"
+
+namespace nh::fem {
+namespace {
+
+/// Small, coarse model so the extraction runs in well under a second.
+CrossbarModel3D smallModel(double spacing = 50e-9) {
+  CrossbarLayout layout;
+  layout.rows = 3;
+  layout.cols = 3;
+  layout.spacing = spacing;
+  layout.margin = 20e-9;
+  layout.voxelSize = 5e-9;
+  return CrossbarModel3D::build(layout);
+}
+
+TEST(SolveThermal, HeatsSelectedCellAboveNeighbours) {
+  const auto model = smallModel();
+  ThermalScenario scenario;
+  scenario.model = &model;
+  scenario.ambientK = 300.0;
+  scenario.cellPower = nh::util::Matrix(3, 3, 0.0);
+  scenario.cellPower(1, 1) = 0.1e-3;
+  const auto sol = solveThermal(scenario);
+  ASSERT_TRUE(sol.converged());
+  const double centre = sol.cellTemperature(1, 1);
+  EXPECT_GT(centre, 400.0);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_GE(sol.cellTemperature(r, c), 300.0 - 1e-6);
+      if (!(r == 1 && c == 1)) EXPECT_LT(sol.cellTemperature(r, c), centre);
+    }
+  }
+}
+
+TEST(SolveThermal, LinearInPower) {
+  const auto model = smallModel();
+  ThermalScenario scenario;
+  scenario.model = &model;
+  scenario.cellPower = nh::util::Matrix(3, 3, 0.0);
+  scenario.cellPower(1, 1) = 0.05e-3;
+  const auto a = solveThermal(scenario, {1e-10, 40000});
+  scenario.cellPower(1, 1) = 0.10e-3;
+  const auto b = solveThermal(scenario, {1e-10, 40000});
+  ASSERT_TRUE(a.converged() && b.converged());
+  const double riseA = a.cellTemperature(1, 1) - 300.0;
+  const double riseB = b.cellTemperature(1, 1) - 300.0;
+  EXPECT_NEAR(riseB / riseA, 2.0, 1e-3);
+}
+
+TEST(SolveThermal, InputValidation) {
+  const auto model = smallModel();
+  ThermalScenario scenario;
+  scenario.model = &model;
+  scenario.cellPower = nh::util::Matrix(2, 2, 0.0);  // wrong shape
+  EXPECT_THROW(solveThermal(scenario), std::invalid_argument);
+  scenario.cellPower = nh::util::Matrix(3, 3, 0.0);
+  scenario.cellPower(0, 0) = -1.0;
+  EXPECT_THROW(solveThermal(scenario), std::invalid_argument);
+}
+
+TEST(ExtractAlpha, LinearFitsAreNearPerfect) {
+  const auto model = smallModel();
+  const auto result = extractAlpha(model, MaterialTable::defaults(), 1, 1,
+                                   {0.05e-3, 0.1e-3, 0.15e-3}, 300.0);
+  EXPECT_GT(result.rTh, 1e5);
+  EXPECT_GT(result.rThRSquared, 0.9999);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_GT(result.alphaRSquared(r, c), 0.999) << r << "," << c;
+    }
+  }
+}
+
+TEST(ExtractAlpha, AlphaStructure) {
+  const auto model = smallModel();
+  const auto result = extractAlpha(model, MaterialTable::defaults(), 1, 1,
+                                   {0.05e-3, 0.1e-3}, 300.0);
+  EXPECT_DOUBLE_EQ(result.alpha(1, 1), 1.0);
+  // Same-word-line neighbours couple more strongly than same-bit-line ones
+  // (the filament sits on the bottom electrode).
+  EXPECT_GT(result.alpha(1, 0), result.alpha(0, 1));
+  // Nearest neighbours couple more strongly than diagonal ones.
+  EXPECT_GT(result.alpha(1, 0), result.alpha(0, 0));
+  EXPECT_GT(result.alpha(0, 1), result.alpha(0, 0));
+  // All couplings in (0, 1).
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      if (r == 1 && c == 1) continue;
+      EXPECT_GT(result.alpha(r, c), 0.0);
+      EXPECT_LT(result.alpha(r, c), 1.0);
+    }
+  }
+  // Geometry is mirror symmetric around the centre cell.
+  EXPECT_NEAR(result.alpha(1, 0), result.alpha(1, 2), 0.02);
+  EXPECT_NEAR(result.alpha(0, 1), result.alpha(2, 1), 0.02);
+}
+
+TEST(ExtractAlpha, TighterSpacingCouplesMore) {
+  const auto near = smallModel(10e-9);
+  const auto far = smallModel(90e-9);
+  const auto alphaNear = extractAlpha(near, MaterialTable::defaults(), 1, 1,
+                                      {0.05e-3, 0.1e-3}, 300.0);
+  const auto alphaFar = extractAlpha(far, MaterialTable::defaults(), 1, 1,
+                                     {0.05e-3, 0.1e-3}, 300.0);
+  EXPECT_GT(alphaNear.alpha(1, 0), 1.2 * alphaFar.alpha(1, 0));
+  EXPECT_GT(alphaNear.alpha(0, 1), 1.2 * alphaFar.alpha(0, 1));
+}
+
+TEST(ExtractAlpha, PredictTemperaturesMatchesSolution) {
+  const auto model = smallModel();
+  const auto result = extractAlpha(model, MaterialTable::defaults(), 1, 1,
+                                   {0.05e-3, 0.1e-3, 0.15e-3}, 300.0);
+  const auto predicted = result.predictTemperatures(0.1e-3);
+  const auto& actual = result.temperatureMatrices[1];
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_NEAR(predicted(r, c), actual(r, c),
+                  0.01 * (actual(r, c) - 300.0) + 0.05);
+    }
+  }
+}
+
+TEST(ExtractAlpha, Validation) {
+  const auto model = smallModel();
+  EXPECT_THROW(
+      extractAlpha(model, MaterialTable::defaults(), 5, 1, {1e-4, 2e-4}, 300.0),
+      std::out_of_range);
+  EXPECT_THROW(extractAlpha(model, MaterialTable::defaults(), 1, 1, {1e-4}, 300.0),
+               std::invalid_argument);
+}
+
+TEST(SolveCoupled, SelectedLrsCellDominatesHeating) {
+  const auto model = smallModel();
+  CoupledScenario scenario;
+  scenario.model = &model;
+  scenario.ambientK = 300.0;
+  // V/2 scheme around centre cell at 1.0 V.
+  scenario.wordLineVoltage.assign(3, 0.5);
+  scenario.bitLineVoltage.assign(3, 0.5);
+  scenario.wordLineVoltage[1] = 1.0;
+  scenario.bitLineVoltage[1] = 0.0;
+  scenario.cellSigma = nh::util::Matrix(3, 3, 1.5e2);  // HRS-ish
+  scenario.cellSigma(1, 1) = 1.5e5;                    // LRS
+  const auto sol = solveCoupled(scenario);
+  ASSERT_TRUE(sol.converged());
+  EXPECT_GT(sol.cellPower(1, 1), 10.0 * sol.cellPower(0, 0));
+  EXPECT_GT(sol.cellTemperature(1, 1), sol.cellTemperature(0, 1));
+  EXPECT_GT(sol.totalPower, sol.cellPower(1, 1));
+}
+
+TEST(ExtractAlphaCoupled, ProducesPositiveCouplings) {
+  const auto model = smallModel();
+  const auto result = extractAlphaCoupled(model, MaterialTable::defaults(), 1, 1,
+                                          {0.8, 1.0, 1.2}, 1.5e5, 1.5e2, 300.0);
+  EXPECT_GT(result.rTh, 0.0);
+  EXPECT_GT(result.rThRSquared, 0.99);
+  EXPECT_GT(result.alpha(1, 0), 0.0);
+  EXPECT_GT(result.alpha(1, 0), result.alpha(0, 0));
+}
+
+}  // namespace
+}  // namespace nh::fem

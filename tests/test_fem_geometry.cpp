@@ -1,0 +1,123 @@
+#include "fem/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nh::fem {
+namespace {
+
+CrossbarLayout smallLayout() {
+  CrossbarLayout layout;
+  layout.rows = 3;
+  layout.cols = 3;
+  layout.spacing = 50e-9;
+  layout.margin = 20e-9;
+  layout.voxelSize = 5e-9;
+  return layout;
+}
+
+TEST(CrossbarLayout, DerivedDimensions) {
+  const CrossbarLayout layout = smallLayout();
+  EXPECT_DOUBLE_EQ(layout.pitch(), 80e-9);
+  // 2*20 + 3*30 + 2*50 = 230 nm.
+  EXPECT_NEAR(layout.extentX(), 230e-9, 1e-15);
+  EXPECT_NEAR(layout.extentY(), 230e-9, 1e-15);
+  // 60+40+20+10+20+30 = 180 nm.
+  EXPECT_NEAR(layout.extentZ(), 180e-9, 1e-15);
+  EXPECT_NEAR(layout.cellCenterX(0), 35e-9, 1e-15);
+  EXPECT_NEAR(layout.cellCenterX(1), 115e-9, 1e-15);
+}
+
+TEST(CrossbarLayout, ValidationCatchesBadParameters) {
+  CrossbarLayout layout = smallLayout();
+  layout.filamentRadius = 20e-9;  // diameter 40 > electrode width 30
+  EXPECT_THROW(layout.validate(), std::invalid_argument);
+
+  layout = smallLayout();
+  layout.filamentHeight = 20e-9;  // taller than oxide (10 nm)
+  EXPECT_THROW(layout.validate(), std::invalid_argument);
+
+  layout = smallLayout();
+  layout.voxelSize = 40e-9;  // coarser than the electrode width
+  EXPECT_THROW(layout.validate(), std::invalid_argument);
+
+  layout = smallLayout();
+  layout.spacing = 0.0;
+  EXPECT_THROW(layout.validate(), std::invalid_argument);
+
+  layout = smallLayout();
+  layout.rows = 0;
+  EXPECT_THROW(layout.validate(), std::invalid_argument);
+}
+
+TEST(CrossbarModel3D, BuildsExpectedGridSize) {
+  const auto model = CrossbarModel3D::build(smallLayout());
+  EXPECT_EQ(model.grid().nx(), 46u);  // 230/5
+  EXPECT_EQ(model.grid().ny(), 46u);
+  EXPECT_EQ(model.grid().nz(), 36u);  // 180/5
+  EXPECT_EQ(model.cellCount(), 9u);
+}
+
+TEST(CrossbarModel3D, EveryCellHasFilamentVoxels) {
+  const auto model = CrossbarModel3D::build(smallLayout());
+  const std::size_t reference = model.cell(0, 0).filamentVoxels.size();
+  EXPECT_GT(reference, 0u);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(model.cell(r, c).filamentVoxels.size(), reference)
+          << "cell (" << r << "," << c << ")";
+      EXPECT_EQ(model.cell(r, c).row, r);
+      EXPECT_EQ(model.cell(r, c).col, c);
+    }
+  }
+}
+
+TEST(CrossbarModel3D, FilamentVoxelsAreFilamentMaterial) {
+  const auto model = CrossbarModel3D::build(smallLayout());
+  for (const std::size_t v : model.cell(1, 1).filamentVoxels) {
+    EXPECT_EQ(model.grid().material(v), Material::Filament);
+  }
+  EXPECT_EQ(model.grid().countMaterial(Material::Filament),
+            9u * model.cell(0, 0).filamentVoxels.size());
+}
+
+TEST(CrossbarModel3D, ElectrodeLinesAreDisjointAndMetal) {
+  const auto model = CrossbarModel3D::build(smallLayout());
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_GT(model.wordLineVoxels(r).size(), 0u);
+    for (const std::size_t v : model.wordLineVoxels(r)) {
+      EXPECT_EQ(model.grid().material(v), Material::Electrode);
+    }
+  }
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_GT(model.bitLineVoxels(c).size(), 0u);
+  }
+  // Word lines live below bit lines: z ranges must not overlap.
+  const auto& grid = model.grid();
+  std::size_t maxWordZ = 0, minBitZ = grid.nz();
+  for (const std::size_t v : model.wordLineVoxels(0)) {
+    maxWordZ = std::max(maxWordZ, grid.voxel(v).k);
+  }
+  for (const std::size_t v : model.bitLineVoxels(0)) {
+    minBitZ = std::min(minBitZ, grid.voxel(v).k);
+  }
+  EXPECT_LT(maxWordZ, minBitZ);
+}
+
+TEST(CrossbarModel3D, CellAverage) {
+  const auto model = CrossbarModel3D::build(smallLayout());
+  std::vector<double> field(model.grid().voxelCount(), 1.0);
+  for (const std::size_t v : model.cell(2, 2).filamentVoxels) field[v] = 5.0;
+  EXPECT_DOUBLE_EQ(model.cellAverage(field, 2, 2), 5.0);
+  EXPECT_DOUBLE_EQ(model.cellAverage(field, 0, 0), 1.0);
+}
+
+TEST(CrossbarModel3D, SpacingChangesGridExtent) {
+  CrossbarLayout wide = smallLayout();
+  wide.spacing = 90e-9;
+  const auto narrow = CrossbarModel3D::build(smallLayout());
+  const auto broad = CrossbarModel3D::build(wide);
+  EXPECT_GT(broad.grid().nx(), narrow.grid().nx());
+}
+
+}  // namespace
+}  // namespace nh::fem

@@ -1,0 +1,114 @@
+#include "fem/transient.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace nh::fem {
+namespace {
+
+CrossbarModel3D smallModel() {
+  CrossbarLayout layout;
+  layout.rows = 3;
+  layout.cols = 3;
+  layout.margin = 20e-9;
+  return CrossbarModel3D::build(layout);
+}
+
+TransientScenario quickScenario(const CrossbarModel3D& model) {
+  TransientScenario s;
+  s.model = &model;
+  s.heatedRow = 1;
+  s.heatedCol = 1;
+  s.power = 1e-4;
+  s.tStop = 10e-9;
+  s.dt = 0.5e-9;
+  return s;
+}
+
+TEST(HeatCapacity, DefaultsArePositive) {
+  const auto t = HeatCapacityTable::defaults();
+  for (int m = 0; m < static_cast<int>(Material::Count); ++m) {
+    EXPECT_GT(t.capacity(static_cast<Material>(m)), 1e5);
+  }
+}
+
+TEST(TransientThermal, MonotoneRiseTowardSteadyState) {
+  const auto model = smallModel();
+  const auto scenario = quickScenario(model);
+  const auto sol = solveThermalStep(scenario);
+  ASSERT_TRUE(sol.converged);
+  ASSERT_GE(sol.cellTemperature.size(), 3u);
+  const auto& heated = sol.cellTemperature[0];
+  for (std::size_t i = 1; i < heated.size(); ++i) {
+    EXPECT_GE(heated[i], heated[i - 1] - 1e-9);
+  }
+  // Final value matches the steady solver within a few percent.
+  ThermalScenario steady;
+  steady.model = &model;
+  steady.cellPower = nh::util::Matrix(3, 3, 0.0);
+  steady.cellPower(1, 1) = scenario.power;
+  const auto ss = solveThermal(steady);
+  ASSERT_TRUE(ss.converged());
+  const double steadyRise = ss.cellTemperature(1, 1) - 300.0;
+  const double transientRise = heated.back() - 300.0;
+  EXPECT_GT(transientRise, 0.85 * steadyRise);
+  EXPECT_LT(transientRise, 1.02 * steadyRise);
+}
+
+TEST(TransientThermal, FilamentTauIsNanoseconds) {
+  const auto model = smallModel();
+  const auto sol = solveThermalStep(quickScenario(model));
+  ASSERT_TRUE(sol.converged);
+  const double tau = sol.riseTimeConstant(0);
+  ASSERT_FALSE(std::isnan(tau));
+  // The compact model assumes tauThermal ~ 2 ns; the FEM should agree on
+  // the order of magnitude.
+  EXPECT_GT(tau, 0.2e-9);
+  EXPECT_LT(tau, 10e-9);
+}
+
+TEST(TransientThermal, NeighbourLagsTheHeatedCell) {
+  const auto model = smallModel();
+  TransientScenario scenario = quickScenario(model);
+  scenario.tStop = 20e-9;
+  const auto sol = solveThermalStep(scenario);
+  ASSERT_TRUE(sol.converged);
+  const double tauHeated = sol.riseTimeConstant(0);
+  const double tauNeighbour = sol.riseTimeConstant(1);
+  ASSERT_FALSE(std::isnan(tauHeated));
+  ASSERT_FALSE(std::isnan(tauNeighbour));
+  EXPECT_GT(tauNeighbour, tauHeated);
+}
+
+TEST(TransientThermal, NeighbourOrderingMatchesAlphas) {
+  const auto model = smallModel();
+  TransientScenario scenario = quickScenario(model);
+  scenario.tStop = 20e-9;
+  const auto sol = solveThermalStep(scenario);
+  ASSERT_TRUE(sol.converged);
+  // Word-line neighbour ends hotter than bit-line, which ends hotter than
+  // the diagonal -- same ordering as the steady alpha extraction.
+  const double word = sol.cellTemperature[1].back();
+  const double bit = sol.cellTemperature[2].back();
+  const double diag = sol.cellTemperature[3].back();
+  EXPECT_GT(word, bit);
+  EXPECT_GT(bit, diag);
+  EXPECT_GT(diag, 300.0);
+}
+
+TEST(TransientThermal, Validation) {
+  const auto model = smallModel();
+  TransientScenario bad = quickScenario(model);
+  bad.dt = 0.0;
+  EXPECT_THROW(solveThermalStep(bad), std::invalid_argument);
+  bad = quickScenario(model);
+  bad.heatedRow = 9;
+  EXPECT_THROW(solveThermalStep(bad), std::out_of_range);
+  bad = quickScenario(model);
+  bad.model = nullptr;
+  EXPECT_THROW(solveThermalStep(bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nh::fem

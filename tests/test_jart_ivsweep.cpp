@@ -1,0 +1,100 @@
+#include "jart/ivsweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace nh::jart {
+namespace {
+
+const Params& params() {
+  static const Params p = Params::paperDefaults();
+  return p;
+}
+
+IvSweepOptions quickSweep() {
+  IvSweepOptions o;
+  o.samples = 200;
+  return o;
+}
+
+TEST(IvSweep, BipolarLoopSwitchesBothWays) {
+  const auto loop = sweepIV(params(), quickSweep());
+  ASSERT_EQ(loop.size(), 200u);
+  const auto metrics = analyseLoop(params(), loop);
+  EXPECT_TRUE(metrics.switchedToLrs);
+  EXPECT_TRUE(metrics.switchedBack);
+}
+
+TEST(IvSweep, SetVoltageNearOperatingPoint) {
+  const auto loop = sweepIV(params(), quickSweep());
+  const auto metrics = analyseLoop(params(), loop);
+  // The paper hammers at V_SET = 1.05 V; the DC-swept SET transition must
+  // sit below that (slow sweeps switch earlier) but above the half-select.
+  EXPECT_GT(metrics.vSet, 0.55);
+  EXPECT_LT(metrics.vSet, 1.3);
+}
+
+TEST(IvSweep, HysteresisWindowIsLarge) {
+  const auto loop = sweepIV(params(), quickSweep());
+  const auto metrics = analyseLoop(params(), loop);
+  EXPECT_GT(metrics.hysteresis, 10.0);
+}
+
+TEST(IvSweep, ResetHappensOnNegativeBranch) {
+  const auto loop = sweepIV(params(), quickSweep());
+  const auto metrics = analyseLoop(params(), loop);
+  EXPECT_LT(metrics.vReset, -0.3);
+}
+
+TEST(IvSweep, CurrentSignFollowsVoltage) {
+  const auto loop = sweepIV(params(), quickSweep());
+  for (const auto& p : loop) {
+    if (p.voltage > 0.01) EXPECT_GE(p.current, 0.0) << "V=" << p.voltage;
+    if (p.voltage < -0.01) EXPECT_LE(p.current, 0.0) << "V=" << p.voltage;
+  }
+}
+
+TEST(IvSweep, FilamentHeatsDuringSwitching) {
+  const auto loop = sweepIV(params(), quickSweep());
+  double tMax = 0.0;
+  for (const auto& p : loop) tMax = std::max(tMax, p.temperatureK);
+  EXPECT_GT(tMax, 400.0);  // Joule heating during SET/RESET
+}
+
+TEST(IvSweep, SlowerSweepSwitchesAtLowerVoltage) {
+  // Voltage-time dilemma: more time under bias -> earlier SET.
+  IvSweepOptions fast = quickSweep();
+  fast.rampRate = 1e8;
+  IvSweepOptions slow = quickSweep();
+  slow.rampRate = 1e6;
+  const auto vFast = analyseLoop(params(), sweepIV(params(), fast)).vSet;
+  const auto vSlow = analyseLoop(params(), sweepIV(params(), slow)).vSet;
+  ASSERT_GT(vFast, 0.0);
+  ASSERT_GT(vSlow, 0.0);
+  EXPECT_LT(vSlow, vFast);
+}
+
+TEST(IvSweep, Validation) {
+  IvSweepOptions bad = quickSweep();
+  bad.vMax = -1.0;
+  EXPECT_THROW(sweepIV(params(), bad), std::invalid_argument);
+  bad = quickSweep();
+  bad.vMin = 0.5;
+  EXPECT_THROW(sweepIV(params(), bad), std::invalid_argument);
+  bad = quickSweep();
+  bad.rampRate = 0.0;
+  EXPECT_THROW(sweepIV(params(), bad), std::invalid_argument);
+  bad = quickSweep();
+  bad.samples = 2;
+  EXPECT_THROW(sweepIV(params(), bad), std::invalid_argument);
+}
+
+TEST(IvSweep, EmptyLoopAnalysisIsBenign) {
+  const auto metrics = analyseLoop(params(), {});
+  EXPECT_FALSE(metrics.switchedToLrs);
+  EXPECT_DOUBLE_EQ(metrics.vSet, 0.0);
+}
+
+}  // namespace
+}  // namespace nh::jart

@@ -1,0 +1,141 @@
+#include "jart/kinetics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace nh::jart {
+namespace {
+
+const Params& params() {
+  static const Params p = Params::paperDefaults();
+  return p;
+}
+
+TEST(SwitchingTime, FullSelectSetIsNanoseconds) {
+  // V_SET = 1.05 V at room temperature: the write the controller performs.
+  SwitchingOptions opt;
+  opt.maxTime = 1e-5;
+  const auto r = switchingTime(params(), 1.05, opt);
+  ASSERT_TRUE(r.switched);
+  EXPECT_LT(r.time, 200e-9);
+  EXPECT_GT(r.time, 0.5e-9);
+}
+
+TEST(SwitchingTime, HalfSelectColdIsMilliseconds) {
+  // The disturb margin of normal operation: V/2 at 300 K must be at least
+  // four orders of magnitude slower than a full-select write.
+  SwitchingOptions opt;
+  opt.maxTime = 10.0;
+  const auto full = switchingTime(params(), 1.05, opt);
+  const auto half = switchingTime(params(), 0.525, opt);
+  ASSERT_TRUE(full.switched);
+  ASSERT_TRUE(half.switched);
+  EXPECT_GT(half.time / full.time, 1e4);
+  EXPECT_GT(half.time, 1e-3);
+}
+
+TEST(SwitchingTime, ReadVoltageDoesNotDisturb) {
+  SwitchingOptions opt;
+  opt.maxTime = 1.0;  // one full second of continuous read stress
+  const auto r = switchingTime(params(), 0.2, opt);
+  EXPECT_FALSE(r.switched);
+}
+
+TEST(SwitchingTime, CrosstalkHeatingAcceleratesHalfSelect) {
+  // The core NeuroHammer effect: tens of kelvin of crosstalk collapse the
+  // half-select switching time by orders of magnitude.
+  SwitchingOptions cold;
+  cold.maxTime = 10.0;
+  SwitchingOptions hot = cold;
+  hot.crosstalkK = 60.0;
+  const auto tCold = switchingTime(params(), 0.525, cold);
+  const auto tHot = switchingTime(params(), 0.525, hot);
+  ASSERT_TRUE(tCold.switched && tHot.switched);
+  EXPECT_GT(tCold.time / tHot.time, 1e2);
+}
+
+TEST(SwitchingTime, ResetWorksAtNegativeVoltage) {
+  SwitchingOptions opt;
+  opt.maxTime = 1e-3;
+  const auto r = switchingTime(params(), -1.3, opt);
+  ASSERT_TRUE(r.switched);
+  EXPECT_LT(r.time, 1e-4);
+  // Final state is toward HRS.
+  EXPECT_LT(params().normalisedState(r.finalNDisc), 0.5);
+}
+
+TEST(SwitchingTime, HalfResetSafeAtRoomTemperature) {
+  SwitchingOptions opt;
+  opt.maxTime = 0.1;
+  const auto r = switchingTime(params(), -0.65, opt);
+  EXPECT_FALSE(r.switched);
+}
+
+class VoltageMonotonicity : public ::testing::TestWithParam<double> {};
+
+TEST_P(VoltageMonotonicity, HigherVoltageSwitchesFaster) {
+  const double t0 = GetParam();
+  SwitchingOptions opt;
+  opt.ambientK = t0;
+  opt.crosstalkK = 40.0;  // keep the sweep fast
+  opt.maxTime = 10.0;
+  double previous = 1e30;
+  for (const double v : {0.5, 0.65, 0.8, 0.95, 1.1}) {
+    const auto r = switchingTime(params(), v, opt);
+    ASSERT_TRUE(r.switched) << "v=" << v << " T0=" << t0;
+    EXPECT_LT(r.time, previous) << "v=" << v << " T0=" << t0;
+    previous = r.time;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AmbientTemps, VoltageMonotonicity,
+                         ::testing::Values(273.0, 300.0, 348.0));
+
+class TemperatureMonotonicity : public ::testing::TestWithParam<double> {};
+
+TEST_P(TemperatureMonotonicity, HotterSwitchesFaster) {
+  const double v = GetParam();
+  double previous = 1e30;
+  for (const double t0 : {273.0, 300.0, 323.0, 348.0, 373.0}) {
+    SwitchingOptions opt;
+    opt.ambientK = t0;
+    opt.crosstalkK = 30.0;
+    opt.maxTime = 100.0;
+    const auto r = switchingTime(params(), v, opt);
+    ASSERT_TRUE(r.switched) << "v=" << v << " T0=" << t0;
+    EXPECT_LT(r.time, previous) << "v=" << v << " T0=" << t0;
+    previous = r.time;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Voltages, TemperatureMonotonicity,
+                         ::testing::Values(0.55, 0.65, 0.8));
+
+TEST(SwitchingTime, TargetStateRespected) {
+  SwitchingOptions early;
+  early.targetState = 0.2;
+  early.crosstalkK = 60.0;
+  early.maxTime = 1.0;
+  SwitchingOptions late = early;
+  late.targetState = 0.8;
+  const auto a = switchingTime(params(), 0.525, early);
+  const auto b = switchingTime(params(), 0.525, late);
+  ASSERT_TRUE(a.switched && b.switched);
+  EXPECT_LT(a.time, b.time);
+}
+
+TEST(KineticsLandscape, GridShapeAndMonotoneRows) {
+  const auto points = kineticsLandscape(params(), {0.6, 0.8, 1.0},
+                                        {300.0, 350.0}, 1.0);
+  ASSERT_EQ(points.size(), 6u);
+  // Within a temperature row, time decreases with voltage.
+  EXPECT_GT(points[0].time, points[1].time);
+  EXPECT_GT(points[1].time, points[2].time);
+  // Hotter row is faster at equal voltage.
+  EXPECT_GT(points[0].time, points[3].time);
+  EXPECT_DOUBLE_EQ(points[3].temperatureK, 350.0);
+}
+
+}  // namespace
+}  // namespace nh::jart

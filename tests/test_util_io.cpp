@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "util/config.hpp"
+#include "util/csv.hpp"
+#include "util/stringutil.hpp"
+
+namespace nh::util {
+namespace {
+
+// ---- stringutil -----------------------------------------------------------
+
+TEST(StringUtil, Trim) {
+  EXPECT_EQ(trim("  a b  "), "a b");
+  EXPECT_EQ(trim("\t\n"), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(StringUtil, Split) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StringUtil, SplitWhitespace) {
+  const auto parts = splitWhitespace("  1   2\t3 \n");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "1");
+  EXPECT_EQ(parts[2], "3");
+}
+
+TEST(StringUtil, CaseHelpers) {
+  EXPECT_TRUE(iequals("LRS", "lrs"));
+  EXPECT_FALSE(iequals("LRS", "hrs"));
+  EXPECT_EQ(toLower("AbC"), "abc");
+  EXPECT_TRUE(startsWith("wl3_0", "wl"));
+  EXPECT_FALSE(startsWith("a", "ab"));
+}
+
+TEST(StringUtil, ParseDouble) {
+  EXPECT_DOUBLE_EQ(parseDouble(" 1.5e-9 "), 1.5e-9);
+  EXPECT_THROW(parseDouble("abc"), std::invalid_argument);
+  EXPECT_THROW(parseDouble("1.5x"), std::invalid_argument);
+}
+
+TEST(StringUtil, ParseInt) {
+  EXPECT_EQ(parseInt("42"), 42);
+  EXPECT_EQ(parseInt("-3"), -3);
+  EXPECT_THROW(parseInt("4.2"), std::invalid_argument);
+}
+
+// ---- csv --------------------------------------------------------------------
+
+TEST(Csv, RoundTrip) {
+  CsvTable t({"a", "b"});
+  t.addRow(std::vector<double>{1.5, 2.0});
+  t.addRow({std::string("x"), std::string("y")});
+  const CsvTable back = CsvTable::fromString(t.toString());
+  EXPECT_EQ(back.rowCount(), 2u);
+  EXPECT_DOUBLE_EQ(back.cellAsDouble(0, "a"), 1.5);
+  EXPECT_EQ(back.cell(1, 1), "y");
+}
+
+TEST(Csv, ColumnAccess) {
+  const CsvTable t = CsvTable::fromString("x,y\n1,2\n3,4\n");
+  const auto ys = t.columnAsDouble("y");
+  ASSERT_EQ(ys.size(), 2u);
+  EXPECT_DOUBLE_EQ(ys[1], 4.0);
+  EXPECT_THROW(t.columnIndex("z"), std::out_of_range);
+}
+
+TEST(Csv, RaggedRowThrows) {
+  EXPECT_THROW(CsvTable::fromString("a,b\n1\n"), std::runtime_error);
+  CsvTable t({"a", "b"});
+  EXPECT_THROW(t.addRow(std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(Csv, SaveAndLoad) {
+  const auto path = std::filesystem::temp_directory_path() / "nh_csv_test.csv";
+  CsvTable t({"p"});
+  t.addRow(std::vector<double>{3.25});
+  t.save(path);
+  const CsvTable back = CsvTable::load(path);
+  EXPECT_DOUBLE_EQ(back.cellAsDouble(0, "p"), 3.25);
+  std::filesystem::remove(path);
+}
+
+// ---- config --------------------------------------------------------------------
+
+TEST(Config, ParsesSectionsAndComments) {
+  const auto cfg = Config::fromString(
+      "# comment\n"
+      "top = 1\n"
+      "[attack]\n"
+      "pulse_ns = 50 ; trailing comment\n"
+      "amplitude = 1.05\n"
+      "[array]\n"
+      "rows=5\n");
+  EXPECT_EQ(cfg.getInt("top", 0), 1);
+  EXPECT_DOUBLE_EQ(cfg.getDouble("attack.pulse_ns", 0.0), 50.0);
+  EXPECT_DOUBLE_EQ(cfg.getDouble("attack.amplitude", 0.0), 1.05);
+  EXPECT_EQ(cfg.getInt("array.rows", 0), 5);
+  EXPECT_FALSE(cfg.has("array.cols"));
+}
+
+TEST(Config, TypedFallbacksAndRequired) {
+  const auto cfg = Config::fromString("a = yes\nb = 2.5\n");
+  EXPECT_TRUE(cfg.getBool("a", false));
+  EXPECT_FALSE(cfg.getBool("missing", false));
+  EXPECT_DOUBLE_EQ(cfg.requireDouble("b"), 2.5);
+  EXPECT_THROW(cfg.requireDouble("missing"), std::out_of_range);
+  EXPECT_THROW(cfg.requireInt("missing"), std::out_of_range);
+  EXPECT_THROW(cfg.requireString("missing"), std::out_of_range);
+}
+
+TEST(Config, DoubleList) {
+  const auto cfg = Config::fromString("spacings = 10, 50, 90\n");
+  const auto list = cfg.getDoubleList("spacings");
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_DOUBLE_EQ(list[1], 50.0);
+  EXPECT_TRUE(cfg.getDoubleList("missing").empty());
+}
+
+TEST(Config, MalformedInputThrows) {
+  EXPECT_THROW(Config::fromString("[section\nx=1\n"), std::runtime_error);
+  EXPECT_THROW(Config::fromString("just a line\n"), std::runtime_error);
+  EXPECT_THROW(Config::fromString("= 3\n"), std::runtime_error);
+}
+
+TEST(Config, BadBoolThrows) {
+  const auto cfg = Config::fromString("a = maybe\n");
+  EXPECT_THROW(cfg.getBool("a", false), std::invalid_argument);
+}
+
+TEST(Config, RoundTripPreservesSections) {
+  const auto cfg = Config::fromString("global = 1\n[s]\nk = v\n[t]\nk2 = 7\n");
+  const auto back = Config::fromString(cfg.toString());
+  EXPECT_EQ(back.getInt("global", 0), 1);
+  EXPECT_EQ(back.getString("s.k", ""), "v");
+  EXPECT_EQ(back.getInt("t.k2", 0), 7);
+}
+
+TEST(Config, SetOverwrites) {
+  Config cfg;
+  cfg.set("a.b", "1");
+  cfg.set("a.b", "2");
+  EXPECT_EQ(cfg.getInt("a.b", 0), 2);
+  EXPECT_EQ(cfg.keys().size(), 1u);
+}
+
+}  // namespace
+}  // namespace nh::util

@@ -1,0 +1,66 @@
+#include "util/linreg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace nh::util {
+namespace {
+
+TEST(FitLinear, ExactLine) {
+  const auto fit = fitLinear({0.0, 1.0, 2.0}, {1.0, 3.0, 5.0});
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.rSquared, 1.0, 1e-12);
+  EXPECT_EQ(fit.samples, 3u);
+}
+
+TEST(FitLinear, NoisyLineHasHighR2) {
+  Rng rng(5);
+  std::vector<double> x, y;
+  for (int i = 0; i < 200; ++i) {
+    const double xi = static_cast<double>(i) / 10.0;
+    x.push_back(xi);
+    y.push_back(300.0 + 2.5e6 * xi + rng.normal(0.0, 0.5));
+  }
+  const auto fit = fitLinear(x, y);
+  EXPECT_NEAR(fit.slope, 2.5e6, 1e3);
+  EXPECT_GT(fit.rSquared, 0.999);
+}
+
+TEST(FitLinear, ConstantYIsPerfectFit) {
+  const auto fit = fitLinear({0.0, 1.0, 2.0}, {4.0, 4.0, 4.0});
+  EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+  EXPECT_NEAR(fit.rSquared, 1.0, 1e-12);
+}
+
+TEST(FitLinear, DegenerateInputsThrow) {
+  EXPECT_THROW(fitLinear({1.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(fitLinear({1.0, 1.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(fitLinear({1.0, 2.0}, {1.0}), std::invalid_argument);
+}
+
+TEST(FitProportional, ZeroInterceptFit) {
+  const auto fit = fitProportional({1.0, 2.0, 4.0}, {2.0, 4.0, 8.0});
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(fit.intercept, 0.0);
+  EXPECT_NEAR(fit.rSquared, 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  EXPECT_NEAR(pearson({1.0, 2.0, 3.0}, {2.0, 4.0, 6.0}), 1.0, 1e-12);
+  EXPECT_NEAR(pearson({1.0, 2.0, 3.0}, {6.0, 4.0, 2.0}), -1.0, 1e-12);
+}
+
+TEST(Pearson, UncorrelatedNearZero) {
+  Rng rng(11);
+  std::vector<double> x, y;
+  for (int i = 0; i < 2000; ++i) {
+    x.push_back(rng.uniform());
+    y.push_back(rng.uniform());
+  }
+  EXPECT_LT(std::abs(pearson(x, y)), 0.1);
+}
+
+}  // namespace
+}  // namespace nh::util

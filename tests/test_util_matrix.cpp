@@ -1,0 +1,101 @@
+#include "util/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace nh::util {
+namespace {
+
+TEST(Matrix, ConstructsWithFill) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(m(r, c), 1.5);
+  }
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, MultiplyVector) {
+  const Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  const Vector y = m.multiply(Vector{1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(Matrix, MultiplyVectorSizeMismatchThrows) {
+  const Matrix m(2, 3);
+  EXPECT_THROW(m.multiply(Vector{1.0}), std::invalid_argument);
+}
+
+TEST(Matrix, MultiplyMatrix) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{0.0, 1.0}, {1.0, 0.0}};
+  const Matrix c = a.multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 3.0);
+}
+
+TEST(Matrix, Transposed) {
+  const Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = a.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(Matrix, IdentityMultiplicationIsNoop) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(a.multiply(Matrix::identity(2)), a);
+}
+
+TEST(Matrix, MaxAbs) {
+  const Matrix a{{1.0, -7.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(a.maxAbs(), 7.0);
+}
+
+TEST(Matrix, FillAndResize) {
+  Matrix a(2, 2, 1.0);
+  a.fill(3.0);
+  EXPECT_DOUBLE_EQ(a(1, 1), 3.0);
+  a.resize(3, 1, -1.0);
+  EXPECT_EQ(a.rows(), 3u);
+  EXPECT_DOUBLE_EQ(a(2, 0), -1.0);
+}
+
+TEST(VectorOps, Norms) {
+  const Vector v{3.0, -4.0};
+  EXPECT_DOUBLE_EQ(norm2(v), 5.0);
+  EXPECT_DOUBLE_EQ(normInf(v), 4.0);
+}
+
+TEST(VectorOps, DotAndAxpy) {
+  const Vector a{1.0, 2.0, 3.0};
+  Vector b{1.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 6.0);
+  axpy(2.0, a, b);
+  EXPECT_DOUBLE_EQ(b[2], 7.0);
+}
+
+TEST(VectorOps, AddSubtractScale) {
+  const Vector a{1.0, 2.0};
+  const Vector b{0.5, 0.5};
+  EXPECT_DOUBLE_EQ(add(a, b)[0], 1.5);
+  EXPECT_DOUBLE_EQ(subtract(a, b)[1], 1.5);
+  EXPECT_DOUBLE_EQ(scale(3.0, a)[1], 6.0);
+}
+
+}  // namespace
+}  // namespace nh::util

@@ -1,0 +1,95 @@
+#include "util/sparse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace nh::util {
+namespace {
+
+TEST(TripletBuilder, AccumulatesDuplicates) {
+  TripletBuilder b(2, 2);
+  b.add(0, 0, 1.0);
+  b.add(0, 0, 2.0);
+  b.add(1, 1, 5.0);
+  const auto m = SparseMatrix::fromTriplets(b);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 0.0);
+  EXPECT_EQ(m.nonZeros(), 2u);
+}
+
+TEST(TripletBuilder, OutOfRangeThrows) {
+  TripletBuilder b(2, 2);
+  EXPECT_THROW(b.add(2, 0, 1.0), std::out_of_range);
+  EXPECT_THROW(b.add(0, 2, 1.0), std::out_of_range);
+}
+
+TEST(SparseMatrix, RowsSortedByColumn) {
+  TripletBuilder b(1, 4);
+  b.add(0, 3, 3.0);
+  b.add(0, 1, 1.0);
+  b.add(0, 2, 2.0);
+  const auto m = SparseMatrix::fromTriplets(b);
+  ASSERT_EQ(m.colIdx().size(), 3u);
+  EXPECT_EQ(m.colIdx()[0], 1u);
+  EXPECT_EQ(m.colIdx()[1], 2u);
+  EXPECT_EQ(m.colIdx()[2], 3u);
+}
+
+TEST(SparseMatrix, MultiplyMatchesDense) {
+  Rng rng(7);
+  const std::size_t n = 20;
+  TripletBuilder b(n, n);
+  std::vector<std::vector<double>> dense(n, std::vector<double>(n, 0.0));
+  for (int k = 0; k < 120; ++k) {
+    const std::size_t r = rng.uniformInt(n);
+    const std::size_t c = rng.uniformInt(n);
+    const double v = rng.uniform(-1.0, 1.0);
+    b.add(r, c, v);
+    dense[r][c] += v;
+  }
+  const auto m = SparseMatrix::fromTriplets(b);
+  Vector x(n);
+  for (auto& xi : x) xi = rng.uniform(-1.0, 1.0);
+  const Vector y = m.multiply(x);
+  for (std::size_t r = 0; r < n; ++r) {
+    double expect = 0.0;
+    for (std::size_t c = 0; c < n; ++c) expect += dense[r][c] * x[c];
+    EXPECT_NEAR(y[r], expect, 1e-12);
+  }
+}
+
+TEST(SparseMatrix, Diagonal) {
+  TripletBuilder b(3, 3);
+  b.add(0, 0, 1.0);
+  b.add(2, 2, 3.0);
+  b.add(0, 1, 9.0);
+  const auto m = SparseMatrix::fromTriplets(b);
+  const Vector d = m.diagonal();
+  EXPECT_DOUBLE_EQ(d[0], 1.0);
+  EXPECT_DOUBLE_EQ(d[1], 0.0);
+  EXPECT_DOUBLE_EQ(d[2], 3.0);
+}
+
+TEST(SparseMatrix, SymmetryCheck) {
+  TripletBuilder b(2, 2);
+  b.add(0, 1, 2.0);
+  b.add(1, 0, 2.0);
+  EXPECT_TRUE(SparseMatrix::fromTriplets(b).isSymmetric());
+
+  TripletBuilder b2(2, 2);
+  b2.add(0, 1, 2.0);
+  EXPECT_FALSE(SparseMatrix::fromTriplets(b2).isSymmetric());
+}
+
+TEST(SparseMatrix, AtOutOfRangeThrows) {
+  TripletBuilder b(2, 2);
+  const auto m = SparseMatrix::fromTriplets(b);
+  EXPECT_THROW(m.at(2, 0), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace nh::util

@@ -1,0 +1,94 @@
+#include "xbar/scheme.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace nh::xbar {
+namespace {
+
+TEST(HalfScheme, SetPolarityVoltageMap) {
+  const LineBias bias = selectBias(BiasScheme::Half, 5, 5, 2, 2, 1.05);
+  const auto map = cellVoltageMap(bias);
+  for (std::size_t r = 0; r < 5; ++r) {
+    for (std::size_t c = 0; c < 5; ++c) {
+      const double v = map(r, c);
+      if (r == 2 && c == 2) {
+        EXPECT_DOUBLE_EQ(v, 1.05);  // selected
+      } else if (r == 2 || c == 2) {
+        EXPECT_DOUBLE_EQ(v, 0.525);  // half-selected
+      } else {
+        EXPECT_DOUBLE_EQ(v, 0.0);  // unselected: no voltage drop
+      }
+    }
+  }
+}
+
+TEST(HalfScheme, ResetPolarityVoltageMap) {
+  const LineBias bias = selectBias(BiasScheme::Half, 5, 5, 1, 3, -1.3);
+  const auto map = cellVoltageMap(bias);
+  EXPECT_DOUBLE_EQ(map(1, 3), -1.3);
+  EXPECT_DOUBLE_EQ(map(1, 0), -0.65);  // row half-selected
+  EXPECT_DOUBLE_EQ(map(4, 3), -0.65);  // column half-selected
+  EXPECT_DOUBLE_EQ(map(0, 0), 0.0);
+}
+
+TEST(ThirdScheme, SetPolarityVoltageMap) {
+  const LineBias bias = selectBias(BiasScheme::Third, 5, 5, 2, 2, 0.9);
+  const auto map = cellVoltageMap(bias);
+  for (std::size_t r = 0; r < 5; ++r) {
+    for (std::size_t c = 0; c < 5; ++c) {
+      const double v = map(r, c);
+      if (r == 2 && c == 2) {
+        EXPECT_NEAR(v, 0.9, 1e-12);
+      } else if (r == 2 || c == 2) {
+        EXPECT_NEAR(v, 0.3, 1e-12);  // V/3 stress on half-selected
+      } else {
+        EXPECT_NEAR(v, -0.3, 1e-12);  // unselected stressed at -V/3
+      }
+    }
+  }
+}
+
+TEST(ThirdScheme, ResetPolarityVoltageMap) {
+  const LineBias bias = selectBias(BiasScheme::Third, 5, 5, 2, 2, -0.9);
+  const auto map = cellVoltageMap(bias);
+  EXPECT_NEAR(map(2, 2), -0.9, 1e-12);
+  EXPECT_NEAR(map(2, 0), -0.3, 1e-12);
+  EXPECT_NEAR(map(0, 2), -0.3, 1e-12);
+  EXPECT_NEAR(map(0, 0), 0.3, 1e-12);
+}
+
+TEST(Scheme, HalfSelectSetIsExactlyHalfAmplitude) {
+  // The property the attack exploits (paper Sec. III phase 1).
+  for (const double v : {0.8, 1.05, 1.3}) {
+    const LineBias bias = selectBias(BiasScheme::Half, 3, 3, 0, 0, v);
+    const auto map = cellVoltageMap(bias);
+    EXPECT_DOUBLE_EQ(map(0, 1), v / 2.0);
+    EXPECT_DOUBLE_EQ(map(1, 0), v / 2.0);
+  }
+}
+
+TEST(Scheme, OutOfRangeSelectionThrows) {
+  EXPECT_THROW(selectBias(BiasScheme::Half, 3, 3, 3, 0, 1.0), std::out_of_range);
+  EXPECT_THROW(selectBias(BiasScheme::Half, 3, 3, 0, 7, 1.0), std::out_of_range);
+}
+
+TEST(Scheme, IdleBiasIsAllZero) {
+  const LineBias bias = idleBias(4, 6);
+  EXPECT_EQ(bias.wordLine.size(), 4u);
+  EXPECT_EQ(bias.bitLine.size(), 6u);
+  const auto map = cellVoltageMap(bias);
+  EXPECT_DOUBLE_EQ(map.maxAbs(), 0.0);
+}
+
+TEST(Scheme, ReadBiasUsesHalfScheme) {
+  const LineBias bias = readBias(5, 5, 2, 2, 0.2);
+  const auto map = cellVoltageMap(bias);
+  EXPECT_DOUBLE_EQ(map(2, 2), 0.2);
+  EXPECT_DOUBLE_EQ(map(2, 0), 0.1);
+  EXPECT_DOUBLE_EQ(map(0, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace nh::xbar
