@@ -9,6 +9,7 @@
 
 #include "util/csv.hpp"
 #include "util/table.hpp"
+#include "util/threadpool.hpp"
 
 namespace nh::bench {
 
@@ -40,5 +41,17 @@ inline void banner(const char* figure, const char* description,
 /// True when NH_FAST_BENCH is set: benches shrink budgets/grids so the whole
 /// suite completes quickly (CI smoke mode).
 inline bool fastMode() { return std::getenv("NH_FAST_BENCH") != nullptr; }
+
+/// Sweep worker count for the Fig. 3 harnesses (NH_THREADS override, else
+/// hardware concurrency), reported once on stdout so logged runs record it.
+inline std::size_t sweepThreads() {
+  const std::size_t threads = nh::util::defaultThreadCount();
+  static bool reported = false;
+  if (!reported) {
+    reported = true;
+    std::printf("sweep threads: %zu (override with NH_THREADS)\n", threads);
+  }
+  return threads;
+}
 
 }  // namespace nh::bench

@@ -25,7 +25,8 @@ int main() {
   } else {
     for (int ns = 10; ns <= 100; ns += 10) widths.push_back(ns * 1e-9);
   }
-  const auto points = core::sweepPulseLength(cfg, widths, 5'000'000);
+  const auto points =
+      core::sweepPulseLength(cfg, widths, 5'000'000, bench::sweepThreads());
 
   util::AsciiTable table(
       {"pulse length", "# pulses to flip", "stress time", "flipped"});

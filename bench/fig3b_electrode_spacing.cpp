@@ -19,7 +19,8 @@ int main() {
   const std::vector<double> widths =
       bench::fastMode() ? std::vector<double>{50e-9}
                         : std::vector<double>{50e-9, 75e-9, 100e-9};
-  const auto points = core::sweepSpacing(cfg, spacings, widths, 5'000'000);
+  const auto points = core::sweepSpacing(cfg, spacings, widths, 5'000'000,
+                                         bench::sweepThreads());
 
   util::AsciiTable table({"spacing", "pulse length", "# pulses to flip", "flipped"});
   table.setTitle("Fig. 3b: pulses to trigger a bit-flip vs electrode spacing");

@@ -22,7 +22,8 @@ int main() {
       bench::fastMode() ? std::vector<double>{50e-9}
                         : std::vector<double>{10e-9, 30e-9, 50e-9};
   // 273 K at 10 ns needs a few million pulses -- cap the budget there.
-  const auto points = core::sweepAmbient(cfg, ambients, widths, 20'000'000);
+  const auto points = core::sweepAmbient(cfg, ambients, widths, 20'000'000,
+                                         bench::sweepThreads());
 
   util::AsciiTable table(
       {"ambient", "pulse length", "# pulses to flip", "flipped"});

@@ -23,7 +23,8 @@ int main() {
   core::StudyConfig cfg;
   core::HammerPulse pulse;  // 1.05 V / 50 ns / 50% duty
   const auto points =
-      core::sweepPatterns(cfg, pulse, bench::fastMode() ? 500'000 : 5'000'000);
+      core::sweepPatterns(cfg, pulse, bench::fastMode() ? 500'000 : 5'000'000,
+                          bench::sweepThreads());
 
   util::AsciiTable table(
       {"pattern", "aggressors", "# pulses to flip", "flipped"});

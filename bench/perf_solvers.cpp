@@ -6,6 +6,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <string>
+#include <vector>
+
 #include "core/study.hpp"
 #include "fem/alpha.hpp"
 #include "jart/device.hpp"
@@ -96,3 +100,35 @@ void BM_AlphaTableHub(benchmark::State& state) {
 BENCHMARK(BM_AlphaTableHub);
 
 }  // namespace
+
+/// Custom main (instead of benchmark_main): every run also writes the
+/// machine-readable perf baseline BENCH_perf_solvers.json (overridable with
+/// NH_BENCH_OUT or an explicit --benchmark_out=...), so successive PRs have
+/// a kernel-cost trajectory to compare against.
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv, argv + argc);
+  bool hasOut = false;
+  bool hasFormat = false;
+  for (const std::string& arg : args) {
+    if (arg.rfind("--benchmark_out=", 0) == 0) hasOut = true;
+    if (arg.rfind("--benchmark_out_format=", 0) == 0) hasFormat = true;
+  }
+  if (!hasOut) {
+    const char* out = std::getenv("NH_BENCH_OUT");
+    args.push_back(std::string("--benchmark_out=") +
+                   (out ? out : "BENCH_perf_solvers.json"));
+  }
+  if (!hasFormat) args.push_back("--benchmark_out_format=json");
+
+  std::vector<char*> rewritten;
+  rewritten.reserve(args.size());
+  for (std::string& arg : args) rewritten.push_back(arg.data());
+  int rewrittenCount = static_cast<int>(rewritten.size());
+  benchmark::Initialize(&rewrittenCount, rewritten.data());
+  if (benchmark::ReportUnrecognizedArguments(rewrittenCount, rewritten.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

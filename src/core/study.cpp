@@ -1,9 +1,11 @@
 #include "core/study.hpp"
 
+#include <memory>
 #include <stdexcept>
 
 #include "fem/geometry.hpp"
 #include "util/log.hpp"
+#include "util/threadpool.hpp"
 
 namespace nh::core {
 
@@ -48,7 +50,7 @@ AttackStudy::Bench AttackStudy::makeBench() const {
   return bench;
 }
 
-AttackResult AttackStudy::attack(const AttackConfig& attackConfig) {
+AttackResult AttackStudy::attack(const AttackConfig& attackConfig) const {
   Bench bench = makeBench();
   AttackEngine engine(*bench.engine, config_.detector);
   return engine.run(attackConfig);
@@ -56,7 +58,7 @@ AttackResult AttackStudy::attack(const AttackConfig& attackConfig) {
 
 AttackResult AttackStudy::attackCenter(const HammerPulse& pulse,
                                        std::size_t maxPulses,
-                                       std::size_t traceSamples) {
+                                       std::size_t traceSamples) const {
   AttackConfig cfg;
   cfg.aggressors = {{config_.rows / 2, config_.cols / 2}};
   cfg.pulse = pulse;
@@ -76,7 +78,7 @@ AttackResult AttackStudy::attackCenter(const HammerPulse& pulse,
 
 AttackResult AttackStudy::attackPattern(AttackPattern pattern,
                                         const HammerPulse& pulse,
-                                        std::size_t maxPulses) {
+                                        std::size_t maxPulses) const {
   const xbar::CellCoord victim{config_.rows / 2, config_.cols / 2};
   AttackConfig cfg;
   cfg.aggressors = patternAggressors(pattern, victim, config_.rows, config_.cols);
@@ -86,80 +88,108 @@ AttackResult AttackStudy::attackPattern(AttackPattern pattern,
   return attack(cfg);
 }
 
+namespace {
+
+/// Shared harness for the Fig. 3b/3c outer-parameter sweeps: build one
+/// AttackStudy per outer value (in parallel -- the FEM-alpha path makes
+/// construction expensive), then attack every (outer, width) point on the
+/// pool. Points land in slot outer*widths.size()+width, the serial order.
+std::vector<SweepPoint> sweepOuterByWidth(
+    const StudyConfig& base, const std::vector<double>& outers,
+    const std::vector<double>& widths, std::size_t maxPulses,
+    std::size_t threads, const char* tag, const char* outerName,
+    void (*applyOuter)(StudyConfig&, double)) {
+  std::vector<std::unique_ptr<AttackStudy>> studies(outers.size());
+  nh::util::parallelFor(
+      outers.size(),
+      [&](std::size_t oi) {
+        StudyConfig cfg = base;
+        applyOuter(cfg, outers[oi]);
+        studies[oi] = std::make_unique<AttackStudy>(cfg);
+      },
+      threads);
+
+  std::vector<SweepPoint> points(outers.size() * widths.size());
+  nh::util::parallelFor(
+      points.size(),
+      [&](std::size_t idx) {
+        const std::size_t oi = idx / widths.size();
+        const std::size_t wi = idx % widths.size();
+        HammerPulse pulse;
+        pulse.width = widths[wi];
+        const AttackResult r = studies[oi]->attackCenter(pulse, maxPulses);
+        points[idx] = {outers[oi], widths[wi], r.pulsesToFlip, r.flipped,
+                       r.stressTime};
+        nh::util::logInfo(tag, ": ", outerName, "=", outers[oi],
+                          " width=", widths[wi], " pulses=", r.pulsesToFlip,
+                          " flipped=", r.flipped);
+      },
+      threads);
+  return points;
+}
+
+}  // namespace
+
 std::vector<SweepPoint> sweepPulseLength(const StudyConfig& base,
                                          const std::vector<double>& widths,
-                                         std::size_t maxPulses) {
-  AttackStudy study(base);
-  std::vector<SweepPoint> points;
-  points.reserve(widths.size());
-  for (const double width : widths) {
-    HammerPulse pulse;
-    pulse.width = width;
-    const AttackResult r = study.attackCenter(pulse, maxPulses);
-    points.push_back({width, width, r.pulsesToFlip, r.flipped, r.stressTime});
-    nh::util::logInfo("fig3a: width=", width, " pulses=", r.pulsesToFlip,
-                      " flipped=", r.flipped);
-  }
+                                         std::size_t maxPulses,
+                                         std::size_t threads) {
+  const AttackStudy study(base);
+  std::vector<SweepPoint> points(widths.size());
+  nh::util::parallelFor(
+      widths.size(),
+      [&](std::size_t i) {
+        HammerPulse pulse;
+        pulse.width = widths[i];
+        const AttackResult r = study.attackCenter(pulse, maxPulses);
+        points[i] = {widths[i], widths[i], r.pulsesToFlip, r.flipped,
+                     r.stressTime};
+        nh::util::logInfo("fig3a: width=", widths[i],
+                          " pulses=", r.pulsesToFlip, " flipped=", r.flipped);
+      },
+      threads);
   return points;
 }
 
 std::vector<SweepPoint> sweepSpacing(const StudyConfig& base,
                                      const std::vector<double>& spacings,
                                      const std::vector<double>& widths,
-                                     std::size_t maxPulses) {
-  std::vector<SweepPoint> points;
-  points.reserve(spacings.size() * widths.size());
-  for (const double spacing : spacings) {
-    StudyConfig cfg = base;
-    cfg.spacing = spacing;
-    AttackStudy study(cfg);
-    for (const double width : widths) {
-      HammerPulse pulse;
-      pulse.width = width;
-      const AttackResult r = study.attackCenter(pulse, maxPulses);
-      points.push_back({spacing, width, r.pulsesToFlip, r.flipped, r.stressTime});
-      nh::util::logInfo("fig3b: spacing=", spacing, " width=", width,
-                        " pulses=", r.pulsesToFlip, " flipped=", r.flipped);
-    }
-  }
-  return points;
+                                     std::size_t maxPulses,
+                                     std::size_t threads) {
+  return sweepOuterByWidth(base, spacings, widths, maxPulses, threads, "fig3b",
+                           "spacing",
+                           [](StudyConfig& cfg, double v) { cfg.spacing = v; });
 }
 
 std::vector<SweepPoint> sweepAmbient(const StudyConfig& base,
                                      const std::vector<double>& ambients,
                                      const std::vector<double>& widths,
-                                     std::size_t maxPulses) {
-  std::vector<SweepPoint> points;
-  points.reserve(ambients.size() * widths.size());
-  for (const double ambient : ambients) {
-    StudyConfig cfg = base;
-    cfg.ambientK = ambient;
-    AttackStudy study(cfg);
-    for (const double width : widths) {
-      HammerPulse pulse;
-      pulse.width = width;
-      const AttackResult r = study.attackCenter(pulse, maxPulses);
-      points.push_back({ambient, width, r.pulsesToFlip, r.flipped, r.stressTime});
-      nh::util::logInfo("fig3c: T0=", ambient, " width=", width,
-                        " pulses=", r.pulsesToFlip, " flipped=", r.flipped);
-    }
-  }
-  return points;
+                                     std::size_t maxPulses,
+                                     std::size_t threads) {
+  return sweepOuterByWidth(base, ambients, widths, maxPulses, threads, "fig3c",
+                           "T0",
+                           [](StudyConfig& cfg, double v) { cfg.ambientK = v; });
 }
 
 std::vector<PatternPoint> sweepPatterns(const StudyConfig& base,
                                         const HammerPulse& pulse,
-                                        std::size_t maxPulses) {
-  AttackStudy study(base);
-  std::vector<PatternPoint> points;
-  for (const AttackPattern pattern : allPatterns()) {
-    const AttackResult r = study.attackPattern(pattern, pulse, maxPulses);
-    const auto aggressors = patternAggressors(
-        pattern, {base.rows / 2, base.cols / 2}, base.rows, base.cols);
-    points.push_back({pattern, aggressors.size(), r.pulsesToFlip, r.flipped});
-    nh::util::logInfo("fig3d: pattern=", patternName(pattern),
-                      " pulses=", r.pulsesToFlip, " flipped=", r.flipped);
-  }
+                                        std::size_t maxPulses,
+                                        std::size_t threads) {
+  const AttackStudy study(base);
+  const std::vector<AttackPattern> patterns = allPatterns();
+  std::vector<PatternPoint> points(patterns.size());
+  nh::util::parallelFor(
+      patterns.size(),
+      [&](std::size_t i) {
+        const AttackPattern pattern = patterns[i];
+        const AttackResult r = study.attackPattern(pattern, pulse, maxPulses);
+        const auto aggressors = patternAggressors(
+            pattern, {base.rows / 2, base.cols / 2}, base.rows, base.cols);
+        points[i] = {pattern, aggressors.size(), r.pulsesToFlip, r.flipped};
+        nh::util::logInfo("fig3d: pattern=", patternName(pattern),
+                          " pulses=", r.pulsesToFlip, " flipped=", r.flipped);
+      },
+      threads);
   return points;
 }
 

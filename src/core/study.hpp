@@ -47,15 +47,18 @@ class AttackStudy {
   const xbar::ArrayConfig& arrayConfig() const { return arrayConfig_; }
 
   /// Hammer the array-centre cell; every other (HRS) cell is monitored.
+  /// Const (like every attack entry point below): each run builds a fresh
+  /// bench from immutable study state, so concurrent attacks on one study
+  /// are safe -- the parallel sweeps rely on this.
   AttackResult attackCenter(const HammerPulse& pulse, std::size_t maxPulses,
-                            std::size_t traceSamples = 0);
+                            std::size_t traceSamples = 0) const;
 
   /// Hammer \p pattern aggressors around the array-centre victim.
   AttackResult attackPattern(AttackPattern pattern, const HammerPulse& pulse,
-                             std::size_t maxPulses);
+                             std::size_t maxPulses) const;
 
   /// Run an arbitrary attack config on a fresh all-HRS array.
-  AttackResult attack(const AttackConfig& config);
+  AttackResult attack(const AttackConfig& config) const;
 
   /// Build a fresh all-HRS array + engine pair for custom experiments.
   struct Bench {
@@ -77,24 +80,37 @@ struct SweepPoint {
   std::size_t pulses = 0;   ///< Pulses to trigger the bit-flip.
   bool flipped = false;
   double stressTime = 0.0;  ///< pulses * width [s].
+
+  /// Exact comparison (C++20 defaulted): the parallel sweeps promise
+  /// bit-identical results for every thread count, and the tests check it.
+  bool operator==(const SweepPoint&) const = default;
 };
 
 /// Fig. 3a: pulses-to-flip vs pulse length at fixed spacing/ambient.
+///
+/// All four sweeps run their points on a thread pool (\p threads workers;
+/// 0 = util::defaultThreadCount(), 1 = serial on the calling thread). Each
+/// point attacks its own fresh all-HRS array, and results are written into
+/// slots indexed by the serial loop order, so the returned vector is
+/// bit-identical for every thread count.
 std::vector<SweepPoint> sweepPulseLength(const StudyConfig& base,
                                          const std::vector<double>& widths,
-                                         std::size_t maxPulses);
+                                         std::size_t maxPulses,
+                                         std::size_t threads = 0);
 
 /// Fig. 3b: pulses-to-flip vs electrode spacing, one series per pulse width.
 std::vector<SweepPoint> sweepSpacing(const StudyConfig& base,
                                      const std::vector<double>& spacings,
                                      const std::vector<double>& widths,
-                                     std::size_t maxPulses);
+                                     std::size_t maxPulses,
+                                     std::size_t threads = 0);
 
 /// Fig. 3c: pulses-to-flip vs ambient temperature, one series per width.
 std::vector<SweepPoint> sweepAmbient(const StudyConfig& base,
                                      const std::vector<double>& ambients,
                                      const std::vector<double>& widths,
-                                     std::size_t maxPulses);
+                                     std::size_t maxPulses,
+                                     std::size_t threads = 0);
 
 /// Fig. 3d: pulses-to-flip per attack pattern.
 struct PatternPoint {
@@ -102,9 +118,12 @@ struct PatternPoint {
   std::size_t aggressorCount = 0;
   std::size_t pulses = 0;
   bool flipped = false;
+
+  bool operator==(const PatternPoint&) const = default;
 };
 std::vector<PatternPoint> sweepPatterns(const StudyConfig& base,
                                         const HammerPulse& pulse,
-                                        std::size_t maxPulses);
+                                        std::size_t maxPulses,
+                                        std::size_t threads = 0);
 
 }  // namespace nh::core

@@ -50,6 +50,11 @@ class Matrix {
   /// Max-absolute-element norm.
   double maxAbs() const;
 
+  // C++20 required: a `= default`ed equality operator for a class with
+  // members only became valid with P1185 (C++20); under C++17 this line is
+  // ill-formed and the whole library fails to compile. The standard level is
+  // pinned in exactly one place -- target_compile_features(nh ... cxx_std_20)
+  // in the root CMakeLists.txt -- do not lower it.
   bool operator==(const Matrix& other) const = default;
 
  private:

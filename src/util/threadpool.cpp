@@ -1,0 +1,164 @@
+#include "util/threadpool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <string>
+
+namespace nh::util {
+
+namespace {
+// Pool whose worker is currently executing this thread, if any; lets
+// parallelFor detect same-pool reentrancy and run inline instead of
+// deadlocking on helper jobs no free worker can ever pick up.
+thread_local ThreadPool* t_currentPool = nullptr;
+}  // namespace
+
+std::size_t defaultThreadCount() {
+  if (const char* env = std::getenv("NH_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<std::size_t>(hw) : 1;
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = defaultThreadCount();
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] {
+      t_currentPool = this;
+      workerLoop();
+    });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  jobReady_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    jobs_.push_back(std::move(job));
+  }
+  jobReady_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return jobs_.empty() && active_ == 0; });
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      jobReady_.wait(lock, [this] { return stopping_ || !jobs_.empty(); });
+      if (jobs_.empty()) return;  // stopping_ and nothing left to drain
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
+      ++active_;
+    }
+    job();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_;
+      if (jobs_.empty() && active_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallelFor(std::size_t count,
+                             const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+
+  // Shared iteration state: workers and the calling thread claim indices
+  // from `next`; the first failure wins `error` and later iterations are
+  // skipped so the rethrow happens promptly.
+  struct LoopState {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> pendingTasks{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex errorMutex;
+    std::mutex doneMutex;
+    std::condition_variable done;
+  };
+  auto state = std::make_shared<LoopState>();
+
+  const std::function<void(std::size_t)>* bodyPtr = &body;
+  auto drain = [state, bodyPtr, count] {
+    std::size_t i;
+    while ((i = state->next.fetch_add(1)) < count) {
+      if (state->failed.load()) break;
+      try {
+        (*bodyPtr)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->errorMutex);
+        if (!state->error) state->error = std::current_exception();
+        state->failed.store(true);
+      }
+    }
+  };
+
+  // Reentrant call from one of our own workers: every sibling may be blocked
+  // in the same situation, so queued helpers might never run -- skip them and
+  // let this worker drain the whole loop inline.
+  const std::size_t helperTasks =
+      (count > 1 && t_currentPool != this) ? std::min(size(), count - 1)
+                                           : std::size_t{0};
+  state->pendingTasks.store(helperTasks);
+  for (std::size_t t = 0; t < helperTasks; ++t) {
+    submit([state, drain] {
+      drain();
+      if (state->pendingTasks.fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> lock(state->doneMutex);
+        state->done.notify_all();
+      }
+    });
+  }
+
+  drain();  // the calling thread works too (and alone when the pool is busy)
+
+  std::unique_lock<std::mutex> lock(state->doneMutex);
+  state->done.wait(lock, [&state] { return state->pendingTasks.load() == 0; });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+ThreadPool& ThreadPool::shared() {
+  // The parallelFor caller participates, so defaultThreadCount()-1 workers
+  // give defaultThreadCount() concurrent bodies in total.
+  static ThreadPool pool(std::max<std::size_t>(1, defaultThreadCount() - 1));
+  return pool;
+}
+
+void parallelFor(std::size_t count, const std::function<void(std::size_t)>& body,
+                 std::size_t threads) {
+  if (threads == 0) threads = defaultThreadCount();
+  if (threads <= 1 || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  // threads counts the calling thread too; defaultThreadCount() is compared
+  // directly (a pure function) so non-default requests never instantiate the
+  // shared pool's workers just to look at them.
+  if (threads == defaultThreadCount()) {
+    ThreadPool::shared().parallelFor(count, body);
+    return;
+  }
+  ThreadPool pool(threads - 1);
+  pool.parallelFor(count, body);
+}
+
+}  // namespace nh::util

@@ -1,0 +1,76 @@
+#pragma once
+/// \file threadpool.hpp
+/// Fixed-size worker pool with a `parallelFor` primitive for the sweep
+/// harness. Every Fig. 3 sweep point builds a fresh all-HRS array, so the
+/// points are embarrassingly parallel; callers write results into
+/// preallocated slots indexed by the loop variable, which keeps output
+/// ordering deterministic regardless of the thread count.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nh::util {
+
+/// Worker count used when a caller passes 0: the NH_THREADS environment
+/// variable when set to a positive integer, otherwise the hardware
+/// concurrency (minimum 1).
+std::size_t defaultThreadCount();
+
+/// Fixed pool of worker threads draining a FIFO job queue.
+class ThreadPool {
+ public:
+  /// Spawn \p threads workers (0 = defaultThreadCount()).
+  explicit ThreadPool(std::size_t threads = 0);
+  /// Drains outstanding jobs, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue one job. Jobs must not throw; use parallelFor for bodies that
+  /// can fail (it captures and rethrows the first exception).
+  void submit(std::function<void()> job);
+
+  /// Block until the queue is empty and every worker is idle.
+  void wait();
+
+  /// Run body(0..count-1) across the pool; the calling thread participates,
+  /// so up to size()+1 bodies execute concurrently. Iterations are claimed
+  /// dynamically (atomic counter), so the execution order is unspecified --
+  /// bodies must only touch their own index's state. Blocks until every
+  /// iteration finished; rethrows the first exception. Called from inside a
+  /// task of this same pool, the loop runs inline on that worker (no helper
+  /// jobs), which makes nested use safe instead of a deadlock.
+  void parallelFor(std::size_t count, const std::function<void(std::size_t)>& body);
+
+  /// Process-wide pool created on first use, sized so that a parallelFor on
+  /// it runs defaultThreadCount() concurrent bodies (workers + caller).
+  static ThreadPool& shared();
+
+ private:
+  void workerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> jobs_;
+  mutable std::mutex mutex_;
+  std::condition_variable jobReady_;
+  std::condition_variable idle_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+};
+
+/// Convenience wrapper: run body(0..count-1) with \p threads concurrent
+/// executors in total, the calling thread included (0 = defaultThreadCount()).
+/// threads == 1 runs serially on the calling thread with no pool involved --
+/// the baseline the equivalence tests compare against.
+void parallelFor(std::size_t count, const std::function<void(std::size_t)>& body,
+                 std::size_t threads = 0);
+
+}  // namespace nh::util

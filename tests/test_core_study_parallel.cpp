@@ -1,0 +1,77 @@
+#include "core/study.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace nh::core {
+namespace {
+
+/// Small, fast sweep setup: tight spacing flips in O(10^3) pulses, and the
+/// budget caps the slow points without losing comparability.
+StudyConfig smallConfig() {
+  StudyConfig cfg;
+  cfg.rows = 3;
+  cfg.cols = 3;
+  cfg.spacing = 10e-9;
+  return cfg;
+}
+
+TEST(StudyParallel, SweepPulseLengthMatchesSerial) {
+  const StudyConfig cfg = smallConfig();
+  const std::vector<double> widths = {30e-9, 50e-9, 80e-9, 100e-9};
+  const auto serial = sweepPulseLength(cfg, widths, 100'000, 1);
+  const auto parallel = sweepPulseLength(cfg, widths, 100'000, 4);
+  ASSERT_EQ(serial.size(), widths.size());
+  EXPECT_EQ(serial, parallel);  // bit-identical, see SweepPoint::operator==
+}
+
+TEST(StudyParallel, SweepSpacingMatchesSerial) {
+  const StudyConfig cfg = smallConfig();
+  const std::vector<double> spacings = {10e-9, 50e-9};
+  const std::vector<double> widths = {50e-9, 100e-9};
+  const auto serial = sweepSpacing(cfg, spacings, widths, 200'000, 1);
+  const auto parallel = sweepSpacing(cfg, spacings, widths, 200'000, 4);
+  ASSERT_EQ(serial.size(), spacings.size() * widths.size());
+  EXPECT_EQ(serial, parallel);
+
+  // Slot order is the serial loop order: outer spacing, inner width.
+  for (std::size_t si = 0; si < spacings.size(); ++si) {
+    for (std::size_t wi = 0; wi < widths.size(); ++wi) {
+      const SweepPoint& p = serial[si * widths.size() + wi];
+      EXPECT_DOUBLE_EQ(p.parameter, spacings[si]);
+      EXPECT_DOUBLE_EQ(p.series, widths[wi]);
+    }
+  }
+}
+
+TEST(StudyParallel, SweepAmbientMatchesSerial) {
+  const StudyConfig cfg = smallConfig();
+  const std::vector<double> ambients = {300.0, 350.0};
+  const std::vector<double> widths = {50e-9};
+  const auto serial = sweepAmbient(cfg, ambients, widths, 100'000, 1);
+  const auto parallel = sweepAmbient(cfg, ambients, widths, 100'000, 4);
+  ASSERT_EQ(serial.size(), ambients.size());
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(StudyParallel, SweepPatternsMatchesSerial) {
+  const StudyConfig cfg = smallConfig();
+  const HammerPulse pulse;  // 1.05 V / 50 ns / 50% duty
+  const auto serial = sweepPatterns(cfg, pulse, 50'000, 1);
+  const auto parallel = sweepPatterns(cfg, pulse, 50'000, 4);
+  ASSERT_EQ(serial.size(), allPatterns().size());
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(StudyParallel, DefaultThreadCountMatchesSerialToo) {
+  // threads = 0 routes through the shared pool; same contract.
+  const StudyConfig cfg = smallConfig();
+  const std::vector<double> widths = {50e-9, 100e-9};
+  const auto serial = sweepPulseLength(cfg, widths, 100'000, 1);
+  const auto pooled = sweepPulseLength(cfg, widths, 100'000, 0);
+  EXPECT_EQ(serial, pooled);
+}
+
+}  // namespace
+}  // namespace nh::core

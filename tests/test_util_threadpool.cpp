@@ -1,0 +1,121 @@
+#include "util/threadpool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace nh::util {
+namespace {
+
+TEST(ThreadPool, DefaultThreadCountIsPositive) {
+  EXPECT_GE(defaultThreadCount(), 1u);
+}
+
+TEST(ThreadPool, SizeMatchesRequestedThreads) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, SubmitAndWaitRunsEveryJob) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForVisitsEachIndexExactlyOnce) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}, std::size_t{8}}) {
+    const std::size_t count = 257;  // deliberately not a multiple of threads
+    std::vector<std::atomic<int>> visits(count);
+    parallelFor(count, [&visits](std::size_t i) { visits[i].fetch_add(1); },
+                threads);
+    for (std::size_t i = 0; i < count; ++i) {
+      EXPECT_EQ(visits[i].load(), 1) << "index " << i << ", " << threads
+                                     << " threads";
+    }
+  }
+}
+
+TEST(ThreadPool, ParallelForZeroAndOneCounts) {
+  int calls = 0;
+  parallelFor(0, [&calls](std::size_t) { ++calls; }, 4);
+  EXPECT_EQ(calls, 0);
+  parallelFor(1, [&calls](std::size_t) { ++calls; }, 4);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, SlotIndexedResultsAreThreadCountInvariant) {
+  // The sweep-harness contract: bodies write f(i) into slot i, so the result
+  // vector is identical however the iterations were scheduled.
+  auto run = [](std::size_t threads) {
+    std::vector<double> out(1000);
+    parallelFor(out.size(),
+                [&out](std::size_t i) {
+                  out[i] = static_cast<double>(i) * 1.5 + 1.0;
+                },
+                threads);
+    return out;
+  };
+  const auto serial = run(1);
+  EXPECT_EQ(serial, run(2));
+  EXPECT_EQ(serial, run(7));
+}
+
+TEST(ThreadPool, ParallelForPropagatesTheFirstException) {
+  EXPECT_THROW(
+      parallelFor(100,
+                  [](std::size_t i) {
+                    if (i == 42) throw std::runtime_error("boom");
+                  },
+                  4),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, PoolParallelForUsesWorkers) {
+  ThreadPool pool(4);
+  std::atomic<long long> sum{0};
+  pool.parallelFor(1000, [&sum](std::size_t i) {
+    sum.fetch_add(static_cast<long long>(i));
+  });
+  EXPECT_EQ(sum.load(), 1000LL * 999LL / 2LL);
+}
+
+TEST(ThreadPool, SequentialParallelForCallsReuseThePool) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 10; ++round) {
+    std::vector<int> out(50, -1);
+    pool.parallelFor(out.size(),
+                     [&out](std::size_t i) { out[i] = static_cast<int>(i); });
+    const long long expected = 50LL * 49LL / 2LL;
+    EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0LL), expected);
+  }
+}
+
+TEST(ThreadPool, NestedParallelForOnTheSamePoolCompletes) {
+  // A body calling parallelFor on its own pool must not deadlock: the inner
+  // loop runs inline on the worker. 4 outer x 25 inner on a 2-worker pool
+  // forces every worker into the nested case.
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.parallelFor(4, [&pool, &counter](std::size_t) {
+    pool.parallelFor(25, [&counter](std::size_t) { counter.fetch_add(1); });
+  });
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, SharedPoolIsUsable) {
+  std::atomic<int> counter{0};
+  ThreadPool::shared().parallelFor(10,
+                                   [&counter](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 10);
+}
+
+}  // namespace
+}  // namespace nh::util
