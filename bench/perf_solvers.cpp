@@ -3,21 +3,59 @@
 /// device state integration, and one full fast-engine pulse on the 5x5
 /// crossbar. These bound the cost model behind the sweep budgets quoted in
 /// EXPERIMENTS.md.
+///
+/// The *Fresh/Cached, *Jacobi/Ic0, and reuse/full argument pairs benchmark
+/// the structure-reusing solver core against the seed code paths: cached
+/// sparse assembly vs sort-and-merge rebuilds, IC(0)- vs Jacobi-
+/// preconditioned CG, SPICE transients with vs without factorisation reuse,
+/// and the Schur-complement line-network solve vs the dense factorisation.
 
 #include <benchmark/benchmark.h>
 
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/study.hpp"
 #include "fem/alpha.hpp"
 #include "jart/device.hpp"
+#include "spice/analysis.hpp"
+#include "spice/elements.hpp"
 #include "util/linsolve.hpp"
 #include "util/rng.hpp"
+#include "util/sparse.hpp"
 #include "xbar/fastsim.hpp"
 
 namespace {
+
+/// 7-point FV stencil on an m^3 grid -- the same structure the FEM thermal
+/// solves assemble -- stamped in one fixed sequence.
+void stampPoisson3d(nh::util::TripletBuilder& builder, std::size_t m,
+                    double scale) {
+  const auto idx = [m](std::size_t i, std::size_t j, std::size_t k) {
+    return (k * m + j) * m + i;
+  };
+  for (std::size_t k = 0; k < m; ++k) {
+    for (std::size_t j = 0; j < m; ++j) {
+      for (std::size_t i = 0; i < m; ++i) {
+        const std::size_t v = idx(i, j, k);
+        double diag = 1.0;  // capacity/Dirichlet lump keeps the system SPD
+        const auto visit = [&](std::size_t nv) {
+          diag += scale;
+          builder.add(v, nv, -scale);
+        };
+        if (i > 0) visit(idx(i - 1, j, k));
+        if (i + 1 < m) visit(idx(i + 1, j, k));
+        if (j > 0) visit(idx(i, j - 1, k));
+        if (j + 1 < m) visit(idx(i, j + 1, k));
+        if (k > 0) visit(idx(i, j, k - 1));
+        if (k + 1 < m) visit(idx(i, j, k + 1));
+        builder.add(v, v, diag);
+      }
+    }
+  }
+}
 
 void BM_DenseLuSolve(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
@@ -50,6 +88,89 @@ void BM_FemThermalSolve(benchmark::State& state) {
   state.counters["voxels"] = static_cast<double>(model.grid().voxelCount());
 }
 BENCHMARK(BM_FemThermalSolve)->Unit(benchmark::kMillisecond);
+
+/// Same solve through a persistent ThermalSolver: after the first iteration
+/// every call refills the cached CSR structure and reuses the CG workspace
+/// -- the state an alpha-extraction power sweep runs in.
+void BM_FemThermalSolveReused(benchmark::State& state) {
+  nh::fem::CrossbarLayout layout;
+  layout.rows = 3;
+  layout.cols = 3;
+  layout.margin = 20e-9;
+  const auto model = nh::fem::CrossbarModel3D::build(layout);
+  nh::fem::ThermalScenario scenario;
+  scenario.model = &model;
+  scenario.cellPower = nh::util::Matrix(3, 3, 0.0);
+  scenario.cellPower(1, 1) = 1e-4;
+  nh::fem::ThermalSolver solver;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(scenario));
+  }
+  state.counters["voxels"] = static_cast<double>(model.grid().voxelCount());
+}
+BENCHMARK(BM_FemThermalSolveReused)->Unit(benchmark::kMillisecond);
+
+/// Seed-style assembly: bucket + sort + merge on every call.
+void BM_FemAssemblyFresh(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  nh::util::TripletBuilder builder(m * m * m, m * m * m);
+  stampPoisson3d(builder, m, 2.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nh::util::SparseMatrix::fromTriplets(builder));
+  }
+  state.counters["rows"] = static_cast<double>(m * m * m);
+}
+BENCHMARK(BM_FemAssemblyFresh)->Arg(16)->Unit(benchmark::kMillisecond);
+
+/// Structure-cached assembly: re-stamp and O(nnz) scatter into the cached
+/// CSR, no sorting, no allocation.
+void BM_FemAssemblyCached(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  nh::util::TripletBuilder builder(m * m * m, m * m * m);
+  stampPoisson3d(builder, m, 2.0);
+  const auto pattern = nh::util::SparsityPattern::fromTriplets(builder);
+  nh::util::SparseMatrix matrix;
+  pattern.assemble(builder, matrix);
+  for (auto _ : state) {
+    builder.clear();
+    stampPoisson3d(builder, m, 2.0);
+    pattern.assemble(builder, matrix);
+    benchmark::DoNotOptimize(matrix);
+  }
+  state.counters["rows"] = static_cast<double>(m * m * m);
+}
+BENCHMARK(BM_FemAssemblyCached)->Arg(16)->Unit(benchmark::kMillisecond);
+
+/// CG on the frozen FV operator, Jacobi vs IC(0) (arg: 0 = Jacobi, 1 = IC0),
+/// with a persistent workspace as in the transient marching loop.
+void BM_CgPreconditioner(benchmark::State& state) {
+  const std::size_t m = 16;
+  const std::size_t n = m * m * m;
+  nh::util::TripletBuilder builder(n, n);
+  stampPoisson3d(builder, m, 2.0);
+  const auto matrix = nh::util::SparseMatrix::fromTriplets(builder);
+  nh::util::Vector b(n, 1.0);
+  nh::util::CgWorkspace workspace;
+  nh::util::CgOptions options;
+  options.relTol = 1e-8;
+  options.preconditioner = state.range(0) == 0
+                               ? nh::util::CgPreconditioner::Jacobi
+                               : nh::util::CgPreconditioner::IncompleteCholesky;
+  std::size_t iterations = 0;
+  nh::util::Vector x;
+  for (auto _ : state) {
+    x.assign(n, 0.0);
+    const auto result =
+        nh::util::solveConjugateGradient(matrix, b, x, options, &workspace);
+    options.reusePreconditioner = true;  // operator frozen, as in a transient
+    iterations = result.iterations;
+    benchmark::DoNotOptimize(x);
+  }
+  // Not "iterations": that key would collide with benchmark's own field in
+  // the JSON output and corrupt the tracked baseline.
+  state.counters["cg_iterations"] = static_cast<double>(iterations);
+}
+BENCHMARK(BM_CgPreconditioner)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 void BM_JartConduction(benchmark::State& state) {
   const nh::jart::Model model(nh::jart::Params::paperDefaults());
@@ -88,6 +209,144 @@ void BM_FastEnginePulse(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FastEnginePulse)->Unit(benchmark::kMicrosecond);
+
+/// Toy memristive load for the ladder bench: conductance grows with the
+/// time integral of |v| (cheap to evaluate, keeps the circuit nonlinear).
+class BenchMemristor final : public nh::spice::MemristiveModel {
+ public:
+  double current(double v) const override { return g_ * v; }
+  void advance(double v, double dt) override {
+    g_ += 1e-2 * std::fabs(v) * dt / 1e-9;
+  }
+
+ private:
+  double g_ = 1e-4;
+};
+
+/// Linear SPICE transient of a 40-stage RC ladder (~42 MNA unknowns): with
+/// factorisation reuse the Jacobian is factored once per (dt, analysis) and
+/// never re-stamped, vs the seed's factor-every-step
+/// (arg: 0 = refactor every step, 1 = frozen LU).
+void BM_SpiceTransientLinear(benchmark::State& state) {
+  using namespace nh::spice;
+  constexpr std::size_t kStages = 40;
+  for (auto _ : state) {
+    Circuit ckt;
+    const NodeId in = ckt.node("in");
+    PulseSpec pulse;
+    pulse.base = 0.0;
+    pulse.amplitude = 1.0;
+    pulse.delay = 5e-9;
+    pulse.rise = 0.5e-9;
+    pulse.fall = 0.5e-9;
+    pulse.width = 30e-9;
+    ckt.emplace<VoltageSource>("V1", in, ckt.ground(),
+                               std::make_unique<PulseWaveform>(pulse));
+    NodeId prev = in;
+    for (std::size_t s = 0; s < kStages; ++s) {
+      const NodeId node = ckt.node("n" + std::to_string(s));
+      ckt.emplace<Resistor>("R" + std::to_string(s), prev, node, 50.0);
+      ckt.emplace<Capacitor>("C" + std::to_string(s), node, ckt.ground(), 1e-12);
+      prev = node;
+    }
+    TransientOptions opt;
+    opt.tStop = 60e-9;
+    opt.dtMax = 0.5e-9;
+    opt.newton.reuseFactorization = state.range(0) == 1;
+    benchmark::DoNotOptimize(runTransient(ckt, opt));
+  }
+}
+BENCHMARK(BM_SpiceTransientLinear)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+/// SPICE transient of an 80-stage RC/memristor ladder (~82 MNA unknowns)
+/// with chord-Newton forced on vs the default full Newton (arg: 0 = full,
+/// 1 = chord). This is the measurement behind NewtonOptions::
+/// reuseMinUnknowns' conservative default: chord trades factorisations for
+/// extra stamped iterations and loses at this size on commodity hardware.
+void BM_SpiceTransientNewton(benchmark::State& state) {
+  using namespace nh::spice;
+  constexpr std::size_t kStages = 80;
+  for (auto _ : state) {
+    Circuit ckt;
+    std::vector<BenchMemristor> models(kStages);
+    const NodeId in = ckt.node("in");
+    PulseSpec pulse;
+    pulse.base = 0.0;
+    pulse.amplitude = 1.0;
+    pulse.delay = 5e-9;
+    pulse.rise = 0.5e-9;
+    pulse.fall = 0.5e-9;
+    pulse.width = 30e-9;
+    ckt.emplace<VoltageSource>("V1", in, ckt.ground(),
+                               std::make_unique<PulseWaveform>(pulse));
+    NodeId prev = in;
+    for (std::size_t s = 0; s < kStages; ++s) {
+      const NodeId node = ckt.node("n" + std::to_string(s));
+      ckt.emplace<Resistor>("R" + std::to_string(s), prev, node, 50.0);
+      ckt.emplace<Memristor>("M" + std::to_string(s), node, ckt.ground(),
+                             &models[s]);
+      prev = node;
+    }
+    TransientOptions opt;
+    opt.tStop = 60e-9;
+    opt.dtMax = 0.5e-9;
+    opt.newton.reuseFactorization = state.range(0) == 1;
+    opt.newton.reuseMinUnknowns = 0;  // force chord for the comparison
+    benchmark::DoNotOptimize(runTransient(ckt, opt));
+  }
+}
+BENCHMARK(BM_SpiceTransientNewton)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+/// The line-network Newton update kernel in isolation (device model
+/// evaluation excluded): dense factorisation of the full (rows+cols)
+/// Jacobian vs the Schur complement on the bit-line block
+/// (arg0: array edge, arg1: 0 = dense, 1 = Schur).
+void BM_LineNetworkSolve(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  const bool schur = state.range(1) == 1;
+  nh::util::Rng rng(7);
+  nh::util::Matrix g(m, m);
+  nh::util::Vector d1(m, 0.02), d2(m, 0.02);
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t c = 0; c < m; ++c) {
+      const double gc = std::pow(10.0, rng.uniform(-6.0, -3.0));
+      g(r, c) = gc;
+      d1[r] += gc;
+      d2[c] += gc;
+    }
+  }
+  nh::util::Vector residual(2 * m);
+  for (auto& v : residual) v = rng.uniform(-1e-3, 1e-3);
+
+  if (schur) {
+    nh::util::SchurComplementSolver solver;
+    nh::util::Vector x;
+    for (auto _ : state) {
+      solver.solve(d1, d2, g, residual, x);
+      benchmark::DoNotOptimize(x);
+    }
+  } else {
+    nh::util::Matrix j(2 * m, 2 * m, 0.0);
+    for (auto _ : state) {
+      j.fill(0.0);
+      for (std::size_t i = 0; i < m; ++i) j(i, i) = d1[i];
+      for (std::size_t c = 0; c < m; ++c) j(m + c, m + c) = d2[c];
+      for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t c = 0; c < m; ++c) {
+          j(i, m + c) = -g(i, c);
+          j(m + c, i) = -g(i, c);
+        }
+      }
+      benchmark::DoNotOptimize(nh::util::solveDense(j, residual));
+    }
+  }
+}
+BENCHMARK(BM_LineNetworkSolve)
+    ->Args({32, 0})
+    ->Args({32, 1})
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_AlphaTableHub(benchmark::State& state) {
   nh::xbar::CrosstalkHub hub(5, 5, nh::xbar::AlphaTable::analytic(50e-9));

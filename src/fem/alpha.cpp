@@ -72,6 +72,9 @@ AlphaResult extractAlpha(const CrossbarModel3D& model,
   result.powers = powers;
 
   std::vector<double> guess;
+  // One solver for the whole power sweep: the FV assembly is symbolic-phased
+  // once and every later power point only refills values.
+  ThermalSolver solver;
   for (const double p : powers) {
     ThermalScenario scenario;
     scenario.model = &model;
@@ -81,7 +84,7 @@ AlphaResult extractAlpha(const CrossbarModel3D& model,
     scenario.cellPower(selectedRow, selectedCol) = p;
 
     const ThermalSolution sol =
-        solveThermal(scenario, options, guess.empty() ? nullptr : &guess);
+        solver.solve(scenario, options, guess.empty() ? nullptr : &guess);
     if (!sol.converged()) {
       throw std::runtime_error("extractAlpha: thermal solve did not converge");
     }
@@ -112,6 +115,9 @@ AlphaResult extractAlphaCoupled(const CrossbarModel3D& model,
   result.selectedCol = selectedCol;
   result.ambientK = ambientK;
 
+  // Shared solver: both diffusion systems (potential + heat) keep their
+  // cached assemblies across the voltage sweep.
+  CoupledSolver solver;
   for (const double vSet : setVoltages) {
     CoupledScenario scenario;
     scenario.model = &model;
@@ -128,7 +134,7 @@ AlphaResult extractAlphaCoupled(const CrossbarModel3D& model,
     scenario.cellSigma = nh::util::Matrix(layout.rows, layout.cols, hrsSigma);
     scenario.cellSigma(selectedRow, selectedCol) = lrsSigma;
 
-    const CoupledSolution sol = solveCoupled(scenario, options);
+    const CoupledSolution sol = solver.solve(scenario, options);
     if (!sol.converged()) {
       throw std::runtime_error("extractAlphaCoupled: solve did not converge");
     }

@@ -21,37 +21,40 @@ struct Indexer {
   std::vector<std::size_t> toFree;   ///< voxel -> free index or kPinned.
   std::vector<std::size_t> toVoxel;  ///< free index -> voxel.
   std::vector<double> pinValue;      ///< per-voxel pin value (valid when pinned).
-};
+  std::vector<bool> pinned;          ///< per-voxel pinned flag.
 
-Indexer buildIndexer(const DiffusionProblem& p) {
-  const std::size_t n = p.grid->voxelCount();
-  Indexer idx;
-  idx.toFree.assign(n, 0);
-  idx.pinValue.assign(n, 0.0);
-  std::vector<bool> pinned(n, false);
-  for (const auto& pin : p.pins) {
-    if (pin.voxel >= n) throw std::out_of_range("DiffusionProblem: pin out of range");
-    if (pinned[pin.voxel] && idx.pinValue[pin.voxel] != pin.value) {
-      throw std::invalid_argument("DiffusionProblem: conflicting pin values");
+  /// (Re)build for \p p, reusing this object's storage.
+  void build(const DiffusionProblem& p) {
+    const std::size_t n = p.grid->voxelCount();
+    toFree.assign(n, 0);
+    pinValue.assign(n, 0.0);
+    pinned.assign(n, false);
+    for (const auto& pin : p.pins) {
+      if (pin.voxel >= n) throw std::out_of_range("DiffusionProblem: pin out of range");
+      if (pinned[pin.voxel] && pinValue[pin.voxel] != pin.value) {
+        throw std::invalid_argument("DiffusionProblem: conflicting pin values");
+      }
+      pinned[pin.voxel] = true;
+      pinValue[pin.voxel] = pin.value;
     }
-    pinned[pin.voxel] = true;
-    idx.pinValue[pin.voxel] = pin.value;
-  }
-  idx.toVoxel.reserve(n);
-  for (std::size_t v = 0; v < n; ++v) {
-    if (pinned[v]) {
-      idx.toFree[v] = kPinned;
-    } else {
-      idx.toFree[v] = idx.toVoxel.size();
-      idx.toVoxel.push_back(v);
+    toVoxel.clear();
+    toVoxel.reserve(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      if (pinned[v]) {
+        toFree[v] = kPinned;
+      } else {
+        toFree[v] = toVoxel.size();
+        toVoxel.push_back(v);
+      }
     }
   }
-  return idx;
-}
+};
 
 /// Apply a function to each (neighbour, faceConductance) of voxel (i,j,k).
 /// The face conductance for cubic voxels of edge h is c_face * h (area h^2
-/// over distance h).
+/// over distance h). Faces with zero conductance are visited too (g == 0):
+/// the assembly stamps them as explicit zeros so the sparsity structure
+/// depends only on the grid, never on the coefficient field.
 template <typename Fn>
 void forEachNeighbour(const VoxelGrid& grid, const std::vector<double>& coef,
                       std::size_t i, std::size_t j, std::size_t k, Fn&& fn) {
@@ -60,8 +63,7 @@ void forEachNeighbour(const VoxelGrid& grid, const std::vector<double>& coef,
   const double cv = coef[v];
   const auto visit = [&](std::size_t ni, std::size_t nj, std::size_t nk) {
     const std::size_t nv = grid.index(ni, nj, nk);
-    const double g = faceCoefficient(cv, coef[nv]) * h;
-    if (g > 0.0) fn(nv, g);
+    fn(nv, faceCoefficient(cv, coef[nv]) * h);
   };
   if (i > 0) visit(i - 1, j, k);
   if (i + 1 < grid.nx()) visit(i + 1, j, k);
@@ -89,32 +91,91 @@ void validateProblem(const DiffusionProblem& p) {
 
 }  // namespace
 
-DiffusionSolution solveDiffusion(const DiffusionProblem& problem,
-                                 const DiffusionOptions& options,
-                                 const std::vector<double>* initialGuess) {
+struct DiffusionSolver::State {
+  // ---- structural cache key -------------------------------------------------
+  // The FV adjacency is a pure function of the grid *dimensions* plus the
+  // pin locations (a grid pointer would falsely match a different grid
+  // reusing the same address; voxelCount alone matches permuted dims).
+  std::size_t nx = 0, ny = 0, nz = 0;
+  bool bottomDirichlet = false;
+  std::vector<std::size_t> pinVoxels;  ///< pin locations, in problem order.
+  bool structureValid = false;
+
+  // ---- reusable assembly + solve workspace ----------------------------------
+  Indexer idx;
+  nh::util::TripletBuilder builder{0, 0};
+  nh::util::SparsityPattern pattern;
+  nh::util::SparseMatrix matrix;
+  nh::util::Vector rhs;
+  nh::util::Vector x;
+  nh::util::CgWorkspace cg;
+
+  bool structureMatches(const DiffusionProblem& p) const {
+    if (!structureValid || p.grid->nx() != nx || p.grid->ny() != ny ||
+        p.grid->nz() != nz || p.bottomPlaneDirichlet != bottomDirichlet ||
+        p.pins.size() != pinVoxels.size()) {
+      return false;
+    }
+    for (std::size_t i = 0; i < p.pins.size(); ++i) {
+      if (p.pins[i].voxel != pinVoxels[i]) return false;
+    }
+    return true;
+  }
+
+  void captureStructure(const DiffusionProblem& p) {
+    nx = p.grid->nx();
+    ny = p.grid->ny();
+    nz = p.grid->nz();
+    bottomDirichlet = p.bottomPlaneDirichlet;
+    pinVoxels.clear();
+    pinVoxels.reserve(p.pins.size());
+    for (const auto& pin : p.pins) pinVoxels.push_back(pin.voxel);
+    structureValid = true;
+  }
+};
+
+DiffusionSolver::DiffusionSolver() : state_(std::make_unique<State>()) {}
+DiffusionSolver::~DiffusionSolver() = default;
+DiffusionSolver::DiffusionSolver(DiffusionSolver&&) noexcept = default;
+DiffusionSolver& DiffusionSolver::operator=(DiffusionSolver&&) noexcept = default;
+
+DiffusionSolution DiffusionSolver::solve(const DiffusionProblem& problem,
+                                         const DiffusionOptions& options,
+                                         const std::vector<double>* initialGuess) {
   validateProblem(problem);
+  State& s = *state_;
   const VoxelGrid& grid = *problem.grid;
   const std::size_t n = grid.voxelCount();
   const double h = grid.voxelSize();
 
-  const Indexer idx = buildIndexer(problem);
-  const std::size_t nFree = idx.toVoxel.size();
+  const bool reuseStructure = s.structureMatches(problem);
+  // The indexer is rebuilt every solve (pin *values* may change); with a
+  // structural match this touches only preallocated storage.
+  s.idx.build(problem);
+  const std::size_t nFree = s.idx.toVoxel.size();
 
-  nh::util::TripletBuilder builder(nFree, nFree);
-  nh::util::Vector rhs(nFree, 0.0);
+  if (!reuseStructure || s.builder.rows() != nFree) {
+    s.builder = nh::util::TripletBuilder(nFree, nFree);
+  } else {
+    s.builder.clear();
+  }
+  if (s.rhs.size() != nFree) s.rhs.assign(nFree, 0.0);
+  std::fill(s.rhs.begin(), s.rhs.end(), 0.0);
 
+  // Numeric stamp: one identical (row, col) sequence per structure, values
+  // free to change -- the contract SparsityPattern::assemble relies on.
   for (std::size_t f = 0; f < nFree; ++f) {
-    const std::size_t v = idx.toVoxel[f];
+    const std::size_t v = s.idx.toVoxel[f];
     const auto vox = grid.voxel(v);
     double diag = 0.0;
 
     forEachNeighbour(grid, problem.coefficient, vox.i, vox.j, vox.k,
                      [&](std::size_t nv, double g) {
                        diag += g;
-                       if (idx.toFree[nv] == kPinned) {
-                         rhs[f] += g * idx.pinValue[nv];
+                       if (s.idx.toFree[nv] == kPinned) {
+                         s.rhs[f] += g * s.idx.pinValue[nv];
                        } else {
-                         builder.add(f, idx.toFree[nv], -g);
+                         s.builder.add(f, s.idx.toFree[nv], -g);
                        }
                      });
 
@@ -122,34 +183,52 @@ DiffusionSolution solveDiffusion(const DiffusionProblem& problem,
     if (problem.bottomPlaneDirichlet && vox.k == 0) {
       const double g = 2.0 * problem.coefficient[v] * h;
       diag += g;
-      rhs[f] += g * problem.bottomPlaneValue;
+      s.rhs[f] += g * problem.bottomPlaneValue;
     }
 
-    if (!problem.sourcePerVoxel.empty()) rhs[f] += problem.sourcePerVoxel[v];
+    if (!problem.sourcePerVoxel.empty()) s.rhs[f] += problem.sourcePerVoxel[v];
     // Tiny diagonal shift keeps voxels fully surrounded by zero-coefficient
     // material (e.g. oxide voxels in a potential solve) well-defined.
-    builder.add(f, f, diag + 1e-30);
+    s.builder.add(f, f, diag + 1e-30);
   }
 
-  const auto matrix = nh::util::SparseMatrix::fromTriplets(builder);
+  if (!reuseStructure) {
+    s.pattern = nh::util::SparsityPattern::fromTriplets(s.builder);
+    s.captureStructure(problem);
+  }
+  s.pattern.assemble(s.builder, s.matrix);
 
-  nh::util::Vector x(nFree, 0.0);
+  if (s.x.size() != nFree) s.x.resize(nFree);
   if (initialGuess != nullptr && initialGuess->size() == n) {
-    for (std::size_t f = 0; f < nFree; ++f) x[f] = (*initialGuess)[idx.toVoxel[f]];
+    for (std::size_t f = 0; f < nFree; ++f) s.x[f] = (*initialGuess)[s.idx.toVoxel[f]];
   } else if (problem.bottomPlaneDirichlet) {
-    for (auto& value : x) value = problem.bottomPlaneValue;
+    std::fill(s.x.begin(), s.x.end(), problem.bottomPlaneValue);
+  } else {
+    std::fill(s.x.begin(), s.x.end(), 0.0);
   }
+
+  nh::util::CgOptions cgOptions;
+  cgOptions.relTol = options.relTol;
+  cgOptions.maxIter = options.maxIterations;
+  cgOptions.preconditioner = options.preconditioner;
 
   DiffusionSolution solution;
-  solution.stats = nh::util::solveConjugateGradient(matrix, rhs, x, options.relTol,
-                                                    options.maxIterations);
+  solution.stats =
+      nh::util::solveConjugateGradient(s.matrix, s.rhs, s.x, cgOptions, &s.cg);
 
   solution.field.assign(n, 0.0);
   for (std::size_t v = 0; v < n; ++v) {
     solution.field[v] =
-        idx.toFree[v] == kPinned ? idx.pinValue[v] : x[idx.toFree[v]];
+        s.idx.toFree[v] == kPinned ? s.idx.pinValue[v] : s.x[s.idx.toFree[v]];
   }
   return solution;
+}
+
+DiffusionSolution solveDiffusion(const DiffusionProblem& problem,
+                                 const DiffusionOptions& options,
+                                 const std::vector<double>* initialGuess) {
+  DiffusionSolver solver;
+  return solver.solve(problem, options, initialGuess);
 }
 
 double DiffusionSolution::fluxFromPins(const DiffusionProblem& problem,

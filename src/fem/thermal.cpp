@@ -8,14 +8,13 @@ namespace nh::fem {
 
 namespace {
 
-std::vector<double> kappaField(const CrossbarModel3D& model,
-                               const MaterialTable& materials) {
+void kappaFieldInto(const CrossbarModel3D& model, const MaterialTable& materials,
+                    std::vector<double>& kappa) {
   const VoxelGrid& grid = model.grid();
-  std::vector<double> kappa(grid.voxelCount());
+  kappa.resize(grid.voxelCount());
   for (std::size_t v = 0; v < grid.voxelCount(); ++v) {
     kappa[v] = materials.kappa(grid.material(v));
   }
-  return kappa;
 }
 
 nh::util::Matrix cellAverages(const CrossbarModel3D& model,
@@ -32,9 +31,9 @@ nh::util::Matrix cellAverages(const CrossbarModel3D& model,
 
 }  // namespace
 
-ThermalSolution solveThermal(const ThermalScenario& scenario,
-                             const DiffusionOptions& options,
-                             const std::vector<double>* initialGuess) {
+ThermalSolution ThermalSolver::solve(const ThermalScenario& scenario,
+                                     const DiffusionOptions& options,
+                                     const std::vector<double>* initialGuess) {
   if (scenario.model == nullptr) throw std::invalid_argument("solveThermal: null model");
   const CrossbarModel3D& model = *scenario.model;
   const auto& layout = model.layout();
@@ -43,12 +42,11 @@ ThermalSolution solveThermal(const ThermalScenario& scenario,
     throw std::invalid_argument("solveThermal: cellPower shape mismatch");
   }
 
-  DiffusionProblem problem;
-  problem.grid = &model.grid();
-  problem.coefficient = kappaField(model, scenario.materials);
-  problem.bottomPlaneDirichlet = true;
-  problem.bottomPlaneValue = scenario.ambientK;
-  problem.sourcePerVoxel.assign(model.grid().voxelCount(), 0.0);
+  problem_.grid = &model.grid();
+  kappaFieldInto(model, scenario.materials, problem_.coefficient);
+  problem_.bottomPlaneDirichlet = true;
+  problem_.bottomPlaneValue = scenario.ambientK;
+  problem_.sourcePerVoxel.assign(model.grid().voxelCount(), 0.0);
   for (std::size_t r = 0; r < layout.rows; ++r) {
     for (std::size_t c = 0; c < layout.cols; ++c) {
       const double p = scenario.cellPower(r, c);
@@ -56,11 +54,11 @@ ThermalSolution solveThermal(const ThermalScenario& scenario,
       if (p < 0.0) throw std::invalid_argument("solveThermal: negative cell power");
       const auto& voxels = model.cell(r, c).filamentVoxels;
       const double perVoxel = p / static_cast<double>(voxels.size());
-      for (const std::size_t v : voxels) problem.sourcePerVoxel[v] += perVoxel;
+      for (const std::size_t v : voxels) problem_.sourcePerVoxel[v] += perVoxel;
     }
   }
 
-  const DiffusionSolution sol = solveDiffusion(problem, options, initialGuess);
+  const DiffusionSolution sol = diffusion_.solve(problem_, options, initialGuess);
 
   ThermalSolution out;
   out.temperature = sol.field;
@@ -69,8 +67,15 @@ ThermalSolution solveThermal(const ThermalScenario& scenario,
   return out;
 }
 
-CoupledSolution solveCoupled(const CoupledScenario& scenario,
-                             const DiffusionOptions& options) {
+ThermalSolution solveThermal(const ThermalScenario& scenario,
+                             const DiffusionOptions& options,
+                             const std::vector<double>* initialGuess) {
+  ThermalSolver solver;
+  return solver.solve(scenario, options, initialGuess);
+}
+
+CoupledSolution CoupledSolver::solve(const CoupledScenario& scenario,
+                                     const DiffusionOptions& options) {
   if (scenario.model == nullptr) throw std::invalid_argument("solveCoupled: null model");
   const CrossbarModel3D& model = *scenario.model;
   const auto& layout = model.layout();
@@ -85,13 +90,12 @@ CoupledSolution solveCoupled(const CoupledScenario& scenario,
   }
 
   // ---- potential solve (Eq. 2) ---------------------------------------------
-  DiffusionProblem electric;
-  electric.grid = &grid;
-  electric.coefficient.assign(grid.voxelCount(), 0.0);
+  electric_.grid = &grid;
+  electric_.coefficient.assign(grid.voxelCount(), 0.0);
   double sigmaMax = 0.0;
   for (std::size_t v = 0; v < grid.voxelCount(); ++v) {
-    electric.coefficient[v] = scenario.materials.sigma(grid.material(v));
-    sigmaMax = std::max(sigmaMax, electric.coefficient[v]);
+    electric_.coefficient[v] = scenario.materials.sigma(grid.material(v));
+    sigmaMax = std::max(sigmaMax, electric_.coefficient[v]);
   }
   for (std::size_t r = 0; r < layout.rows; ++r) {
     for (std::size_t c = 0; c < layout.cols; ++c) {
@@ -99,55 +103,54 @@ CoupledSolution solveCoupled(const CoupledScenario& scenario,
       if (!(s > 0.0)) throw std::invalid_argument("solveCoupled: cellSigma must be > 0");
       sigmaMax = std::max(sigmaMax, s);
       for (const std::size_t v : model.cell(r, c).filamentVoxels) {
-        electric.coefficient[v] = s;
+        electric_.coefficient[v] = s;
       }
     }
   }
   // Conductivity floor bounds the condition number (see header).
   const double sigmaFloor = sigmaMax * scenario.sigmaFloorRatio;
-  for (auto& s : electric.coefficient) s = std::max(s, sigmaFloor);
+  for (auto& s : electric_.coefficient) s = std::max(s, sigmaFloor);
 
-  // Ideal line drivers: pin every electrode voxel at its line voltage.
+  // Ideal line drivers: pin every electrode voxel at its line voltage. The
+  // pin *sequence* is identical for every solve on this model, so the cached
+  // assembly structure stays valid across voltage sweeps.
+  electric_.pins.clear();
   for (std::size_t r = 0; r < layout.rows; ++r) {
     for (const std::size_t v : model.wordLineVoxels(r)) {
-      electric.pins.push_back({v, scenario.wordLineVoltage[r]});
+      electric_.pins.push_back({v, scenario.wordLineVoltage[r]});
     }
   }
   for (std::size_t c = 0; c < layout.cols; ++c) {
     for (const std::size_t v : model.bitLineVoxels(c)) {
-      electric.pins.push_back({v, scenario.bitLineVoltage[c]});
+      electric_.pins.push_back({v, scenario.bitLineVoltage[c]});
     }
   }
 
-  const DiffusionSolution phi = solveDiffusion(electric, options);
-  const std::vector<double> joule = phi.dissipationPerVoxel(electric);
+  const DiffusionSolution phi = electricSolver_.solve(electric_, options);
+  const std::vector<double> joule = phi.dissipationPerVoxel(electric_);
 
   // ---- heat solve (Eq. 1) -----------------------------------------------------
-  DiffusionProblem heat;
-  heat.grid = &grid;
-  heat.coefficient = [&] {
-    std::vector<double> kappa(grid.voxelCount());
-    for (std::size_t v = 0; v < grid.voxelCount(); ++v) {
-      kappa[v] = scenario.materials.kappa(grid.material(v));
-    }
-    // Filament kappa from Wiedemann-Franz at ambient (per-cell sigma).
-    for (std::size_t r = 0; r < layout.rows; ++r) {
-      for (std::size_t c = 0; c < layout.cols; ++c) {
-        const double kWf = MaterialTable::wiedemannFranz(scenario.cellSigma(r, c),
-                                                         scenario.ambientK);
-        const double kBase = scenario.materials.kappa(Material::Filament);
-        for (const std::size_t v : model.cell(r, c).filamentVoxels) {
-          kappa[v] = std::max(kBase, kWf);
-        }
+  heat_.grid = &grid;
+  heat_.coefficient.resize(grid.voxelCount());
+  for (std::size_t v = 0; v < grid.voxelCount(); ++v) {
+    heat_.coefficient[v] = scenario.materials.kappa(grid.material(v));
+  }
+  // Filament kappa from Wiedemann-Franz at ambient (per-cell sigma).
+  for (std::size_t r = 0; r < layout.rows; ++r) {
+    for (std::size_t c = 0; c < layout.cols; ++c) {
+      const double kWf = MaterialTable::wiedemannFranz(scenario.cellSigma(r, c),
+                                                       scenario.ambientK);
+      const double kBase = scenario.materials.kappa(Material::Filament);
+      for (const std::size_t v : model.cell(r, c).filamentVoxels) {
+        heat_.coefficient[v] = std::max(kBase, kWf);
       }
     }
-    return kappa;
-  }();
-  heat.bottomPlaneDirichlet = true;
-  heat.bottomPlaneValue = scenario.ambientK;
-  heat.sourcePerVoxel = joule;
+  }
+  heat_.bottomPlaneDirichlet = true;
+  heat_.bottomPlaneValue = scenario.ambientK;
+  heat_.sourcePerVoxel = joule;
 
-  const DiffusionSolution temp = solveDiffusion(heat, options);
+  const DiffusionSolution temp = heatSolver_.solve(heat_, options);
 
   CoupledSolution out;
   out.potential = phi.field;
@@ -173,6 +176,12 @@ CoupledSolution solveCoupled(const CoupledScenario& scenario,
     }
   }
   return out;
+}
+
+CoupledSolution solveCoupled(const CoupledScenario& scenario,
+                             const DiffusionOptions& options) {
+  CoupledSolver solver;
+  return solver.solve(scenario, options);
 }
 
 }  // namespace nh::fem

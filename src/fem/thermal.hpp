@@ -38,6 +38,20 @@ ThermalSolution solveThermal(const ThermalScenario& scenario,
                              const DiffusionOptions& options = {},
                              const std::vector<double>* initialGuess = nullptr);
 
+/// Structure-reusing form of solveThermal(): repeated solves on the same
+/// model (power sweeps, alpha extraction) reuse the cached FV assembly,
+/// coefficient/source buffers, and CG workspace of one DiffusionSolver.
+class ThermalSolver {
+ public:
+  ThermalSolution solve(const ThermalScenario& scenario,
+                        const DiffusionOptions& options = {},
+                        const std::vector<double>* initialGuess = nullptr);
+
+ private:
+  DiffusionSolver diffusion_;
+  DiffusionProblem problem_;  ///< Reused coefficient/source storage.
+};
+
 /// Coupled electro-thermal scenario: the word/bit lines are ideal contacts
 /// pinned at their driver voltages (the V/2 scheme in the experiments), and
 /// each cell's filament has a state-dependent conductivity.
@@ -70,5 +84,20 @@ struct CoupledSolution {
 
 CoupledSolution solveCoupled(const CoupledScenario& scenario,
                              const DiffusionOptions& options = {});
+
+/// Structure-reusing form of solveCoupled(): the potential and heat systems
+/// each keep their own cached assembly across solves on the same model
+/// (voltage sweeps in extractAlphaCoupled re-pin values, not locations).
+class CoupledSolver {
+ public:
+  CoupledSolution solve(const CoupledScenario& scenario,
+                        const DiffusionOptions& options = {});
+
+ private:
+  DiffusionSolver electricSolver_;
+  DiffusionSolver heatSolver_;
+  DiffusionProblem electric_;  ///< Reused coefficient/pin storage.
+  DiffusionProblem heat_;      ///< Reused coefficient/source storage.
+};
 
 }  // namespace nh::fem

@@ -49,8 +49,27 @@ double TransientSolution::riseTimeConstant(std::size_t index) const {
   return std::numeric_limits<double>::quiet_NaN();
 }
 
-TransientSolution solveThermalStep(const TransientScenario& scenario,
-                                   const DiffusionOptions& options) {
+struct ThermalTransientSolver::State {
+  // Structural cache key: the FV adjacency is a pure function of the grid
+  // dimensions (a pointer would falsely match a different grid reusing the
+  // same address; voxelCount alone would match permuted dimensions).
+  std::size_t nx = 0, ny = 0, nz = 0;
+  nh::util::TripletBuilder builder{0, 0};
+  nh::util::SparsityPattern pattern;
+  nh::util::SparseMatrix matrix;
+  nh::util::Vector kappa, cOverDt, steadyRhs, source, temperature, rhs;
+  nh::util::CgWorkspace cg;
+};
+
+ThermalTransientSolver::ThermalTransientSolver() : state_(std::make_unique<State>()) {}
+ThermalTransientSolver::~ThermalTransientSolver() = default;
+ThermalTransientSolver::ThermalTransientSolver(ThermalTransientSolver&&) noexcept =
+    default;
+ThermalTransientSolver& ThermalTransientSolver::operator=(
+    ThermalTransientSolver&&) noexcept = default;
+
+TransientSolution ThermalTransientSolver::solve(const TransientScenario& scenario,
+                                                const DiffusionOptions& options) {
   if (scenario.model == nullptr) {
     throw std::invalid_argument("solveThermalStep: null model");
   }
@@ -63,21 +82,31 @@ TransientSolution solveThermalStep(const TransientScenario& scenario,
   if (scenario.heatedRow >= layout.rows || scenario.heatedCol >= layout.cols) {
     throw std::out_of_range("solveThermalStep: heated cell out of range");
   }
+  State& s = *state_;
   const std::size_t n = grid.voxelCount();
   const double h = grid.voxelSize();
   const double voxelVolume = h * h * h;
 
   // Assemble the steady FV operator A (same stamps as solveDiffusion, no
-  // pinned voxels; Dirichlet bottom plane) plus the capacity lump C/dt.
-  std::vector<double> kappa(n), cOverDt(n);
+  // pinned voxels; Dirichlet bottom plane) plus the capacity lump C/dt. The
+  // stamp sequence is fixed by the grid, so a repeated run refills the
+  // cached CSR structure in O(nnz) without sorting or allocating.
+  s.kappa.resize(n);
+  s.cOverDt.resize(n);
   for (std::size_t v = 0; v < n; ++v) {
     const Material m = grid.material(v);
-    kappa[v] = scenario.materials.kappa(m);
-    cOverDt[v] = scenario.capacities.capacity(m) * voxelVolume / scenario.dt;
+    s.kappa[v] = scenario.materials.kappa(m);
+    s.cOverDt[v] = scenario.capacities.capacity(m) * voxelVolume / scenario.dt;
   }
 
-  nh::util::TripletBuilder builder(n, n);
-  nh::util::Vector steadyRhs(n, 0.0);
+  const bool reuseStructure =
+      s.nx == grid.nx() && s.ny == grid.ny() && s.nz == grid.nz();
+  if (!reuseStructure || s.builder.rows() != n) {
+    s.builder = nh::util::TripletBuilder(n, n);
+  } else {
+    s.builder.clear();
+  }
+  s.steadyRhs.assign(n, 0.0);
   const auto faceCoefficient = [](double a, double b) {
     return (a <= 0.0 || b <= 0.0) ? 0.0 : 2.0 * a * b / (a + b);
   };
@@ -85,12 +114,13 @@ TransientSolution solveThermalStep(const TransientScenario& scenario,
     for (std::size_t j = 0; j < grid.ny(); ++j) {
       for (std::size_t i = 0; i < grid.nx(); ++i) {
         const std::size_t v = grid.index(i, j, k);
-        double diag = cOverDt[v];
+        double diag = s.cOverDt[v];
+        // Zero-conductance faces are stamped too (explicit zeros), keeping
+        // the structure a function of the grid alone.
         const auto visit = [&](std::size_t nv) {
-          const double g = faceCoefficient(kappa[v], kappa[nv]) * h;
-          if (g <= 0.0) return;
+          const double g = faceCoefficient(s.kappa[v], s.kappa[nv]) * h;
           diag += g;
-          builder.add(v, nv, -g);
+          s.builder.add(v, nv, -g);
         };
         if (i > 0) visit(grid.index(i - 1, j, k));
         if (i + 1 < grid.nx()) visit(grid.index(i + 1, j, k));
@@ -99,22 +129,28 @@ TransientSolution solveThermalStep(const TransientScenario& scenario,
         if (k > 0) visit(grid.index(i, j, k - 1));
         if (k + 1 < grid.nz()) visit(grid.index(i, j, k + 1));
         if (k == 0) {  // Dirichlet ambient at the substrate bottom
-          const double g = 2.0 * kappa[v] * h;
+          const double g = 2.0 * s.kappa[v] * h;
           diag += g;
-          steadyRhs[v] += g * scenario.ambientK;
+          s.steadyRhs[v] += g * scenario.ambientK;
         }
-        builder.add(v, v, diag);
+        s.builder.add(v, v, diag);
       }
     }
   }
-  const auto matrix = nh::util::SparseMatrix::fromTriplets(builder);
+  if (!reuseStructure) {
+    s.pattern = nh::util::SparsityPattern::fromTriplets(s.builder);
+    s.nx = grid.nx();
+    s.ny = grid.ny();
+    s.nz = grid.nz();
+  }
+  s.pattern.assemble(s.builder, s.matrix);
 
   // Heat source.
   const auto& heated = model.cell(scenario.heatedRow, scenario.heatedCol);
-  nh::util::Vector source(n, 0.0);
+  s.source.assign(n, 0.0);
   const double perVoxel =
       scenario.power / static_cast<double>(heated.filamentVoxels.size());
-  for (const std::size_t v : heated.filamentVoxels) source[v] += perVoxel;
+  for (const std::size_t v : heated.filamentVoxels) s.source[v] += perVoxel;
 
   // Observed cells: heated + the three characteristic neighbours.
   TransientSolution out;
@@ -135,29 +171,38 @@ TransientSolution solveThermalStep(const TransientScenario& scenario,
   }
   out.cellTemperature.assign(observed.size(), {});
 
-  // March: (C/dt + A) T_new = C/dt T_old + q + dirichletRhs.
-  nh::util::Vector temperature(n, scenario.ambientK);
-  nh::util::Vector rhs(n);
+  // March: (C/dt + A) T_new = C/dt T_old + q + dirichletRhs. The operator is
+  // frozen for the whole march, so the preconditioner (IC(0) by default) is
+  // computed on the first step and reused afterwards; the CG scratch lives
+  // in the persistent workspace.
+  s.temperature.assign(n, scenario.ambientK);
+  s.rhs.resize(n);
   const std::size_t steps =
       static_cast<std::size_t>(std::ceil(scenario.tStop / scenario.dt));
   out.converged = true;
   const auto record = [&](double t) {
     out.time.push_back(t);
-    for (std::size_t s = 0; s < observed.size(); ++s) {
+    for (std::size_t si = 0; si < observed.size(); ++si) {
       double acc = 0.0;
-      const auto& cell = model.cell(observed[s].first, observed[s].second);
-      for (const std::size_t v : cell.filamentVoxels) acc += temperature[v];
-      out.cellTemperature[s].push_back(
+      const auto& cell = model.cell(observed[si].first, observed[si].second);
+      for (const std::size_t v : cell.filamentVoxels) acc += s.temperature[v];
+      out.cellTemperature[si].push_back(
           acc / static_cast<double>(cell.filamentVoxels.size()));
     }
   };
   record(0.0);
+  nh::util::CgOptions cgOptions;
+  cgOptions.relTol = options.relTol;
+  cgOptions.maxIter = options.maxIterations;
+  cgOptions.preconditioner = options.preconditioner;
   for (std::size_t step = 1; step <= steps; ++step) {
     for (std::size_t v = 0; v < n; ++v) {
-      rhs[v] = cOverDt[v] * temperature[v] + source[v] + steadyRhs[v];
+      s.rhs[v] = s.cOverDt[v] * s.temperature[v] + s.source[v] + s.steadyRhs[v];
     }
-    const auto stats = nh::util::solveConjugateGradient(
-        matrix, rhs, temperature, options.relTol, options.maxIterations);
+    const auto stats = nh::util::solveConjugateGradient(s.matrix, s.rhs,
+                                                        s.temperature, cgOptions,
+                                                        &s.cg);
+    cgOptions.reusePreconditioner = true;  // operator frozen across steps
     if (!stats.converged) {
       out.converged = false;
       break;
@@ -165,6 +210,12 @@ TransientSolution solveThermalStep(const TransientScenario& scenario,
     record(static_cast<double>(step) * scenario.dt);
   }
   return out;
+}
+
+TransientSolution solveThermalStep(const TransientScenario& scenario,
+                                   const DiffusionOptions& options) {
+  ThermalTransientSolver solver;
+  return solver.solve(scenario, options);
 }
 
 }  // namespace nh::fem

@@ -12,6 +12,7 @@
 /// propagation delay to the neighbours -- and thereby validate the
 /// quasi-static treatment of 10-100 ns pulses.
 
+#include <memory>
 #include <vector>
 
 #include "fem/geometry.hpp"
@@ -61,5 +62,24 @@ struct TransientSolution {
 /// from the previous step.
 TransientSolution solveThermalStep(const TransientScenario& scenario,
                                    const DiffusionOptions& options = {});
+
+/// Structure-reusing form of solveThermalStep(): repeated runs on the same
+/// grid reuse the cached sparsity pattern, CSR matrix, field vectors, and CG
+/// scratch. Within one run the implicit-Euler operator is frozen, so the
+/// IC(0) preconditioner is factored once and reused for every step.
+class ThermalTransientSolver {
+ public:
+  ThermalTransientSolver();
+  ~ThermalTransientSolver();
+  ThermalTransientSolver(ThermalTransientSolver&&) noexcept;
+  ThermalTransientSolver& operator=(ThermalTransientSolver&&) noexcept;
+
+  TransientSolution solve(const TransientScenario& scenario,
+                          const DiffusionOptions& options = {});
+
+ private:
+  struct State;
+  std::unique_ptr<State> state_;
+};
 
 }  // namespace nh::fem

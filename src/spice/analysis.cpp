@@ -15,67 +15,241 @@ namespace {
 using nh::util::Matrix;
 using nh::util::Vector;
 
-/// One Newton solve of the MNA system at a fixed (time, dt).
-SolveResult newtonSolve(Circuit& circuit, double time, double dt, bool transient,
-                        const Vector& xPrev, const NewtonOptions& options,
-                        const Vector& initialGuess) {
-  const std::size_t n = circuit.unknownCount();
-  const std::size_t nodeUnknowns = circuit.nodeCount() - 1;
+/// Newton solver with persistent storage and LU reuse. One engine lives for
+/// a whole analysis (every timestep of a transient), so the Jacobian, the
+/// right-hand side, and the factorisation survive between solves:
+///  * linear circuits re-factor only when dt (or the analysis kind) changes;
+///    with a frozen Jacobian the matrix is not even re-stamped -- elements
+///    only rebuild the rhs (time-dependent sources);
+///  * nonlinear circuits run chord-Newton on the true KCL residual
+///    r = b(x) - J(x) x, which converges to the same solution for any
+///    (nonsingular) frozen factorisation; the stale factorisation gets the
+///    first iteration of a solve, every later iteration re-factors, and an
+///    adaptive probe skips even that shot while it keeps missing.
+class NewtonEngine {
+ public:
+  SolveResult solve(Circuit& circuit, double time, double dt, bool transient,
+                    const Vector& xPrev, const NewtonOptions& options,
+                    const Vector& initialGuess) {
+    const std::size_t n = circuit.unknownCount();
+    const std::size_t nodeUnknowns = circuit.nodeCount() - 1;
 
-  SolveResult result;
-  result.x = initialGuess.size() == n ? initialGuess : Vector(n, 0.0);
+    SolveResult result;
+    result.x = initialGuess.size() == n ? initialGuess : Vector(n, 0.0);
 
-  Matrix jacobian(n, n);
-  Vector rhs(n);
-
-  const std::size_t maxIter = circuit.hasNonlinear() ? options.maxIterations : 1;
-  for (std::size_t iter = 0; iter < maxIter; ++iter) {
-    jacobian.fill(0.0);
-    std::fill(rhs.begin(), rhs.end(), 0.0);
-
-    StampContext ctx{jacobian, rhs, result.x, xPrev, time, dt, transient};
-    for (const auto& e : circuit.elements()) e->stamp(ctx);
-    // gmin from every node to ground keeps otherwise-floating nodes defined.
-    for (std::size_t i = 0; i < nodeUnknowns; ++i) jacobian(i, i) += circuit.gmin();
-
-    auto lu = nh::util::LuFactorization::factor(jacobian);
-    if (!lu) {
-      result.converged = false;
-      return result;
+    if (jacobian_.rows() != n || jacobian_.cols() != n) {
+      jacobian_.resize(n, n, 0.0);
+      rhs_.assign(n, 0.0);
+      luValid_ = false;
     }
-    Vector xNew = lu->solve(rhs);
+    const bool frozenLuUsable = options.reuseFactorization && luValid_ &&
+                                dt == luDt_ && transient == luTransient_;
 
-    // Voltage limiting: clamp node-voltage updates to keep the exponential
-    // devices inside a trust region (standard SPICE practice). Linear
-    // circuits take the exact solve -- limiting would truncate it.
+    if (!circuit.hasNonlinear()) {
+      return solveLinear(circuit, time, dt, transient, xPrev, frozenLuUsable,
+                         std::move(result), nodeUnknowns);
+    }
+    // Below the size threshold the factorisation is cheaper than the extra
+    // chord iterations: run the classic full Newton.
+    NewtonOptions effective = options;
+    if (n < options.reuseMinUnknowns) effective.reuseFactorization = false;
+    // Adaptive chord: when the last solve's stale-LU shot missed, the
+    // Jacobian is drifting too fast between steps -- skip the wasted stale
+    // iteration and re-factor upfront, re-probing the chord every few steps
+    // in case the circuit has settled.
+    bool tryStale = frozenLuUsable && effective.reuseFactorization;
+    if (tryStale && !chordTrusted_) {
+      if (++chordProbeCountdown_ >= kChordProbeInterval) {
+        chordProbeCountdown_ = 0;  // probe the stale LU this step
+      } else {
+        tryStale = false;
+      }
+    }
+    return solveNewton(circuit, time, dt, transient, xPrev, effective, tryStale,
+                       std::move(result), nodeUnknowns);
+  }
+
+ private:
+  SolveResult solveLinear(Circuit& circuit, double time, double dt,
+                          bool transient, const Vector& xPrev, bool reuseLu,
+                          SolveResult result, std::size_t nodeUnknowns) {
+    const std::size_t n = jacobian_.rows();
+    std::fill(rhs_.begin(), rhs_.end(), 0.0);
+    if (!reuseLu) jacobian_.fill(0.0);
+    // With a frozen LU the conductance stamps are no-ops (stampMatrix
+    // false): only the rhs is rebuilt, and the previous factorisation is
+    // solved against it -- bit-identical to re-stamping and re-factoring
+    // the identical matrix.
+    StampContext ctx{jacobian_, rhs_,     result.x, xPrev,
+                     time,      dt,       transient, /*stampMatrix=*/!reuseLu};
+    for (const auto& e : circuit.elements()) e->stamp(ctx);
+    if (!reuseLu) {
+      // gmin from every node to ground keeps otherwise-floating nodes defined.
+      for (std::size_t i = 0; i < nodeUnknowns; ++i) {
+        jacobian_(i, i) += circuit.gmin();
+      }
+      if (!lu_.refactor(jacobian_)) {
+        luValid_ = false;
+        result.converged = false;
+        return result;
+      }
+      luValid_ = true;
+      luDt_ = dt;
+      luTransient_ = transient;
+    }
+    // solveInPlace into the persistent scratch: the same substitution
+    // sequence as solve(), without the per-step allocation.
+    xNew_.assign(rhs_.begin(), rhs_.end());
+    lu_.solveInPlace(xNew_);
     double maxUpdate = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
-      double delta = xNew[i] - result.x[i];
-      if (circuit.hasNonlinear() && i < nodeUnknowns) {
-        delta = std::clamp(delta, -options.maxStepVoltage, options.maxStepVoltage);
-      }
+      const double delta = xNew_[i] - result.x[i];
       result.x[i] += delta;
       if (i < nodeUnknowns) maxUpdate = std::max(maxUpdate, std::fabs(delta));
     }
-    result.iterations = iter + 1;
+    result.iterations = 1;
     result.maxUpdate = maxUpdate;
-
-    if (!circuit.hasNonlinear()) {
-      result.converged = true;
-      return result;
-    }
-    double tolerance = options.absTol;
-    for (std::size_t i = 0; i < nodeUnknowns; ++i) {
-      tolerance = std::max(tolerance,
-                           options.absTol + options.relTol * std::fabs(result.x[i]));
-    }
-    if (maxUpdate < tolerance) {
-      result.converged = true;
-      return result;
-    }
+    result.converged = true;
+    return result;
   }
-  result.converged = !circuit.hasNonlinear();
-  return result;
+
+  SolveResult solveNewton(Circuit& circuit, double time, double dt,
+                          bool transient, const Vector& xPrev,
+                          const NewtonOptions& options, bool frozenLuUsable,
+                          SolveResult result, std::size_t nodeUnknowns) {
+    const std::size_t n = jacobian_.rows();
+    bool refactor = !frozenLuUsable;
+    bool refactoredThisSolve = !frozenLuUsable;
+
+    for (std::size_t iter = 0; iter < options.maxIterations; ++iter) {
+      jacobian_.fill(0.0);
+      std::fill(rhs_.begin(), rhs_.end(), 0.0);
+
+      StampContext ctx{jacobian_, rhs_, result.x, xPrev, time, dt, transient};
+      for (const auto& e : circuit.elements()) e->stamp(ctx);
+      // gmin from every node to ground keeps otherwise-floating nodes defined.
+      for (std::size_t i = 0; i < nodeUnknowns; ++i) {
+        jacobian_(i, i) += circuit.gmin();
+      }
+
+      double maxUpdate = 0.0;
+      if (options.reuseFactorization) {
+        // Chord-Newton: delta = LU^{-1} (b - J x) with a possibly stale LU.
+        // The companion-model linearisation makes b - J x the true KCL
+        // residual at x, so any nonsingular LU yields the same fixed point.
+        if (refactor) {
+          if (!lu_.refactor(jacobian_)) {
+            luValid_ = false;
+            result.converged = false;
+            return result;
+          }
+          luValid_ = true;
+          luDt_ = dt;
+          luTransient_ = transient;
+          refactor = false;
+          refactoredThisSolve = true;
+        }
+        delta_.resize(n);
+        const double* j = jacobian_.data();
+        for (std::size_t r = 0; r < n; ++r) {
+          double acc = rhs_[r];
+          const double* row = j + r * n;
+          for (std::size_t c = 0; c < n; ++c) acc -= row[c] * result.x[c];
+          delta_[r] = acc;
+        }
+        lu_.solveInPlace(delta_);
+        for (std::size_t i = 0; i < n; ++i) {
+          double delta = delta_[i];
+          if (i < nodeUnknowns) {
+            delta = std::clamp(delta, -options.maxStepVoltage,
+                               options.maxStepVoltage);
+            maxUpdate = std::max(maxUpdate, std::fabs(delta));
+          }
+          result.x[i] += delta;
+        }
+      } else {
+        // Classic full Newton (seed behaviour): factor every iteration and
+        // solve the companion system for the next iterate directly. The
+        // persistent lu_/xNew_ replace the seed's per-iteration allocations;
+        // refactor()+solveInPlace() run the identical elimination and
+        // substitution sequences, so the results are bit-identical.
+        if (!lu_.refactor(jacobian_)) {
+          luValid_ = false;
+          result.converged = false;
+          return result;
+        }
+        luValid_ = true;
+        luDt_ = dt;
+        luTransient_ = transient;
+        xNew_.assign(rhs_.begin(), rhs_.end());
+        lu_.solveInPlace(xNew_);
+        // Voltage limiting: clamp node-voltage updates to keep the
+        // exponential devices inside a trust region (standard SPICE
+        // practice).
+        for (std::size_t i = 0; i < n; ++i) {
+          double delta = xNew_[i] - result.x[i];
+          if (i < nodeUnknowns) {
+            delta = std::clamp(delta, -options.maxStepVoltage,
+                               options.maxStepVoltage);
+            maxUpdate = std::max(maxUpdate, std::fabs(delta));
+          }
+          result.x[i] += delta;
+        }
+      }
+      result.iterations = iter + 1;
+      result.maxUpdate = maxUpdate;
+      double tolerance = options.absTol;
+      for (std::size_t i = 0; i < nodeUnknowns; ++i) {
+        tolerance = std::max(
+            tolerance, options.absTol + options.relTol * std::fabs(result.x[i]));
+      }
+      if (maxUpdate < tolerance) {
+        result.converged = true;
+        // Re-grade the chord only when a stale shot was actually taken:
+        // solves that started with a refactor (first step, changed dt,
+        // skipped probe) say nothing about the frozen LU's accuracy.
+        if (options.reuseFactorization && frozenLuUsable) {
+          chordTrusted_ = !refactoredThisSolve;
+        }
+        return result;
+      }
+      // Safeguard: the stale factorisation only ever gets the first
+      // iteration of a solve. When the frozen Jacobian is still accurate
+      // (small state drift between timesteps) that shot converges and the
+      // whole step costs zero factorisations; otherwise every remaining
+      // iteration re-factors -- exactly full Newton plus at most one cheap
+      // O(n^2) probe. Iterating further on a stale LU would trade one
+      // O(n^3) factorisation for many linearly-convergent iterations and
+      // lose whenever element stamping is non-trivial.
+      refactor = true;
+    }
+    result.converged = false;
+    if (frozenLuUsable) chordTrusted_ = false;
+    return result;
+  }
+
+  /// Steps between stale-LU probes once the chord has been distrusted.
+  static constexpr std::size_t kChordProbeInterval = 8;
+
+  Matrix jacobian_;
+  Vector rhs_;
+  Vector delta_;
+  Vector xNew_;
+  nh::util::LuFactorization lu_;
+  bool luValid_ = false;
+  double luDt_ = 0.0;
+  bool luTransient_ = false;
+  bool chordTrusted_ = true;   ///< Last stale-LU shot converged unaided.
+  std::size_t chordProbeCountdown_ = 0;
+};
+
+/// One Newton solve of the MNA system at a fixed (time, dt) without
+/// cross-call reuse (DC operating points, one-shot callers).
+SolveResult newtonSolve(Circuit& circuit, double time, double dt, bool transient,
+                        const Vector& xPrev, const NewtonOptions& options,
+                        const Vector& initialGuess) {
+  NewtonEngine engine;
+  return engine.solve(circuit, time, dt, transient, xPrev, options, initialGuess);
 }
 
 }  // namespace
@@ -119,6 +293,10 @@ TransientResult runTransient(Circuit& circuit, const TransientOptions& options,
   }
   Vector x = op.x;
 
+  // One engine for the whole transient: the Jacobian storage and its LU
+  // factorisation persist across timesteps (see NewtonEngine).
+  NewtonEngine engine;
+
   const auto record = [&](double t, const Vector& sol) {
     result.time.push_back(t);
     for (std::size_t p = 0; p < probes.size(); ++p) {
@@ -136,8 +314,8 @@ TransientResult runTransient(Circuit& circuit, const TransientOptions& options,
       if (bp > t && bp < t + step) step = bp - t;
     }
 
-    const SolveResult sr = newtonSolve(circuit, t + step, step, /*transient=*/true,
-                                       x, options.newton, x);
+    const SolveResult sr = engine.solve(circuit, t + step, step,
+                                        /*transient=*/true, x, options.newton, x);
     if (!sr.converged) {
       // Convergence failure: shrink the step and retry.
       dt *= 0.25;

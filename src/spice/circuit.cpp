@@ -6,6 +6,7 @@
 namespace nh::spice {
 
 void StampContext::stampConductance(NodeId a, NodeId b, double g) {
+  if (!stampMatrix) return;
   const std::size_t ia = indexOf(a);
   const std::size_t ib = indexOf(b);
   if (ia != kGround) jacobian(ia, ia) += g;
@@ -24,6 +25,7 @@ void StampContext::stampCurrentSource(NodeId a, NodeId b, double i) {
 }
 
 void StampContext::stampJacobian(std::size_t row, std::size_t col, double value) {
+  if (!stampMatrix) return;
   jacobian(row, col) += value;
 }
 

@@ -28,6 +28,10 @@ struct StampContext {
   double time = 0.0;            ///< Absolute time of the step being solved [s].
   double dt = 0.0;              ///< Timestep [s]; 0 for DC analyses.
   bool transient = false;       ///< False during DC operating-point solves.
+  /// False when the analysis re-uses a frozen Jacobian (linear circuit with
+  /// an unchanged timestep): matrix stamps become no-ops and only the
+  /// right-hand side is rebuilt.
+  bool stampMatrix = true;
 
   /// Row/column of node \p n, or npos for ground.
   static constexpr std::size_t kGround = static_cast<std::size_t>(-1);

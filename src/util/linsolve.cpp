@@ -1,5 +1,6 @@
 #include "util/linsolve.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
@@ -7,40 +8,47 @@
 namespace nh::util {
 
 std::optional<LuFactorization> LuFactorization::factor(const Matrix& a) {
+  LuFactorization f;
+  if (!f.refactor(a)) return std::nullopt;
+  return f;
+}
+
+bool LuFactorization::refactor(const Matrix& a) {
   if (a.rows() != a.cols()) {
     throw std::invalid_argument("LuFactorization: matrix must be square");
   }
   const std::size_t n = a.rows();
-  LuFactorization f;
-  f.lu_ = a;
-  f.perm_.resize(n);
-  for (std::size_t i = 0; i < n; ++i) f.perm_[i] = i;
+  valid_ = false;
+  lu_ = a;  // reuses the existing allocation when the size is unchanged
+  perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
 
   for (std::size_t k = 0; k < n; ++k) {
     // Partial pivot: largest |value| in column k at/below the diagonal.
     std::size_t pivot = k;
-    double best = std::fabs(f.lu_(k, k));
+    double best = std::fabs(lu_(k, k));
     for (std::size_t r = k + 1; r < n; ++r) {
-      const double v = std::fabs(f.lu_(r, k));
+      const double v = std::fabs(lu_(r, k));
       if (v > best) {
         best = v;
         pivot = r;
       }
     }
-    if (best < 1e-300) return std::nullopt;  // numerically singular
+    if (best < 1e-300) return false;  // numerically singular
     if (pivot != k) {
-      for (std::size_t c = 0; c < n; ++c) std::swap(f.lu_(k, c), f.lu_(pivot, c));
-      std::swap(f.perm_[k], f.perm_[pivot]);
+      for (std::size_t c = 0; c < n; ++c) std::swap(lu_(k, c), lu_(pivot, c));
+      std::swap(perm_[k], perm_[pivot]);
     }
-    const double inv = 1.0 / f.lu_(k, k);
+    const double inv = 1.0 / lu_(k, k);
     for (std::size_t r = k + 1; r < n; ++r) {
-      const double m = f.lu_(r, k) * inv;
-      f.lu_(r, k) = m;
+      const double m = lu_(r, k) * inv;
+      lu_(r, k) = m;
       if (m == 0.0) continue;
-      for (std::size_t c = k + 1; c < n; ++c) f.lu_(r, c) -= m * f.lu_(k, c);
+      for (std::size_t c = k + 1; c < n; ++c) lu_(r, c) -= m * lu_(k, c);
     }
   }
-  return f;
+  valid_ = true;
+  return true;
 }
 
 Vector LuFactorization::solve(const Vector& b) const {
@@ -63,6 +71,26 @@ Vector LuFactorization::solve(const Vector& b) const {
   return x;
 }
 
+void LuFactorization::solveInPlace(Vector& b) const {
+  const std::size_t n = lu_.rows();
+  if (b.size() != n) {
+    throw std::invalid_argument("LuFactorization::solveInPlace: size mismatch");
+  }
+  scratch_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) scratch_[i] = b[perm_[i]];
+  for (std::size_t i = 1; i < n; ++i) {
+    double acc = scratch_[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu_(i, j) * scratch_[j];
+    scratch_[i] = acc;
+  }
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = scratch_[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= lu_(ii, j) * scratch_[j];
+    scratch_[ii] = acc / lu_(ii, ii);
+  }
+  std::copy(scratch_.begin(), scratch_.end(), b.begin());
+}
+
 double LuFactorization::absDeterminant() const {
   double det = 1.0;
   for (std::size_t i = 0; i < lu_.rows(); ++i) det *= std::fabs(lu_(i, i));
@@ -75,18 +103,183 @@ Vector solveDense(const Matrix& a, const Vector& b) {
   return f->solve(b);
 }
 
+bool SchurComplementSolver::solve(const Vector& d1, const Vector& d2,
+                                  const Matrix& g, const Vector& r, Vector& x) {
+  const std::size_t n1 = d1.size();
+  const std::size_t n2 = d2.size();
+  if (g.rows() != n1 || g.cols() != n2 || r.size() != n1 + n2) {
+    throw std::invalid_argument("SchurComplementSolver: shape mismatch");
+  }
+  if (schur_.rows() != n2 || schur_.cols() != n2) schur_.resize(n2, n2, 0.0);
+  schur_.fill(0.0);
+  rhs_.resize(n2);
+  for (std::size_t c = 0; c < n2; ++c) rhs_[c] = r[n1 + c];
+
+  // S = diag(d2) - G^T diag(d1)^-1 G, accumulated row-by-row of G so the
+  // inner loops stream one cached row; S is symmetric, fill the upper
+  // triangle and mirror.
+  for (std::size_t i = 0; i < n1; ++i) {
+    const double invD = 1.0 / d1[i];
+    const double scaledRes = r[i] * invD;
+    const double* row = g.data() + i * n2;
+    for (std::size_t c1 = 0; c1 < n2; ++c1) {
+      const double gScaled = row[c1] * invD;
+      rhs_[c1] += row[c1] * scaledRes;
+      double* s = schur_.data() + c1 * n2;
+      for (std::size_t c2 = c1; c2 < n2; ++c2) s[c2] -= gScaled * row[c2];
+    }
+  }
+  for (std::size_t c1 = 0; c1 < n2; ++c1) {
+    schur_(c1, c1) += d2[c1];
+    for (std::size_t c2 = 0; c2 < c1; ++c2) schur_(c1, c2) = schur_(c2, c1);
+  }
+
+  if (!lu_.refactor(schur_)) return false;
+  lu_.solveInPlace(rhs_);  // now x2
+
+  x.resize(n1 + n2);
+  for (std::size_t i = 0; i < n1; ++i) {
+    double acc = r[i];
+    const double* row = g.data() + i * n2;
+    for (std::size_t c = 0; c < n2; ++c) acc += row[c] * rhs_[c];
+    x[i] = acc / d1[i];
+  }
+  for (std::size_t c = 0; c < n2; ++c) x[n1 + c] = rhs_[c];
+  return true;
+}
+
+bool IncompleteCholesky::compute(const SparseMatrix& a) {
+  valid_ = false;
+  if (a.rows() != a.cols()) return false;
+  n_ = a.rows();
+  const auto& aRowPtr = a.rowPtr();
+  const auto& aColIdx = a.colIdx();
+  const auto& aValues = a.values();
+
+  // Extract the lower-triangle structure (cols <= r, diagonal last in each
+  // row since CSR rows are column-sorted). Buffers keep their allocation
+  // across refactorisations of same-structure matrices.
+  rowPtr_.resize(n_ + 1);
+  rowPtr_[0] = 0;
+  std::size_t nnz = 0;
+  for (std::size_t r = 0; r < n_; ++r) {
+    for (std::size_t k = aRowPtr[r]; k < aRowPtr[r + 1] && aColIdx[k] <= r; ++k) {
+      ++nnz;
+    }
+    rowPtr_[r + 1] = nnz;
+  }
+  colIdx_.resize(nnz);
+  val_.resize(nnz);
+  for (std::size_t r = 0; r < n_; ++r) {
+    std::size_t out = rowPtr_[r];
+    for (std::size_t k = aRowPtr[r]; k < aRowPtr[r + 1] && aColIdx[k] <= r; ++k) {
+      colIdx_[out] = aColIdx[k];
+      val_[out] = aValues[k];
+      ++out;
+    }
+    // IC(0) needs every diagonal entry present.
+    if (rowPtr_[r + 1] == rowPtr_[r] || colIdx_[rowPtr_[r + 1] - 1] != r) {
+      return false;
+    }
+  }
+
+  // Up-looking factorisation restricted to the pattern of L:
+  //   L(i,j) = (A(i,j) - sum_{p<j} L(i,p) L(j,p)) / L(j,j)     for j < i
+  //   L(i,i) = sqrt(A(i,i) - sum_{p<i} L(i,p)^2)
+  // The inner sums intersect two already-computed sparse rows (two-pointer
+  // merge); with the ~7-entry stencil rows of the FV operators this is O(nnz).
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::size_t rowBegin = rowPtr_[i];
+    const std::size_t rowEnd = rowPtr_[i + 1];
+    for (std::size_t idx = rowBegin; idx < rowEnd; ++idx) {
+      const std::size_t j = colIdx_[idx];
+      double s = val_[idx];
+      const std::size_t jEnd = rowPtr_[j + 1] - 1;  // exclude L(j,j)
+      std::size_t ka = rowBegin;
+      std::size_t kb = rowPtr_[j];
+      while (ka < idx && kb < jEnd) {
+        const std::size_t ca = colIdx_[ka];
+        const std::size_t cb = colIdx_[kb];
+        if (ca == cb) {
+          s -= val_[ka] * val_[kb];
+          ++ka;
+          ++kb;
+        } else if (ca < cb) {
+          ++ka;
+        } else {
+          ++kb;
+        }
+      }
+      if (j < i) {
+        val_[idx] = s / val_[jEnd];  // jEnd points at L(j,j)
+      } else {
+        if (!(s > 0.0) || !std::isfinite(s)) return false;  // not SPD
+        val_[idx] = std::sqrt(s);
+      }
+    }
+  }
+  valid_ = true;
+  return true;
+}
+
+void IncompleteCholesky::apply(const Vector& r, Vector& z) const {
+  assert(valid_);
+  assert(r.size() == n_);
+  if (z.size() != n_) z.resize(n_);
+  // Forward solve L y = r (diagonal is the last entry of each row).
+  for (std::size_t i = 0; i < n_; ++i) {
+    double acc = r[i];
+    const std::size_t diag = rowPtr_[i + 1] - 1;
+    for (std::size_t k = rowPtr_[i]; k < diag; ++k) {
+      acc -= val_[k] * z[colIdx_[k]];
+    }
+    z[i] = acc / val_[diag];
+  }
+  // Backward solve L^T z = y, column-oriented over the rows of L.
+  for (std::size_t ii = n_; ii-- > 0;) {
+    const std::size_t diag = rowPtr_[ii + 1] - 1;
+    const double zi = z[ii] / val_[diag];
+    z[ii] = zi;
+    for (std::size_t k = rowPtr_[ii]; k < diag; ++k) {
+      z[colIdx_[k]] -= val_[k] * zi;
+    }
+  }
+}
+
 IterativeResult solveConjugateGradient(const SparseMatrix& a, const Vector& b,
-                                       Vector& x, double relTol,
-                                       std::size_t maxIter) {
+                                       Vector& x, const CgOptions& options,
+                                       CgWorkspace* workspace) {
   const std::size_t n = b.size();
   assert(a.rows() == n && a.cols() == n);
   if (x.size() != n) x.assign(n, 0.0);
 
-  // Jacobi preconditioner M^-1 = 1/diag(A).
-  Vector invDiag = a.diagonal();
-  for (auto& d : invDiag) d = (std::fabs(d) > 1e-300) ? 1.0 / d : 1.0;
+  CgWorkspace local;
+  CgWorkspace& ws = workspace != nullptr ? *workspace : local;
 
-  Vector r(n), z(n), p(n), ap(n);
+  bool useIc = options.preconditioner == CgPreconditioner::IncompleteCholesky;
+  if (useIc) {
+    if (options.reusePreconditioner && ws.icFailed_) {
+      useIc = false;  // same frozen matrix already broke down once
+    } else if (!(options.reusePreconditioner && ws.ic_.valid())) {
+      useIc = ws.ic_.compute(a);  // breakdown -> Jacobi fallback
+      ws.icFailed_ = !useIc;
+    }
+  }
+  if (!useIc) {
+    // Jacobi preconditioner M^-1 = 1/diag(A).
+    a.diagonalInto(ws.invDiag_);
+    for (auto& d : ws.invDiag_) d = (std::fabs(d) > 1e-300) ? 1.0 / d : 1.0;
+  }
+
+  Vector& r = ws.r_;
+  Vector& z = ws.z_;
+  Vector& p = ws.p_;
+  Vector& ap = ws.ap_;
+  r.resize(n);
+  z.resize(n);
+  p.resize(n);
+  ap.resize(n);
+
   a.multiplyInto(x, ap);
   for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - ap[i];
   const double bNorm = norm2(b);
@@ -95,12 +288,20 @@ IterativeResult solveConjugateGradient(const SparseMatrix& a, const Vector& b,
     return {true, 0, 0.0};
   }
 
-  for (std::size_t i = 0; i < n; ++i) z[i] = invDiag[i] * r[i];
-  p = z;
+  const auto applyPreconditioner = [&] {
+    if (useIc) {
+      ws.ic_.apply(r, z);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) z[i] = ws.invDiag_[i] * r[i];
+    }
+  };
+
+  applyPreconditioner();
+  std::copy(z.begin(), z.end(), p.begin());
   double rz = dot(r, z);
 
   IterativeResult result;
-  for (std::size_t it = 0; it < maxIter; ++it) {
+  for (std::size_t it = 0; it < options.maxIter; ++it) {
     a.multiplyInto(p, ap);
     const double pap = dot(p, ap);
     if (pap <= 0.0) break;  // not SPD (or breakdown)
@@ -110,17 +311,26 @@ IterativeResult solveConjugateGradient(const SparseMatrix& a, const Vector& b,
     const double res = norm2(r) / bNorm;
     result.iterations = it + 1;
     result.residualNorm = res;
-    if (res < relTol) {
+    if (res < options.relTol) {
       result.converged = true;
       return result;
     }
-    for (std::size_t i = 0; i < n; ++i) z[i] = invDiag[i] * r[i];
+    applyPreconditioner();
     const double rzNew = dot(r, z);
     const double beta = rzNew / rz;
     rz = rzNew;
     for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
   }
   return result;
+}
+
+IterativeResult solveConjugateGradient(const SparseMatrix& a, const Vector& b,
+                                       Vector& x, double relTol,
+                                       std::size_t maxIter) {
+  CgOptions options;
+  options.relTol = relTol;
+  options.maxIter = maxIter;
+  return solveConjugateGradient(a, b, x, options, nullptr);
 }
 
 IterativeResult solveBiCgStab(const SparseMatrix& a, const Vector& b, Vector& x,

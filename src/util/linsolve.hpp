@@ -1,9 +1,9 @@
 #pragma once
 /// \file linsolve.hpp
 /// Linear solvers: dense LU with partial pivoting for the small MNA systems,
-/// and Jacobi-preconditioned conjugate gradient / BiCGSTAB for the large
-/// symmetric-positive-definite systems produced by the finite-volume PDE
-/// discretisations.
+/// and preconditioned conjugate gradient (Jacobi or zero-fill incomplete
+/// Cholesky) / BiCGSTAB for the large symmetric-positive-definite systems
+/// produced by the finite-volume PDE discretisations.
 
 #include <cstddef>
 #include <optional>
@@ -21,31 +21,139 @@ struct IterativeResult {
 };
 
 /// LU factorisation with partial pivoting of a square dense matrix.
-/// Factor once, solve many right-hand sides (the transient circuit loop
-/// re-uses the factorisation while the Jacobian is frozen).
+/// Factor once, solve many right-hand sides; refactor() re-runs the
+/// elimination in the already-allocated storage, so transient loops that
+/// re-factor a same-sized Jacobian never touch the heap.
 class LuFactorization {
  public:
+  /// Empty factorization; call refactor() before solving.
+  LuFactorization() = default;
+
   /// Factor \p a. Returns std::nullopt when the matrix is singular to
   /// working precision.
   static std::optional<LuFactorization> factor(const Matrix& a);
 
+  /// Re-factor \p a in place, reusing this object's storage when the size
+  /// matches. Returns false (leaving the factorization invalid) when \p a is
+  /// singular to working precision.
+  bool refactor(const Matrix& a);
+
+  /// True when the object holds a usable factorization.
+  bool valid() const { return valid_; }
+
   /// Solve A x = b for one right-hand side.
   Vector solve(const Vector& b) const;
+
+  /// Solve A x = b with b overwritten by the solution; no allocation.
+  void solveInPlace(Vector& b) const;
 
   /// abs(product of U diagonal) — cheap singularity diagnostic.
   double absDeterminant() const;
 
  private:
-  LuFactorization() = default;
   Matrix lu_;
   std::vector<std::size_t> perm_;
+  mutable Vector scratch_;  ///< Permutation scratch for solveInPlace.
+  bool valid_ = false;
 };
 
 /// Convenience one-shot dense solve. Throws std::runtime_error on singular A.
 Vector solveDense(const Matrix& a, const Vector& b);
 
-/// Jacobi (diagonal) preconditioned conjugate gradient for SPD systems.
+/// Solver for the bipartite block system
+///   [ diag(d1)   -G      ] [x1]   [r1]
+///   [ -G^T      diag(d2) ] [x2] = [r2]
+/// via the Schur complement on the second block:
+///   (diag(d2) - G^T diag(d1)^-1 G) x2 = r2 + G^T diag(d1)^-1 r1
+///   x1 = diag(d1)^-1 (r1 + G x2)
+/// Cost O(n1 n2^2 + n2^3) instead of the O((n1+n2)^3) dense factorisation.
+/// The crossbar line network has exactly this shape: word lines couple only
+/// to bit lines, never to each other. The workspace (Schur matrix, LU) is
+/// reused across calls, so Newton loops allocate nothing after the first.
+class SchurComplementSolver {
+ public:
+  /// Solve with \p g of shape n1 x n2, \p d1 (size n1, entries nonzero),
+  /// \p d2 (size n2), residual \p r (size n1+n2; first block first). \p x
+  /// receives the solution (resized to n1+n2). Returns false when the Schur
+  /// complement is singular to working precision.
+  bool solve(const Vector& d1, const Vector& d2, const Matrix& g,
+             const Vector& r, Vector& x);
+
+ private:
+  Matrix schur_;
+  Vector rhs_;
+  LuFactorization lu_;
+};
+
+/// Zero-fill incomplete Cholesky factorisation IC(0) of an SPD sparse
+/// matrix: L has exactly the sparsity of A's lower triangle, and the
+/// preconditioner application is two triangular solves. compute() reuses the
+/// previous allocation when the structure size is unchanged, so re-factoring
+/// a sweep's matrices is allocation-free after the first.
+class IncompleteCholesky {
+ public:
+  /// Factor \p a (must be square; only the lower triangle is read).
+  /// Returns false on pivot breakdown -- the matrix is not SPD enough for
+  /// IC(0) -- in which case valid() stays false and callers should fall back
+  /// to the Jacobi preconditioner.
+  bool compute(const SparseMatrix& a);
+  bool valid() const { return valid_; }
+
+  /// z = (L L^T)^{-1} r. Requires valid().
+  void apply(const Vector& r, Vector& z) const;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::size_t> rowPtr_;   ///< CSR of L (lower triangle incl. diag).
+  std::vector<std::size_t> colIdx_;
+  std::vector<double> val_;
+  bool valid_ = false;
+};
+
+/// Preconditioner choice for solveConjugateGradient.
+enum class CgPreconditioner {
+  Jacobi,              ///< Diagonal scaling; always applicable.
+  IncompleteCholesky,  ///< IC(0); silently falls back to Jacobi on breakdown.
+};
+
+/// Conjugate-gradient controls.
+struct CgOptions {
+  double relTol = 1e-8;
+  std::size_t maxIter = 10000;
+  CgPreconditioner preconditioner = CgPreconditioner::Jacobi;
+  /// Reuse the workspace's preconditioner from the previous solve instead of
+  /// recomputing it. Only valid when the matrix values are unchanged since
+  /// that solve (e.g. the frozen operator of an implicit-Euler time loop).
+  bool reusePreconditioner = false;
+};
+
+/// Scratch vectors and preconditioner state for solveConjugateGradient.
+/// Passing the same workspace to repeated solves makes the CG internals
+/// allocation-free after the first call.
+class CgWorkspace {
+ public:
+  const IncompleteCholesky& preconditioner() const { return ic_; }
+
+ private:
+  friend IterativeResult solveConjugateGradient(const SparseMatrix&,
+                                                const Vector&, Vector&,
+                                                const CgOptions&, CgWorkspace*);
+  Vector r_, z_, p_, ap_, invDiag_;
+  IncompleteCholesky ic_;
+  /// Remembers an IC(0) breakdown so reusePreconditioner solves on the same
+  /// frozen matrix go straight to Jacobi instead of re-failing every call.
+  bool icFailed_ = false;
+};
+
+/// Preconditioned conjugate gradient for SPD systems.
 /// \p x is used as the initial guess and holds the solution on return.
+/// \p workspace (optional) carries scratch vectors and the IC(0) factor
+/// across calls; without it the call allocates its own.
+IterativeResult solveConjugateGradient(const SparseMatrix& a, const Vector& b,
+                                       Vector& x, const CgOptions& options,
+                                       CgWorkspace* workspace = nullptr);
+
+/// Backward-compatible Jacobi-preconditioned overload.
 IterativeResult solveConjugateGradient(const SparseMatrix& a, const Vector& b,
                                        Vector& x, double relTol = 1e-8,
                                        std::size_t maxIter = 10000);

@@ -4,6 +4,7 @@
 /// code paths. Row-major storage; sizes in this project are tiny (tens of
 /// unknowns), so clarity is preferred over blocking/vectorisation tricks.
 
+#include <cassert>
 #include <cstddef>
 #include <initializer_list>
 #include <vector>
@@ -26,8 +27,14 @@ class Matrix {
   std::size_t cols() const { return cols_; }
   bool empty() const { return data_.empty(); }
 
-  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
-  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+  double& operator()(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
 
   /// Direct access to the row-major backing store.
   double* data() { return data_.data(); }

@@ -1,11 +1,27 @@
 #include "util/sparse.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
 
+#include "util/threadpool.hpp"
+
 namespace nh::util {
+
+namespace {
+
+/// Row range below which the SpMV stays on the calling thread: the fork/join
+/// overhead of the shared pool only pays off for FEM-sized operators.
+constexpr std::size_t kParallelSpmvMinRows = 16384;
+
+std::uint64_t nextPatternId() {
+  static std::atomic<std::uint64_t> counter{0};
+  return ++counter;  // first id is 1; 0 means "no pattern".
+}
+
+}  // namespace
 
 void TripletBuilder::add(std::size_t r, std::size_t c, double value) {
   if (r >= rows_ || c >= cols_) {
@@ -35,7 +51,9 @@ SparseMatrix SparseMatrix::fromTriplets(const TripletBuilder& builder) {
     }
   }
 
-  // Sort each row by column and merge duplicates.
+  // Sort each row by column and merge duplicates. The sort must be stable so
+  // duplicates accumulate in insertion order -- the exact summation order
+  // SparsityPattern::assemble replays, keeping cached refills bit-identical.
   m.rowPtr_.assign(m.rows_ + 1, 0);
   m.colIdx_.reserve(cols.size());
   m.values_.reserve(vals.size());
@@ -44,8 +62,8 @@ SparseMatrix SparseMatrix::fromTriplets(const TripletBuilder& builder) {
     const std::size_t end = counts[r + 1];
     std::vector<std::size_t> order(end - begin);
     for (std::size_t i = 0; i < order.size(); ++i) order[i] = begin + i;
-    std::sort(order.begin(), order.end(),
-              [&](std::size_t a, std::size_t b) { return cols[a] < cols[b]; });
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) { return cols[a] < cols[b]; });
     for (std::size_t i = 0; i < order.size();) {
       const std::size_t c = cols[order[i]];
       double acc = 0.0;
@@ -70,13 +88,30 @@ Vector SparseMatrix::multiply(const Vector& x) const {
 void SparseMatrix::multiplyInto(const Vector& x, Vector& y) const {
   assert(x.size() == cols_);
   assert(y.size() == rows_);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    double acc = 0.0;
-    for (std::size_t k = rowPtr_[r]; k < rowPtr_[r + 1]; ++k) {
-      acc += values_[k] * x[colIdx_[k]];
+  const auto rowRange = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t r = begin; r < end; ++r) {
+      double acc = 0.0;
+      for (std::size_t k = rowPtr_[r]; k < rowPtr_[r + 1]; ++k) {
+        acc += values_[k] * x[colIdx_[k]];
+      }
+      y[r] = acc;
     }
-    y[r] = acc;
+  };
+  if (rows_ < kParallelSpmvMinRows) {
+    rowRange(0, rows_);
+    return;
   }
+  ThreadPool& pool = ThreadPool::shared();
+  if (pool.size() < 2) {  // single-core: fork/join is pure overhead
+    rowRange(0, rows_);
+    return;
+  }
+  const std::size_t chunks = std::min(rows_, pool.size() + 1);
+  const std::size_t per = (rows_ + chunks - 1) / chunks;
+  pool.parallelFor(chunks, [&](std::size_t chunk) {
+    const std::size_t begin = chunk * per;
+    rowRange(begin, std::min(rows_, begin + per));
+  });
 }
 
 double SparseMatrix::at(std::size_t r, std::size_t c) const {
@@ -90,8 +125,13 @@ double SparseMatrix::at(std::size_t r, std::size_t c) const {
 
 Vector SparseMatrix::diagonal() const {
   Vector d(rows_, 0.0);
-  for (std::size_t r = 0; r < rows_ && r < cols_; ++r) d[r] = at(r, r);
+  diagonalInto(d);
   return d;
+}
+
+void SparseMatrix::diagonalInto(Vector& d) const {
+  if (d.size() != rows_) d.assign(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) d[r] = r < cols_ ? at(r, r) : 0.0;
 }
 
 bool SparseMatrix::isSymmetric(double tol) const {
@@ -103,6 +143,78 @@ bool SparseMatrix::isSymmetric(double tol) const {
     }
   }
   return true;
+}
+
+SparsityPattern SparsityPattern::fromTriplets(const TripletBuilder& builder) {
+  SparsityPattern p;
+  p.rows_ = builder.rows();
+  p.cols_ = builder.cols();
+  p.id_ = nextPatternId();
+
+  // Bucket entries per row, remembering each entry's insertion index.
+  std::vector<std::size_t> counts(p.rows_ + 1, 0);
+  for (const auto& e : builder.entries()) counts[e.row + 1]++;
+  for (std::size_t r = 0; r < p.rows_; ++r) counts[r + 1] += counts[r];
+
+  const std::size_t entryCount = builder.entryCount();
+  std::vector<std::size_t> cols(entryCount);
+  std::vector<std::size_t> origin(entryCount);
+  {
+    std::vector<std::size_t> cursor(counts.begin(), counts.end() - 1);
+    for (std::size_t k = 0; k < entryCount; ++k) {
+      const auto& e = builder.entries()[k];
+      const std::size_t slot = cursor[e.row]++;
+      cols[slot] = e.col;
+      origin[slot] = k;
+    }
+  }
+
+  // Column-sort each row (stable: duplicates keep insertion order, matching
+  // fromTriplets), merge duplicates, and record each entry's CSR slot.
+  p.rowPtr_.assign(p.rows_ + 1, 0);
+  p.scatter_.resize(entryCount);
+  for (std::size_t r = 0; r < p.rows_; ++r) {
+    const std::size_t begin = counts[r];
+    const std::size_t end = counts[r + 1];
+    std::vector<std::size_t> order(end - begin);
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = begin + i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) { return cols[a] < cols[b]; });
+    for (std::size_t i = 0; i < order.size();) {
+      const std::size_t c = cols[order[i]];
+      const std::size_t slot = p.colIdx_.size();
+      p.colIdx_.push_back(c);
+      while (i < order.size() && cols[order[i]] == c) {
+        p.scatter_[origin[order[i]]] = slot;
+        ++i;
+      }
+    }
+    p.rowPtr_[r + 1] = p.colIdx_.size();
+  }
+  return p;
+}
+
+void SparsityPattern::assemble(const TripletBuilder& builder,
+                               SparseMatrix& out) const {
+  if (builder.entryCount() != scatter_.size() || builder.rows() != rows_ ||
+      builder.cols() != cols_) {
+    throw std::invalid_argument(
+        "SparsityPattern::assemble: builder does not match the pattern's "
+        "stamp sequence");
+  }
+  if (out.patternId_ != id_) {
+    out.rows_ = rows_;
+    out.cols_ = cols_;
+    out.rowPtr_ = rowPtr_;
+    out.colIdx_ = colIdx_;
+    out.values_.resize(colIdx_.size());
+    out.patternId_ = id_;
+  }
+  std::fill(out.values_.begin(), out.values_.end(), 0.0);
+  const auto& entries = builder.entries();
+  for (std::size_t k = 0; k < entries.size(); ++k) {
+    out.values_[scatter_[k]] += entries[k].value;
+  }
 }
 
 }  // namespace nh::util

@@ -2,8 +2,16 @@
 /// \file sparse.hpp
 /// Compressed-sparse-row matrix plus a triplet (COO) builder. Used by the
 /// finite-volume PDE solvers in nh::fem, where systems reach ~10^6 unknowns.
+///
+/// For solvers that repeatedly assemble a matrix with a fixed sparsity
+/// structure (every sweep point re-stamps the same grid), the symbolic work
+/// (bucketing, column sorting, duplicate merging) is split from the numeric
+/// work: SparsityPattern captures the structure of one stamp sequence once,
+/// after which SparsityPattern::assemble() refills a SparseMatrix in O(nnz)
+/// with no sorting and no allocation.
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "util/matrix.hpp"
@@ -18,6 +26,9 @@ class TripletBuilder {
 
   /// Accumulate \p value at (\p r, \p c).
   void add(std::size_t r, std::size_t c, double value);
+  /// Drop all entries but keep the allocation, so a cached builder can be
+  /// re-stamped every solve without touching the heap.
+  void clear() { entries_.clear(); }
   /// Number of accumulated (possibly duplicate) entries.
   std::size_t entryCount() const { return entries_.size(); }
   std::size_t rows() const { return rows_; }
@@ -36,7 +47,10 @@ class TripletBuilder {
   std::vector<Entry> entries_;
 };
 
-/// Immutable CSR sparse matrix.
+class SparsityPattern;
+
+/// CSR sparse matrix. Immutable through the public interface; refilled in
+/// place by SparsityPattern::assemble() for structure-reusing solvers.
 class SparseMatrix {
  public:
   SparseMatrix() = default;
@@ -49,13 +63,18 @@ class SparseMatrix {
 
   /// y = A * x.
   Vector multiply(const Vector& x) const;
-  /// y = A * x without allocation; \p y must have rows() elements.
+  /// y = A * x without allocation; \p y must have rows() elements. Large
+  /// matrices split the row range over the shared thread pool; the result is
+  /// bit-identical to the serial loop for any thread count (each row is one
+  /// independent ordered accumulation).
   void multiplyInto(const Vector& x, Vector& y) const;
 
   /// Value at (r, c); zero when the entry is not stored. O(log nnz(row)).
   double at(std::size_t r, std::size_t c) const;
   /// Extract the diagonal (missing entries read as zero).
   Vector diagonal() const;
+  /// Extract the diagonal into \p d without allocation.
+  void diagonalInto(Vector& d) const;
   /// True when the matrix equals its transpose within \p tol (used by tests
   /// and to validate that FEM assembly produced a symmetric operator).
   bool isSymmetric(double tol = 1e-12) const;
@@ -66,11 +85,55 @@ class SparseMatrix {
   const std::vector<double>& values() const { return values_; }
 
  private:
+  friend class SparsityPattern;
+
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
   std::vector<std::size_t> rowPtr_;
   std::vector<std::size_t> colIdx_;
   std::vector<double> values_;
+  /// Identity of the SparsityPattern whose structure this matrix carries
+  /// (0 = none); lets assemble() skip the structure copy on refills.
+  std::uint64_t patternId_ = 0;
+};
+
+/// Symbolic half of a CSR assembly: the merged, column-sorted structure of
+/// one triplet stamp sequence plus the scatter map from each triplet entry
+/// (in insertion order) to its CSR value slot.
+///
+/// Contract: every refill must issue the *same stamp sequence* (same
+/// (row, col) pairs in the same order, values free to change) that built the
+/// pattern -- exactly what a fixed-grid FEM/MNA assembly loop does. Duplicate
+/// entries accumulate in insertion order both here and in
+/// SparseMatrix::fromTriplets, so a cached refill is bit-identical to a fresh
+/// build.
+class SparsityPattern {
+ public:
+  SparsityPattern() = default;
+  /// Symbolic phase: analyse \p builder once (bucket, stable-sort, merge).
+  static SparsityPattern fromTriplets(const TripletBuilder& builder);
+
+  bool empty() const { return rows_ == 0 && cols_ == 0; }
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nonZeros() const { return colIdx_.size(); }
+  /// Number of triplet entries the pattern was built from (every refill
+  /// must present exactly this many).
+  std::size_t entryCount() const { return scatter_.size(); }
+
+  /// Numeric phase: refill \p out from \p builder in O(entryCount()).
+  /// The structure is copied into \p out on first use; subsequent refills
+  /// into the same matrix only rewrite the value array (no allocation).
+  /// Throws std::invalid_argument when the entry count does not match.
+  void assemble(const TripletBuilder& builder, SparseMatrix& out) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> rowPtr_;
+  std::vector<std::size_t> colIdx_;
+  std::vector<std::size_t> scatter_;  ///< triplet entry k -> CSR value slot.
+  std::uint64_t id_ = 0;              ///< Process-unique (nonzero) identity.
 };
 
 }  // namespace nh::util

@@ -66,21 +66,25 @@ void FastEngine::solveNetwork(const LineBias& bias) {
   for (std::size_t c = 0; c < cols; ++c) lineVoltages_[rows + c] = bias.bitLine[c];
 
   const double gDrv = 1.0 / rDrv;
-  nh::util::Matrix jacobian(n, n);
-  nh::util::Vector residual(n);
+  if (gMat_.rows() != rows || gMat_.cols() != cols) gMat_.resize(rows, cols, 0.0);
+  dRow_.resize(rows);
+  dCol_.resize(cols);
+  residual_.assign(n, 0.0);
+  delta_.resize(n);
 
   for (std::size_t iter = 0; iter < options_.maxNewtonIterations; ++iter) {
-    jacobian.fill(0.0);
-    std::fill(residual.begin(), residual.end(), 0.0);
-
+    // Evaluate the Jacobian in block form: the word/bit diagonal blocks are
+    // diagonal (dRow_/dCol_) and the coupling block is the dense device
+    // conductance matrix gMat_.
+    std::fill(residual_.begin(), residual_.end(), 0.0);
     for (std::size_t r = 0; r < rows; ++r) {
-      residual[r] += gDrv * (lineVoltages_[r] - bias.wordLine[r]);
-      jacobian(r, r) += gDrv;
+      residual_[r] += gDrv * (lineVoltages_[r] - bias.wordLine[r]);
+      dRow_[r] = gDrv;
     }
     for (std::size_t c = 0; c < cols; ++c) {
       const std::size_t bc = rows + c;
-      residual[bc] += gDrv * (lineVoltages_[bc] - bias.bitLine[c]);
-      jacobian(bc, bc) += gDrv;
+      residual_[bc] += gDrv * (lineVoltages_[bc] - bias.bitLine[c]);
+      dCol_[c] = gDrv;
     }
     for (std::size_t r = 0; r < rows; ++r) {
       for (std::size_t c = 0; c < cols; ++c) {
@@ -90,25 +94,61 @@ void FastEngine::solveNetwork(const LineBias& bias) {
         const double i = device.current(v);
         double g = device.conductance(v);
         if (!(g > 0.0)) g = 1e-12;
-        residual[r] += i;
-        residual[bc] -= i;
-        jacobian(r, r) += g;
-        jacobian(bc, bc) += g;
-        jacobian(r, bc) -= g;
-        jacobian(bc, r) -= g;
+        residual_[r] += i;
+        residual_[bc] -= i;
+        gMat_(r, c) = g;
+        dRow_[r] += g;
+        dCol_[c] += g;
       }
     }
 
-    const nh::util::Vector delta = nh::util::solveDense(jacobian, residual);
+    if (options_.useSchurSolve) {
+      solveNetworkSchur(rows, cols);
+    } else {
+      solveNetworkDense(rows, cols);
+    }
+
     double maxStep = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
-      const double d = std::clamp(delta[i], -0.5, 0.5);
+      const double d = std::clamp(delta_[i], -0.5, 0.5);
       lineVoltages_[i] -= d;
       maxStep = std::max(maxStep, std::fabs(d));
     }
     ++newtonTotal_;
     if (maxStep < options_.newtonTol) break;
   }
+}
+
+void FastEngine::solveNetworkSchur(std::size_t rows, std::size_t cols) {
+  // Word lines couple only to bit lines: the Jacobian is the bipartite block
+  // system SchurComplementSolver handles in O(rows*cols^2) instead of the
+  // O((rows+cols)^3) dense factorisation.
+  (void)rows;
+  (void)cols;
+  if (!schurSolver_.solve(dRow_, dCol_, gMat_, residual_, delta_)) {
+    throw std::runtime_error("FastEngine: singular line-network Schur complement");
+  }
+}
+
+void FastEngine::solveNetworkDense(std::size_t rows, std::size_t cols) {
+  // Seed-equivalent dense path: assemble the full Jacobian and factor it.
+  const std::size_t n = rows + cols;
+  if (jacobian_.rows() != n || jacobian_.cols() != n) jacobian_.resize(n, n, 0.0);
+  jacobian_.fill(0.0);
+  for (std::size_t r = 0; r < rows; ++r) jacobian_(r, r) = dRow_[r];
+  for (std::size_t c = 0; c < cols; ++c) jacobian_(rows + c, rows + c) = dCol_[c];
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::size_t bc = rows + c;
+      jacobian_(r, bc) = -gMat_(r, c);
+      jacobian_(bc, r) = -gMat_(r, c);
+    }
+  }
+  if (!lu_.refactor(jacobian_)) {
+    throw std::runtime_error("FastEngine: singular line-network Jacobian");
+  }
+  std::copy(residual_.begin(), residual_.end(), delta_.begin());
+  lu_.solveInPlace(delta_);
 }
 
 void FastEngine::step(const LineBias& bias, double h) {

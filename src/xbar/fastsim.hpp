@@ -13,6 +13,7 @@
 #include <cstddef>
 #include <functional>
 
+#include "util/linsolve.hpp"
 #include "util/matrix.hpp"
 #include "xbar/array.hpp"
 #include "xbar/crosstalk.hpp"
@@ -37,6 +38,13 @@ struct FastEngineOptions {
   /// Newton controls for the line-network solve.
   double newtonTol = 1e-9;
   std::size_t maxNewtonIterations = 60;
+  /// Solve each Newton update through the Schur complement on the bit-line
+  /// block. The line-network Jacobian's diagonal blocks are diagonal (every
+  /// word line couples to every bit line but never to another word line), so
+  /// eliminating the word-line block costs O(rows*cols^2) instead of the
+  /// O((rows+cols)^3) dense factorisation. False keeps the seed dense solve
+  /// (equivalence-test reference).
+  bool useSchurSolve = true;
 };
 
 /// Result of an applyPulseTrain run.
@@ -103,6 +111,10 @@ class FastEngine {
   void refreshCrosstalk();
   /// Solve the line network; fills lineVoltages_.
   void solveNetwork(const LineBias& bias);
+  /// Newton update via the bit-line Schur complement; fills delta_.
+  void solveNetworkSchur(std::size_t rows, std::size_t cols);
+  /// Newton update via the seed dense factorisation; fills delta_.
+  void solveNetworkDense(std::size_t rows, std::size_t cols);
 
   CrossbarArray* array_;
   CrosstalkHub hub_;
@@ -112,6 +124,18 @@ class FastEngine {
   std::size_t newtonTotal_ = 0;
   double totalEnergy_ = 0.0;
   nh::util::Matrix energyByCell_;
+
+  // Line-network solve workspace, persistent across substeps and pulses so
+  // the million-pulse sweeps never reallocate it. gMat_/dRow_/dCol_ hold the
+  // Jacobian in factored block form [diag(dRow_), -G; -G^T, diag(dCol_)].
+  nh::util::Matrix gMat_;       ///< Device small-signal conductances (rows x cols).
+  nh::util::Vector dRow_;       ///< Word-line block diagonal.
+  nh::util::Vector dCol_;       ///< Bit-line block diagonal.
+  nh::util::Vector residual_;   ///< KCL residual (rows + cols).
+  nh::util::Vector delta_;      ///< Newton update (rows + cols).
+  nh::util::SchurComplementSolver schurSolver_;
+  nh::util::Matrix jacobian_;   ///< Dense path only (rows+cols square).
+  nh::util::LuFactorization lu_;
 };
 
 }  // namespace nh::xbar

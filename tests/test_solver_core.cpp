@@ -1,0 +1,475 @@
+/// Equivalence tests for the structure-reusing solver core: cached sparse
+/// assembly vs fresh builds (bit-identical), IC(0)- vs Jacobi-preconditioned
+/// CG (same solution, fewer iterations), dense LU refactor/solveInPlace vs
+/// one-shot factor/solve, chord-Newton SPICE transients vs the seed
+/// full-Newton path (within Newton tolerance), and the Schur-complement
+/// line-network solve vs the seed dense factorisation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "fem/geometry.hpp"
+#include "fem/thermal.hpp"
+#include "spice/analysis.hpp"
+#include "spice/elements.hpp"
+#include "util/linsolve.hpp"
+#include "util/rng.hpp"
+#include "util/sparse.hpp"
+#include "xbar/fastsim.hpp"
+
+namespace {
+
+using nh::util::CgOptions;
+using nh::util::CgPreconditioner;
+using nh::util::CgWorkspace;
+using nh::util::Matrix;
+using nh::util::Rng;
+using nh::util::SparseMatrix;
+using nh::util::SparsityPattern;
+using nh::util::TripletBuilder;
+using nh::util::Vector;
+
+// ---- cached assembly ---------------------------------------------------------
+
+void stampRandom(TripletBuilder& b, Rng& rng, std::size_t n, int entries,
+                 double scale) {
+  for (int k = 0; k < entries; ++k) {
+    b.add(rng.uniformInt(n), rng.uniformInt(n), scale * rng.uniform(-1.0, 1.0));
+  }
+  for (std::size_t i = 0; i < n; ++i) b.add(i, i, scale * 10.0);
+}
+
+TEST(SparsityPattern, CachedRefillBitIdenticalToFreshBuild) {
+  const std::size_t n = 30;
+  Rng rng(321);
+  TripletBuilder builder(n, n);
+  stampRandom(builder, rng, n, 200, 1.0);
+
+  const SparsityPattern pattern = SparsityPattern::fromTriplets(builder);
+  SparseMatrix cached;
+  pattern.assemble(builder, cached);
+  const SparseMatrix fresh = SparseMatrix::fromTriplets(builder);
+
+  ASSERT_EQ(cached.rowPtr(), fresh.rowPtr());
+  ASSERT_EQ(cached.colIdx(), fresh.colIdx());
+  ASSERT_EQ(cached.values(), fresh.values());  // bit-identical
+
+  // Refill with different coefficients but the identical stamp sequence.
+  Rng rng2(321);
+  builder.clear();
+  stampRandom(builder, rng2, n, 200, 3.5);
+  pattern.assemble(builder, cached);
+  const SparseMatrix fresh2 = SparseMatrix::fromTriplets(builder);
+  ASSERT_EQ(cached.rowPtr(), fresh2.rowPtr());
+  ASSERT_EQ(cached.colIdx(), fresh2.colIdx());
+  ASSERT_EQ(cached.values(), fresh2.values());
+}
+
+TEST(SparsityPattern, MismatchedStampSequenceThrows) {
+  TripletBuilder builder(4, 4);
+  builder.add(0, 0, 1.0);
+  builder.add(1, 2, 2.0);
+  const SparsityPattern pattern = SparsityPattern::fromTriplets(builder);
+  builder.add(3, 3, 4.0);  // extra entry: different sequence
+  SparseMatrix out;
+  EXPECT_THROW(pattern.assemble(builder, out), std::invalid_argument);
+}
+
+TEST(SparsityPattern, EmptyBuilderClearsKeepCapacity) {
+  TripletBuilder builder(3, 3);
+  builder.add(1, 1, 5.0);
+  builder.clear();
+  EXPECT_EQ(builder.entryCount(), 0u);
+  builder.add(1, 1, 7.0);
+  const auto m = SparseMatrix::fromTriplets(builder);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 7.0);
+}
+
+// ---- IC(0) preconditioned CG -------------------------------------------------
+
+TEST(IncompleteCholesky, BreaksDownOnIndefiniteMatrix) {
+  TripletBuilder b(2, 2);
+  b.add(0, 0, -1.0);
+  b.add(1, 1, 2.0);
+  nh::util::IncompleteCholesky ic;
+  EXPECT_FALSE(ic.compute(SparseMatrix::fromTriplets(b)));
+  EXPECT_FALSE(ic.valid());
+}
+
+TEST(ConjugateGradient, Ic0MatchesJacobiAndConvergesFaster) {
+  // The real FEM thermal system of a 3x3 crossbar model.
+  nh::fem::CrossbarLayout layout;
+  layout.rows = 3;
+  layout.cols = 3;
+  layout.margin = 20e-9;
+  const auto model = nh::fem::CrossbarModel3D::build(layout);
+  nh::fem::ThermalScenario scenario;
+  scenario.model = &model;
+  scenario.cellPower = Matrix(3, 3, 0.0);
+  scenario.cellPower(1, 1) = 1e-4;
+
+  nh::fem::DiffusionOptions jacobi;
+  jacobi.relTol = 1e-10;
+  jacobi.preconditioner = CgPreconditioner::Jacobi;
+  nh::fem::DiffusionOptions ic0;
+  ic0.relTol = 1e-10;
+  ic0.preconditioner = CgPreconditioner::IncompleteCholesky;
+
+  const auto a = nh::fem::solveThermal(scenario, jacobi);
+  const auto b = nh::fem::solveThermal(scenario, ic0);
+  ASSERT_TRUE(a.converged());
+  ASSERT_TRUE(b.converged());
+  // Strictly fewer iterations with the stronger preconditioner.
+  EXPECT_LT(b.stats.iterations, a.stats.iterations);
+  // Same solution within the CG tolerance (fields are O(300..600) K).
+  ASSERT_EQ(a.temperature.size(), b.temperature.size());
+  for (std::size_t v = 0; v < a.temperature.size(); ++v) {
+    EXPECT_NEAR(a.temperature[v], b.temperature[v], 1e-3);
+  }
+}
+
+TEST(ConjugateGradient, WorkspaceReuseAcrossDifferentSystems) {
+  // A shared workspace must not leak state between unrelated solves.
+  Rng rng(7);
+  CgWorkspace workspace;
+  for (std::size_t n : {10u, 25u, 10u}) {
+    TripletBuilder b(n, n);
+    std::vector<std::vector<double>> dense(n, std::vector<double>(n, 0.0));
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < r; ++c) {
+        const double v = rng.uniform(-0.5, 0.5);
+        b.add(r, c, v);
+        b.add(c, r, v);
+        dense[r][c] = dense[c][r] = v;
+      }
+      b.add(r, r, static_cast<double>(n));
+      dense[r][r] = static_cast<double>(n);
+    }
+    const auto a = SparseMatrix::fromTriplets(b);
+    Vector rhs(n);
+    for (auto& v : rhs) v = rng.uniform(-1.0, 1.0);
+
+    CgOptions options;
+    options.relTol = 1e-12;
+    options.preconditioner = CgPreconditioner::IncompleteCholesky;
+    Vector x;
+    const auto stats = nh::util::solveConjugateGradient(a, rhs, x, options,
+                                                        &workspace);
+    ASSERT_TRUE(stats.converged);
+    const Vector ax = a.multiply(x);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(ax[i], rhs[i], 1e-8);
+  }
+}
+
+// ---- dense LU reuse ----------------------------------------------------------
+
+TEST(LuFactorization, RefactorAndSolveInPlaceMatchOneShot) {
+  Rng rng(99);
+  nh::util::LuFactorization lu;
+  for (const std::size_t n : {4u, 12u, 4u}) {  // shrinking size reuses storage
+    Matrix a(n, n);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.uniform(-1.0, 1.0);
+      a(r, r) += static_cast<double>(n);
+    }
+    Vector b(n);
+    for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+
+    ASSERT_TRUE(lu.refactor(a));
+    ASSERT_TRUE(lu.valid());
+    const auto oneShot = nh::util::LuFactorization::factor(a);
+    ASSERT_TRUE(oneShot.has_value());
+    const Vector xRef = oneShot->solve(b);
+
+    const Vector xSolve = lu.solve(b);
+    Vector xInPlace = b;
+    lu.solveInPlace(xInPlace);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_DOUBLE_EQ(xSolve[i], xRef[i]);
+      EXPECT_DOUBLE_EQ(xInPlace[i], xRef[i]);
+    }
+  }
+}
+
+TEST(LuFactorization, RefactorSingularReturnsFalse) {
+  nh::util::LuFactorization lu;
+  EXPECT_FALSE(lu.refactor(Matrix{{1.0, 2.0}, {2.0, 4.0}}));
+  EXPECT_FALSE(lu.valid());
+  // Recovers on the next nonsingular refactor.
+  EXPECT_TRUE(lu.refactor(Matrix{{2.0, 1.0}, {1.0, 3.0}}));
+  const Vector x = lu.solve(Vector{3.0, 5.0});
+  EXPECT_NEAR(x[0], 0.8, 1e-12);
+  EXPECT_NEAR(x[1], 1.4, 1e-12);
+}
+
+// ---- SPICE factorisation reuse ----------------------------------------------
+
+nh::spice::TransientResult runRcTransient(bool reuse) {
+  using namespace nh::spice;
+  Circuit ckt;
+  const NodeId in = ckt.node("in");
+  const NodeId out = ckt.node("out");
+  PulseSpec step;
+  step.base = 0.0;
+  step.amplitude = 1.0;
+  step.delay = 0.0;
+  step.rise = 1e-9;
+  step.fall = 1e-9;
+  step.width = 1.0;
+  ckt.emplace<VoltageSource>("V1", in, ckt.ground(),
+                             std::make_unique<PulseWaveform>(step));
+  ckt.emplace<Resistor>("R1", in, out, 1000.0);
+  ckt.emplace<Capacitor>("C1", out, ckt.ground(), 1e-9);
+  TransientOptions opt;
+  opt.tStop = 3e-6;
+  opt.dtMax = 10e-9;
+  opt.newton.reuseFactorization = reuse;
+  return runTransient(ckt, opt, {probeNodeVoltage(ckt, "out")});
+}
+
+TEST(SpiceReuse, LinearTransientBitIdenticalWithFrozenLu) {
+  const auto full = runRcTransient(false);
+  const auto reused = runRcTransient(true);
+  ASSERT_TRUE(full.completed);
+  ASSERT_TRUE(reused.completed);
+  ASSERT_EQ(full.time.size(), reused.time.size());
+  const auto& a = full.seriesFor("v(out)");
+  const auto& b = reused.seriesFor("v(out)");
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    // A frozen LU solved against a freshly stamped rhs is the same
+    // arithmetic as re-factoring the identical matrix: exact equality.
+    EXPECT_DOUBLE_EQ(a[k], b[k]) << "at sample " << k;
+  }
+}
+
+/// Minimal memristive model (same shape as the engine tests): conductance
+/// grows with the integral of |v|, making every transient step nonlinear.
+class ToyMemristor final : public nh::spice::MemristiveModel {
+ public:
+  double current(double v) const override { return g_ * v; }
+  void advance(double v, double dt) override {
+    g_ += 1e-2 * std::fabs(v) * dt / 1e-9;
+  }
+  double conductanceNow() const { return g_; }
+
+ private:
+  double g_ = 1e-4;
+};
+
+nh::spice::TransientResult runMemristorTransient(bool reuse, double* gFinal) {
+  using namespace nh::spice;
+  Circuit ckt;
+  const NodeId in = ckt.node("in");
+  const NodeId mid = ckt.node("mid");
+  auto owned = std::make_unique<ToyMemristor>();
+  PulseSpec pulse;
+  pulse.base = 0.0;
+  pulse.amplitude = 1.0;
+  pulse.delay = 20e-9;
+  pulse.rise = 0.5e-9;
+  pulse.fall = 0.5e-9;
+  pulse.width = 30e-9;
+  ckt.emplace<VoltageSource>("V1", in, ckt.ground(),
+                             std::make_unique<PulseWaveform>(pulse));
+  ckt.emplace<Resistor>("R1", in, mid, 500.0);
+  ckt.emplace<Memristor>("M1", mid, ckt.ground(), owned.get());
+  TransientOptions opt;
+  opt.tStop = 100e-9;
+  opt.dtMax = 1e-9;
+  opt.newton.reuseFactorization = reuse;
+  opt.newton.reuseMinUnknowns = 0;  // force chord even on this tiny system
+  auto result = runTransient(ckt, opt, {probeNodeVoltage(ckt, "mid")});
+  if (gFinal != nullptr) *gFinal = owned->conductanceNow();
+  return result;
+}
+
+TEST(SpiceReuse, ChordNewtonMatchesFullNewtonWithinTolerance) {
+  double gFull = 0.0;
+  double gChord = 0.0;
+  const auto full = runMemristorTransient(false, &gFull);
+  const auto chord = runMemristorTransient(true, &gChord);
+  ASSERT_TRUE(full.completed) << full.failureReason;
+  ASSERT_TRUE(chord.completed) << chord.failureReason;
+
+  // Both fixed points satisfy the same KCL residual within the Newton
+  // tolerances; step-size control may pick slightly different grids, so
+  // compare the physical outcomes rather than sample-by-sample.
+  EXPECT_NEAR(gChord, gFull, 1e-3 + 1e-3 * gFull);
+  const auto& va = full.seriesFor("v(mid)");
+  const auto& vb = chord.seriesFor("v(mid)");
+  const auto peak = [](const std::vector<double>& s) {
+    double m = 0.0;
+    for (const double v : s) m = std::max(m, std::fabs(v));
+    return m;
+  };
+  EXPECT_NEAR(peak(va), peak(vb), 1e-4);
+  EXPECT_NEAR(va.back(), vb.back(), 1e-6);
+}
+
+// ---- Schur-complement line-network solve ------------------------------------
+
+TEST(SchurComplementSolver, MatchesDenseSolveOnRandomBlockSystems) {
+  Rng rng(77);
+  nh::util::SchurComplementSolver solver;
+  for (const auto [n1, n2] : {std::pair<std::size_t, std::size_t>{5, 5},
+                              {12, 7},
+                              {3, 9}}) {
+    Matrix g(n1, n2);
+    Vector d1(n1, 0.02), d2(n2, 0.02);  // driver conductance
+    for (std::size_t r = 0; r < n1; ++r) {
+      for (std::size_t c = 0; c < n2; ++c) {
+        const double gc = std::pow(10.0, rng.uniform(-6.0, -3.0));
+        g(r, c) = gc;
+        d1[r] += gc;
+        d2[c] += gc;
+      }
+    }
+    Vector r(n1 + n2);
+    for (auto& v : r) v = rng.uniform(-1e-3, 1e-3);
+
+    // Reference: assemble the full Jacobian and solve densely.
+    const std::size_t n = n1 + n2;
+    Matrix j(n, n, 0.0);
+    for (std::size_t i = 0; i < n1; ++i) j(i, i) = d1[i];
+    for (std::size_t c = 0; c < n2; ++c) j(n1 + c, n1 + c) = d2[c];
+    for (std::size_t i = 0; i < n1; ++i) {
+      for (std::size_t c = 0; c < n2; ++c) {
+        j(i, n1 + c) = -g(i, c);
+        j(n1 + c, i) = -g(i, c);
+      }
+    }
+    const Vector xRef = nh::util::solveDense(j, r);
+
+    Vector x;
+    ASSERT_TRUE(solver.solve(d1, d2, g, r, x));
+    ASSERT_EQ(x.size(), xRef.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(x[i], xRef[i], 1e-9 * std::max(1.0, std::fabs(xRef[i])));
+    }
+  }
+}
+
+TEST(SchurComplementSolver, ShapeMismatchThrows) {
+  nh::util::SchurComplementSolver solver;
+  Vector x;
+  EXPECT_THROW(solver.solve(Vector(2, 1.0), Vector(3, 1.0), Matrix(2, 2, 0.0),
+                            Vector(5, 0.0), x),
+               std::invalid_argument);
+}
+
+TEST(FastEngineSchur, MatchesDenseSolveOnRandomCrossbars) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 3; ++trial) {
+    nh::xbar::ArrayConfig cfg;
+    cfg.rows = 4 + static_cast<std::size_t>(trial);  // non-square too
+    cfg.cols = 6;
+    nh::xbar::CrossbarArray dense(cfg);
+    nh::xbar::CrossbarArray schur(cfg);
+    for (std::size_t r = 0; r < cfg.rows; ++r) {
+      for (std::size_t c = 0; c < cfg.cols; ++c) {
+        const auto state = rng.uniform(0.0, 1.0) < 0.5 ? nh::xbar::CellState::Hrs
+                                                       : nh::xbar::CellState::Lrs;
+        dense.setState(r, c, state);
+        schur.setState(r, c, state);
+      }
+    }
+    nh::xbar::FastEngineOptions denseOpt;
+    denseOpt.useSchurSolve = false;
+    nh::xbar::FastEngineOptions schurOpt;
+    schurOpt.useSchurSolve = true;
+    nh::xbar::FastEngine engineDense(dense, nh::xbar::AlphaTable::analytic(50e-9),
+                                     denseOpt);
+    nh::xbar::FastEngine engineSchur(schur, nh::xbar::AlphaTable::analytic(50e-9),
+                                     schurOpt);
+    const auto bias = nh::xbar::selectBias(nh::xbar::BiasScheme::Half, cfg.rows,
+                                           cfg.cols, 1, 2, 1.05);
+    engineDense.applyBias(bias, 10e-9);
+    engineSchur.applyBias(bias, 10e-9);
+
+    const auto& lvDense = engineDense.lastLineVoltages();
+    const auto& lvSchur = engineSchur.lastLineVoltages();
+    ASSERT_EQ(lvDense.size(), lvSchur.size());
+    for (std::size_t i = 0; i < lvDense.size(); ++i) {
+      EXPECT_NEAR(lvDense[i], lvSchur[i], 1e-9) << "line " << i;
+    }
+    for (std::size_t r = 0; r < cfg.rows; ++r) {
+      for (std::size_t c = 0; c < cfg.cols; ++c) {
+        EXPECT_NEAR(dense.cell(r, c).temperature(), schur.cell(r, c).temperature(),
+                    1e-6);
+      }
+    }
+  }
+}
+
+// ---- FEM structure reuse -----------------------------------------------------
+
+TEST(DiffusionSolver, CachedSolveMatchesFreshSolveBitIdentical) {
+  nh::fem::VoxelGrid grid(6, 6, 6, 2e-9);
+  nh::fem::DiffusionSolver solver;
+  for (int sweep = 0; sweep < 3; ++sweep) {
+    nh::fem::DiffusionProblem problem;
+    problem.grid = &grid;
+    const double kappa = 1.0 + 0.5 * sweep;  // values change, structure fixed
+    problem.coefficient.assign(grid.voxelCount(), kappa);
+    problem.sourcePerVoxel.assign(grid.voxelCount(), 0.0);
+    problem.sourcePerVoxel[grid.index(3, 3, 4)] = 2e-6 * (1 + sweep);
+    problem.bottomPlaneDirichlet = true;
+    problem.bottomPlaneValue = 300.0;
+
+    const auto cached = solver.solve(problem, {1e-12, 20000});
+    const auto fresh = nh::fem::solveDiffusion(problem, {1e-12, 20000});
+    ASSERT_TRUE(cached.converged());
+    ASSERT_TRUE(fresh.converged());
+    ASSERT_EQ(cached.field.size(), fresh.field.size());
+    for (std::size_t v = 0; v < cached.field.size(); ++v) {
+      // Identical assembly + identical CG trajectory => identical bits.
+      EXPECT_DOUBLE_EQ(cached.field[v], fresh.field[v]);
+    }
+    EXPECT_EQ(cached.stats.iterations, fresh.stats.iterations);
+  }
+}
+
+TEST(DiffusionSolver, DetectsStructureChange) {
+  nh::fem::VoxelGrid gridA(4, 4, 4, 1e-9);
+  nh::fem::VoxelGrid gridB(5, 5, 5, 1e-9);
+  nh::fem::DiffusionSolver solver;
+  for (const auto* grid : {&gridA, &gridB, &gridA}) {
+    nh::fem::DiffusionProblem problem;
+    problem.grid = grid;
+    problem.coefficient.assign(grid->voxelCount(), 2.0);
+    problem.sourcePerVoxel.assign(grid->voxelCount(), 0.0);
+    problem.sourcePerVoxel[grid->index(1, 1, 2)] = 1e-6;
+    problem.bottomPlaneDirichlet = true;
+    problem.bottomPlaneValue = 300.0;
+    const auto cached = solver.solve(problem);
+    const auto fresh = nh::fem::solveDiffusion(problem);
+    ASSERT_TRUE(cached.converged());
+    for (std::size_t v = 0; v < cached.field.size(); ++v) {
+      EXPECT_DOUBLE_EQ(cached.field[v], fresh.field[v]);
+    }
+  }
+}
+
+TEST(DiffusionSolver, PinValueChangesReuseStructure) {
+  // Same pin locations, different pin values: the cached structure must be
+  // reused and the result must match a fresh solve exactly.
+  nh::fem::VoxelGrid grid(5, 5, 5, 1e-9);
+  nh::fem::DiffusionSolver solver;
+  for (const double pinV : {1.0, 0.5, 2.0}) {
+    nh::fem::DiffusionProblem problem;
+    problem.grid = &grid;
+    problem.coefficient.assign(grid.voxelCount(), 1.0);
+    problem.pins.push_back({grid.index(2, 2, 4), pinV});
+    problem.pins.push_back({grid.index(0, 0, 0), 0.0});
+    const auto cached = solver.solve(problem, {1e-12, 20000});
+    const auto fresh = nh::fem::solveDiffusion(problem, {1e-12, 20000});
+    ASSERT_TRUE(cached.converged());
+    for (std::size_t v = 0; v < cached.field.size(); ++v) {
+      EXPECT_DOUBLE_EQ(cached.field[v], fresh.field[v]);
+    }
+  }
+}
+
+}  // namespace
