@@ -44,13 +44,16 @@ inline bool fastMode() { return std::getenv("NH_FAST_BENCH") != nullptr; }
 
 /// Sweep worker count for the Fig. 3 harnesses (NH_THREADS override, else
 /// hardware concurrency), reported once on stdout so logged runs record it.
+/// The one-time report lives in a function-local static initializer, which
+/// the language runs exactly once under a lock -- safe to call from
+/// concurrent sweep workers (a plain `static bool reported` flag would be a
+/// data race on first use).
 inline std::size_t sweepThreads() {
-  const std::size_t threads = nh::util::defaultThreadCount();
-  static bool reported = false;
-  if (!reported) {
-    reported = true;
-    std::printf("sweep threads: %zu (override with NH_THREADS)\n", threads);
-  }
+  static const std::size_t threads = [] {
+    const std::size_t t = nh::util::defaultThreadCount();
+    std::printf("sweep threads: %zu (override with NH_THREADS)\n", t);
+    return t;
+  }();
   return threads;
 }
 

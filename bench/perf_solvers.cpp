@@ -22,7 +22,9 @@
 #include "jart/device.hpp"
 #include "spice/analysis.hpp"
 #include "spice/elements.hpp"
+#include "util/fvstencil.hpp"
 #include "util/linsolve.hpp"
+#include "util/multigrid.hpp"
 #include "util/rng.hpp"
 #include "util/sparse.hpp"
 #include "xbar/fastsim.hpp"
@@ -171,6 +173,119 @@ void BM_CgPreconditioner(benchmark::State& state) {
   state.counters["cg_iterations"] = static_cast<double>(iterations);
 }
 BENCHMARK(BM_CgPreconditioner)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+/// The large-grid scaling wall: CG on the *steady* FV heat operator at
+/// 32^3 / 64^3 / 96^3 voxels, IC(0) vs geometric multigrid (arg0: grid
+/// edge, arg1: 0 = IC0, 1 = GMG). The cg_iterations counter is the story:
+/// IC(0) grows with the edge length, GMG stays (near) flat, which is what
+/// opens the 10^5-10^6-voxel regime. One untimed priming solve builds the
+/// preconditioner, then the timed loop re-solves with it frozen -- the
+/// state every transient march and sweep chain runs in (the one-time
+/// hierarchy cost is BM_GmgHierarchySetup).
+void BM_CgFvSteadyLargeGrid(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = m * m * m;
+  const auto matrix = nh::util::makeSteadyFvOperator3d(m, 2.0);
+  nh::util::Vector b(n, 1e-6);  // uniform heat load
+  nh::util::CgWorkspace workspace;
+  nh::util::CgOptions options;
+  options.relTol = 1e-8;
+  options.maxIter = 50000;
+  options.preconditioner = state.range(1) == 0
+                               ? nh::util::CgPreconditioner::IncompleteCholesky
+                               : nh::util::CgPreconditioner::Multigrid;
+  options.gridNx = m;
+  options.gridNy = m;
+  options.gridNz = m;
+  nh::util::Vector x(n, 0.0);
+  nh::util::solveConjugateGradient(matrix, b, x, options, &workspace);
+  options.reusePreconditioner = true;
+
+  std::size_t iterations = 0;
+  bool converged = true;
+  for (auto _ : state) {
+    x.assign(n, 0.0);
+    const auto result =
+        nh::util::solveConjugateGradient(matrix, b, x, options, &workspace);
+    iterations = result.iterations;
+    converged = converged && result.converged;
+    benchmark::DoNotOptimize(x);
+  }
+  state.counters["cg_iterations"] = static_cast<double>(iterations);
+  state.counters["converged"] = converged ? 1.0 : 0.0;
+  state.counters["rows"] = static_cast<double>(n);
+}
+BENCHMARK(BM_CgFvSteadyLargeGrid)
+    ->Args({32, 0})
+    ->Args({32, 1})
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({96, 0})
+    ->Args({96, 1})
+    ->Unit(benchmark::kMillisecond);
+
+/// One-time cost of building the GMG hierarchy (transfers + Galerkin
+/// products + coarse LU) per grid size; amortised over a sweep or march it
+/// is repaid after a handful of solves, but it is not free -- this keeps
+/// the tradeoff visible in the baseline.
+void BM_GmgHierarchySetup(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = m * m * m;
+  const auto matrix = nh::util::makeSteadyFvOperator3d(m, 2.0);
+  nh::util::GeometricMultigrid::Options options;
+  options.nx = options.ny = options.nz = m;
+  for (auto _ : state) {
+    nh::util::GeometricMultigrid mg;  // fresh: no transfer-operator reuse
+    const bool ok = mg.compute(matrix, options);
+    benchmark::DoNotOptimize(ok);
+  }
+  state.counters["rows"] = static_cast<double>(n);
+}
+BENCHMARK(BM_GmgHierarchySetup)
+    ->Arg(32)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+/// Warm-started sweep re-solve: the steady FV system solved to convergence,
+/// then re-solved after a small load change, starting CG from the previous
+/// field vs from zero (arg: 0 = cold, 1 = warm) -- the state the Fig. 3
+/// sweeps' chained alpha extractions run in.
+void BM_CgWarmStartResolve(benchmark::State& state) {
+  const std::size_t m = 32;
+  const std::size_t n = m * m * m;
+  const auto matrix = nh::util::makeSteadyFvOperator3d(m, 2.0);
+  nh::util::CgWorkspace workspace;
+  nh::util::CgOptions options;
+  options.relTol = 1e-8;
+  options.maxIter = 50000;
+  options.preconditioner = nh::util::CgPreconditioner::IncompleteCholesky;
+
+  // Converged base field for load 1.0.
+  nh::util::Vector b(n, 1e-6);
+  nh::util::Vector base(n, 0.0);
+  nh::util::solveConjugateGradient(matrix, b, base, options, &workspace);
+  options.reusePreconditioner = true;
+  // The next sweep point: 5% more power.
+  nh::util::Vector bNext = b;
+  for (auto& v : bNext) v *= 1.05;
+
+  const bool warm = state.range(0) == 1;
+  std::size_t iterations = 0;
+  nh::util::Vector x;
+  for (auto _ : state) {
+    if (warm) {
+      x = base;
+    } else {
+      x.assign(n, 0.0);
+    }
+    const auto result =
+        nh::util::solveConjugateGradient(matrix, bNext, x, options, &workspace);
+    iterations = result.iterations;
+    benchmark::DoNotOptimize(x);
+  }
+  state.counters["cg_iterations"] = static_cast<double>(iterations);
+}
+BENCHMARK(BM_CgWarmStartResolve)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 void BM_JartConduction(benchmark::State& state) {
   const nh::jart::Model model(nh::jart::Params::paperDefaults());
@@ -364,7 +479,26 @@ BENCHMARK(BM_AlphaTableHub);
 /// machine-readable perf baseline BENCH_perf_solvers.json (overridable with
 /// NH_BENCH_OUT or an explicit --benchmark_out=...), so successive PRs have
 /// a kernel-cost trajectory to compare against.
+///
+/// The JSON's own context.library_build_type describes the *installed
+/// libbenchmark*, not this code -- a Release nh linked against a Debian
+/// debug libbenchmark reports "debug" there, which mislabelled the perf
+/// trajectory. nh_build_type records how the nh kernels themselves were
+/// compiled (CMAKE_BUILD_TYPE, with an NDEBUG-derived fallback).
 int main(int argc, char** argv) {
+#ifdef NH_BUILD_TYPE
+  const char* nhBuildType = NH_BUILD_TYPE[0] != '\0' ? NH_BUILD_TYPE : nullptr;
+#else
+  const char* nhBuildType = nullptr;
+#endif
+  if (nhBuildType == nullptr) {
+#ifdef NDEBUG
+    nhBuildType = "release(ndebug)";
+#else
+    nhBuildType = "debug(assertions)";
+#endif
+  }
+  benchmark::AddCustomContext("nh_build_type", nhBuildType);
   std::vector<std::string> args(argv, argv + argc);
   bool hasOut = false;
   bool hasFormat = false;

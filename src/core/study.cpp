@@ -22,9 +22,12 @@ AttackStudy::AttackStudy(StudyConfig config) : config_(std::move(config)) {
     layout.voxelSize = config_.femVoxelSize;
     const auto model = fem::CrossbarModel3D::build(layout);
     // Power sweep bracketing the hammered cell's dissipation (~0.1 mW).
+    // extractAlpha chains the sweep's CG solves (each point warm-starts from
+    // the previous field) and femOptions picks the preconditioner -- on
+    // fine-voxel grids the solves run GMG-preconditioned CG.
     const auto extraction = fem::extractAlpha(
         model, fem::MaterialTable::defaults(), config_.rows / 2, config_.cols / 2,
-        {0.05e-3, 0.10e-3, 0.15e-3}, config_.ambientK);
+        {0.05e-3, 0.10e-3, 0.15e-3}, config_.ambientK, config_.femOptions);
     alphas_ = xbar::AlphaTable::fromExtraction(extraction);
     nh::util::logInfo("AttackStudy: FEM alphas extracted, Rth=", extraction.rTh,
                       " K/W, nearest alpha=", alphas_.at(0, 1));
@@ -94,6 +97,9 @@ namespace {
 /// AttackStudy per outer value (in parallel -- the FEM-alpha path makes
 /// construction expensive), then attack every (outer, width) point on the
 /// pool. Points land in slot outer*widths.size()+width, the serial order.
+/// Warm starts never cross outer points: each study's internal FEM power
+/// sweep is its own serial warm-started chain, so the parallel construction
+/// stays bit-identical for every thread count.
 std::vector<SweepPoint> sweepOuterByWidth(
     const StudyConfig& base, const std::vector<double>& outers,
     const std::vector<double>& widths, std::size_t maxPulses,

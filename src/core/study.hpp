@@ -28,8 +28,17 @@ struct StudyConfig {
   /// FEM-calibrated analytic alpha table (slower; bit-identical flow to the
   /// paper). The analytic table was itself fitted to these extractions.
   bool useFemAlphas = false;
-  /// Voxel size for the FEM extraction [m].
+  /// Voxel size for the FEM extraction [m]. Finer voxels mean larger FV
+  /// systems; at >= DiffusionOptions::multigridMinVoxels voxels the
+  /// extraction's CG solves auto-upgrade to the geometric-multigrid
+  /// preconditioner, which keeps iteration counts grid-size independent.
   double femVoxelSize = 5e-9;
+  /// Solver controls for the FEM extraction (tolerances, preconditioner,
+  /// multigrid upgrade threshold). The extraction's power sweep additionally
+  /// warm-starts every CG solve from the previous power point's field --
+  /// a serial chain inside each study construction, so the parallel Fig. 3
+  /// sweeps stay bit-identical for every thread count.
+  fem::DiffusionOptions femOptions;
   xbar::FastEngineOptions engineOptions;
   DetectorConfig detector;
 };

@@ -116,8 +116,13 @@ AlphaResult extractAlphaCoupled(const CrossbarModel3D& model,
   result.ambientK = ambientK;
 
   // Shared solver: both diffusion systems (potential + heat) keep their
-  // cached assemblies across the voltage sweep.
+  // cached assemblies across the voltage sweep, and each voltage point
+  // warm-starts its CG iterations from the previous point's fields. The
+  // sweep is a single serial chain, so results are independent of any
+  // caller-side threading.
   CoupledSolver solver;
+  CoupledSolution previous;
+  bool havePrevious = false;
   for (const double vSet : setVoltages) {
     CoupledScenario scenario;
     scenario.model = &model;
@@ -134,12 +139,15 @@ AlphaResult extractAlphaCoupled(const CrossbarModel3D& model,
     scenario.cellSigma = nh::util::Matrix(layout.rows, layout.cols, hrsSigma);
     scenario.cellSigma(selectedRow, selectedCol) = lrsSigma;
 
-    const CoupledSolution sol = solver.solve(scenario, options);
+    CoupledSolution sol =
+        solver.solve(scenario, options, havePrevious ? &previous : nullptr);
     if (!sol.converged()) {
       throw std::runtime_error("extractAlphaCoupled: solve did not converge");
     }
     result.powers.push_back(sol.cellPower(selectedRow, selectedCol));
     result.temperatureMatrices.push_back(sol.cellTemperature);
+    previous = std::move(sol);
+    havePrevious = true;
   }
 
   fitAlphas(result);

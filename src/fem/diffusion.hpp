@@ -48,10 +48,27 @@ struct DiffusionOptions {
   double relTol = 1e-8;
   std::size_t maxIterations = 20000;
   /// CG preconditioner. IC(0) sharply cuts the iteration count on the FV
-  /// operators and falls back to Jacobi automatically on breakdown.
+  /// operators and falls back to Jacobi automatically on breakdown;
+  /// Multigrid keeps the count (near) grid-size independent on pin-free
+  /// structured systems and falls back to IC(0) everywhere else.
   nh::util::CgPreconditioner preconditioner =
       nh::util::CgPreconditioner::IncompleteCholesky;
+  /// Auto-upgrade IC(0) to the geometric-multigrid preconditioner when the
+  /// system is pin-free (the matrix covers the whole structured grid) and
+  /// has at least this many voxels -- the regime where IC(0)'s growing
+  /// iteration count becomes the scaling wall. 0 disables the upgrade; an
+  /// explicit preconditioner other than IC(0) is never overridden.
+  std::size_t multigridMinVoxels = 32768;
 };
+
+/// Translate DiffusionOptions into the CG controls for a structured FV
+/// system of gridNx x gridNy x gridNz free unknowns (pass zeros when the
+/// free set does not cover the whole grid), applying the multigrid
+/// auto-upgrade policy. Shared by DiffusionSolver and
+/// ThermalTransientSolver so the policy has one home.
+nh::util::CgOptions toCgOptions(const DiffusionOptions& options,
+                                std::size_t gridNx, std::size_t gridNy,
+                                std::size_t gridNz);
 
 /// Result of a diffusion solve.
 struct DiffusionSolution {

@@ -75,7 +75,8 @@ ThermalSolution solveThermal(const ThermalScenario& scenario,
 }
 
 CoupledSolution CoupledSolver::solve(const CoupledScenario& scenario,
-                                     const DiffusionOptions& options) {
+                                     const DiffusionOptions& options,
+                                     const CoupledSolution* warmStart) {
   if (scenario.model == nullptr) throw std::invalid_argument("solveCoupled: null model");
   const CrossbarModel3D& model = *scenario.model;
   const auto& layout = model.layout();
@@ -126,7 +127,11 @@ CoupledSolution CoupledSolver::solve(const CoupledScenario& scenario,
     }
   }
 
-  const DiffusionSolution phi = electricSolver_.solve(electric_, options);
+  const DiffusionSolution phi = electricSolver_.solve(
+      electric_, options,
+      warmStart != nullptr && warmStart->potential.size() == grid.voxelCount()
+          ? &warmStart->potential
+          : nullptr);
   const std::vector<double> joule = phi.dissipationPerVoxel(electric_);
 
   // ---- heat solve (Eq. 1) -----------------------------------------------------
@@ -150,7 +155,11 @@ CoupledSolution CoupledSolver::solve(const CoupledScenario& scenario,
   heat_.bottomPlaneValue = scenario.ambientK;
   heat_.sourcePerVoxel = joule;
 
-  const DiffusionSolution temp = heatSolver_.solve(heat_, options);
+  const DiffusionSolution temp = heatSolver_.solve(
+      heat_, options,
+      warmStart != nullptr && warmStart->temperature.size() == grid.voxelCount()
+          ? &warmStart->temperature
+          : nullptr);
 
   CoupledSolution out;
   out.potential = phi.field;

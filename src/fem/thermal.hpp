@@ -90,8 +90,12 @@ CoupledSolution solveCoupled(const CoupledScenario& scenario,
 /// (voltage sweeps in extractAlphaCoupled re-pin values, not locations).
 class CoupledSolver {
  public:
+  /// \p warmStart (optional): a previous solution on the same model whose
+  /// potential and temperature fields seed the two CG iterations -- voltage
+  /// sweeps chain each point from its predecessor.
   CoupledSolution solve(const CoupledScenario& scenario,
-                        const DiffusionOptions& options = {});
+                        const DiffusionOptions& options = {},
+                        const CoupledSolution* warmStart = nullptr);
 
  private:
   DiffusionSolver electricSolver_;

@@ -191,10 +191,11 @@ TransientSolution ThermalTransientSolver::solve(const TransientScenario& scenari
     }
   };
   record(0.0);
-  nh::util::CgOptions cgOptions;
-  cgOptions.relTol = options.relTol;
-  cgOptions.maxIter = options.maxIterations;
-  cgOptions.preconditioner = options.preconditioner;
+  // The transient operator always covers the whole structured grid, so the
+  // multigrid auto-upgrade applies exactly as in DiffusionSolver; with the
+  // operator frozen across steps the hierarchy is built only once.
+  nh::util::CgOptions cgOptions =
+      toCgOptions(options, grid.nx(), grid.ny(), grid.nz());
   for (std::size_t step = 1; step <= steps; ++step) {
     for (std::size_t v = 0; v < n; ++v) {
       s.rhs[v] = s.cOverDt[v] * s.temperature[v] + s.source[v] + s.steadyRhs[v];

@@ -6,12 +6,15 @@
 /// produced by the finite-volume PDE discretisations.
 
 #include <cstddef>
+#include <memory>
 #include <optional>
 
 #include "util/matrix.hpp"
 #include "util/sparse.hpp"
 
 namespace nh::util {
+
+class GeometricMultigrid;  // util/multigrid.hpp
 
 /// Outcome of an iterative solve.
 struct IterativeResult {
@@ -114,6 +117,10 @@ class IncompleteCholesky {
 enum class CgPreconditioner {
   Jacobi,              ///< Diagonal scaling; always applicable.
   IncompleteCholesky,  ///< IC(0); silently falls back to Jacobi on breakdown.
+  /// Geometric multigrid V-cycle for structured-voxel FV operators; needs
+  /// CgOptions::gridNx/Ny/Nz and silently falls back to IC(0) (then Jacobi)
+  /// when the grid is unknown, mismatched, or too small to coarsen.
+  Multigrid,
 };
 
 /// Conjugate-gradient controls.
@@ -124,7 +131,14 @@ struct CgOptions {
   /// Reuse the workspace's preconditioner from the previous solve instead of
   /// recomputing it. Only valid when the matrix values are unchanged since
   /// that solve (e.g. the frozen operator of an implicit-Euler time loop).
+  /// The Multigrid hierarchy additionally references the fine matrix by
+  /// pointer, so it is only reused when the same SparseMatrix object is
+  /// passed again (a different object triggers a rebuild, not a stale read).
   bool reusePreconditioner = false;
+  /// Structured-grid dimensions of the operator for the Multigrid
+  /// preconditioner (0 = unknown; their product must equal the matrix size
+  /// or Multigrid falls back to IC(0)).
+  std::size_t gridNx = 0, gridNy = 0, gridNz = 0;
 };
 
 /// Scratch vectors and preconditioner state for solveConjugateGradient.
@@ -132,7 +146,14 @@ struct CgOptions {
 /// allocation-free after the first call.
 class CgWorkspace {
  public:
+  CgWorkspace();
+  ~CgWorkspace();
+  CgWorkspace(CgWorkspace&&) noexcept;
+  CgWorkspace& operator=(CgWorkspace&&) noexcept;
+
   const IncompleteCholesky& preconditioner() const { return ic_; }
+  /// Multigrid hierarchy of the last Multigrid solve (nullptr before one).
+  const GeometricMultigrid* multigrid() const { return mg_.get(); }
 
  private:
   friend IterativeResult solveConjugateGradient(const SparseMatrix&,
@@ -140,9 +161,11 @@ class CgWorkspace {
                                                 const CgOptions&, CgWorkspace*);
   Vector r_, z_, p_, ap_, invDiag_;
   IncompleteCholesky ic_;
+  std::unique_ptr<GeometricMultigrid> mg_;  ///< Created on first MG solve.
   /// Remembers an IC(0) breakdown so reusePreconditioner solves on the same
   /// frozen matrix go straight to Jacobi instead of re-failing every call.
   bool icFailed_ = false;
+  bool mgFailed_ = false;  ///< Same, for a multigrid hierarchy that failed.
 };
 
 /// Preconditioned conjugate gradient for SPD systems.

@@ -88,12 +88,26 @@ Vector SparseMatrix::multiply(const Vector& x) const {
 void SparseMatrix::multiplyInto(const Vector& x, Vector& y) const {
   assert(x.size() == cols_);
   assert(y.size() == rows_);
+  const double* val = values_.data();
+  const std::size_t* col = colIdx_.data();
+  const double* xs = x.data();
   const auto rowRange = [&](std::size_t begin, std::size_t end) {
     for (std::size_t r = begin; r < end; ++r) {
-      double acc = 0.0;
-      for (std::size_t k = rowPtr_[r]; k < rowPtr_[r + 1]; ++k) {
-        acc += values_[k] * x[colIdx_[k]];
+      // 4-wide unrolled gather with independent accumulators: breaks the
+      // serial add dependency so the FV stencil rows (7 and 27 entries)
+      // keep more than one FMA in flight. The order is fixed, so results
+      // stay deterministic for any thread count.
+      std::size_t k = rowPtr_[r];
+      const std::size_t kEnd = rowPtr_[r + 1];
+      double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+      for (; k + 4 <= kEnd; k += 4) {
+        a0 += val[k] * xs[col[k]];
+        a1 += val[k + 1] * xs[col[k + 1]];
+        a2 += val[k + 2] * xs[col[k + 2]];
+        a3 += val[k + 3] * xs[col[k + 3]];
       }
+      double acc = (a0 + a1) + (a2 + a3);
+      for (; k < kEnd; ++k) acc += val[k] * xs[col[k]];
       y[r] = acc;
     }
   };
@@ -112,6 +126,72 @@ void SparseMatrix::multiplyInto(const Vector& x, Vector& y) const {
     const std::size_t begin = chunk * per;
     rowRange(begin, std::min(rows_, begin + per));
   });
+}
+
+SparseMatrix SparseMatrix::transposed() const {
+  SparseMatrix t;
+  t.rows_ = cols_;
+  t.cols_ = rows_;
+  t.rowPtr_.assign(cols_ + 1, 0);
+  for (const std::size_t c : colIdx_) t.rowPtr_[c + 1]++;
+  for (std::size_t c = 0; c < cols_; ++c) t.rowPtr_[c + 1] += t.rowPtr_[c];
+  t.colIdx_.resize(colIdx_.size());
+  t.values_.resize(values_.size());
+  std::vector<std::size_t> cursor(t.rowPtr_.begin(), t.rowPtr_.end() - 1);
+  // Scanning rows in order writes each transposed row's entries with
+  // increasing source row = sorted columns, preserving the CSR invariant.
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = rowPtr_[r]; k < rowPtr_[r + 1]; ++k) {
+      const std::size_t slot = cursor[colIdx_[k]]++;
+      t.colIdx_[slot] = r;
+      t.values_[slot] = values_[k];
+    }
+  }
+  return t;
+}
+
+SparseMatrix multiplySparse(const SparseMatrix& a, const SparseMatrix& b) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("multiplySparse: inner dimension mismatch");
+  }
+  SparseMatrix c;
+  c.rows_ = a.rows();
+  c.cols_ = b.cols();
+  c.rowPtr_.assign(a.rows() + 1, 0);
+  // The Galerkin products this feeds roughly preserve nnz; reserving the
+  // larger operand's count avoids most growth reallocations.
+  c.colIdx_.reserve(std::max(a.nonZeros(), b.nonZeros()));
+  c.values_.reserve(std::max(a.nonZeros(), b.nonZeros()));
+
+  // Gustavson: per output row, scatter-accumulate into a dense workspace
+  // keyed by column; a row-stamp marker detects first touches in O(1).
+  constexpr std::size_t kNever = static_cast<std::size_t>(-1);
+  std::vector<double> acc(b.cols(), 0.0);
+  std::vector<std::size_t> lastRow(b.cols(), kNever);
+  std::vector<std::size_t> touched;
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    touched.clear();
+    for (std::size_t ka = a.rowPtr_[r]; ka < a.rowPtr_[r + 1]; ++ka) {
+      const std::size_t mid = a.colIdx_[ka];
+      const double av = a.values_[ka];
+      for (std::size_t kb = b.rowPtr_[mid]; kb < b.rowPtr_[mid + 1]; ++kb) {
+        const std::size_t col = b.colIdx_[kb];
+        if (lastRow[col] != r) {
+          lastRow[col] = r;
+          acc[col] = 0.0;
+          touched.push_back(col);
+        }
+        acc[col] += av * b.values_[kb];
+      }
+    }
+    std::sort(touched.begin(), touched.end());
+    for (const std::size_t col : touched) {
+      c.colIdx_.push_back(col);
+      c.values_.push_back(acc[col]);
+    }
+    c.rowPtr_[r + 1] = c.colIdx_.size();
+  }
+  return c;
 }
 
 double SparseMatrix::at(std::size_t r, std::size_t c) const {

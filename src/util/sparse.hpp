@@ -69,6 +69,10 @@ class SparseMatrix {
   /// independent ordered accumulation).
   void multiplyInto(const Vector& x, Vector& y) const;
 
+  /// Transposed copy, O(nnz); rows of the result keep sorted columns. Used
+  /// to derive the multigrid restriction from the prolongation (R = P^T).
+  SparseMatrix transposed() const;
+
   /// Value at (r, c); zero when the entry is not stored. O(log nnz(row)).
   double at(std::size_t r, std::size_t c) const;
   /// Extract the diagonal (missing entries read as zero).
@@ -86,6 +90,7 @@ class SparseMatrix {
 
  private:
   friend class SparsityPattern;
+  friend SparseMatrix multiplySparse(const SparseMatrix&, const SparseMatrix&);
 
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
@@ -135,5 +140,10 @@ class SparsityPattern {
   std::vector<std::size_t> scatter_;  ///< triplet entry k -> CSR value slot.
   std::uint64_t id_ = 0;              ///< Process-unique (nonzero) identity.
 };
+
+/// Sparse-sparse product C = A * B (Gustavson row merge with a dense
+/// accumulator; output rows column-sorted). The workhorse of the multigrid
+/// Galerkin coarse-operator build A_c = R (A P).
+SparseMatrix multiplySparse(const SparseMatrix& a, const SparseMatrix& b);
 
 }  // namespace nh::util

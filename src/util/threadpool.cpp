@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <memory>
@@ -17,13 +18,29 @@ thread_local ThreadPool* t_currentPool = nullptr;
 }  // namespace
 
 std::size_t defaultThreadCount() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::size_t hardware = hw > 0 ? static_cast<std::size_t>(hw) : 1;
   if (const char* env = std::getenv("NH_THREADS")) {
     char* end = nullptr;
     const long parsed = std::strtol(env, &end, 10);
-    if (end != env && parsed > 0) return static_cast<std::size_t>(parsed);
+    if (end != env && parsed > 0) {
+      // Oversubscribing beyond a small multiple of the hardware buys
+      // nothing, and a typo (NH_THREADS=1000000) would try to spawn a
+      // million workers; clamp, and warn once per process.
+      const std::size_t maxThreads = hardware * 4;
+      const auto requested = static_cast<std::size_t>(parsed);
+      if (requested <= maxThreads) return requested;
+      static std::atomic<bool> warned{false};
+      if (!warned.exchange(true)) {
+        std::fprintf(stderr,
+                     "NH_THREADS=%zu exceeds 4x hardware concurrency (%zu); "
+                     "clamping to %zu\n",
+                     requested, hardware, maxThreads);
+      }
+      return maxThreads;
+    }
   }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? static_cast<std::size_t>(hw) : 1;
+  return hardware;
 }
 
 ThreadPool::ThreadPool(std::size_t threads) {

@@ -64,6 +64,21 @@ TEST(StudyParallel, SweepPatternsMatchesSerial) {
   EXPECT_EQ(serial, parallel);
 }
 
+TEST(StudyParallel, FemAlphaWarmStartedSweepMatchesSerial) {
+  // The FEM-alpha path: every study construction runs a warm-started power
+  // sweep (each CG solve seeded with the previous point's field). The chain
+  // lives entirely inside one construction, so the parallel outer sweep must
+  // stay bit-identical to the serial run.
+  StudyConfig cfg = smallConfig();
+  cfg.useFemAlphas = true;
+  const std::vector<double> ambients = {300.0, 340.0};
+  const std::vector<double> widths = {50e-9};
+  const auto serial = sweepAmbient(cfg, ambients, widths, 50'000, 1);
+  const auto parallel = sweepAmbient(cfg, ambients, widths, 50'000, 4);
+  ASSERT_EQ(serial.size(), ambients.size());
+  EXPECT_EQ(serial, parallel);
+}
+
 TEST(StudyParallel, DefaultThreadCountMatchesSerialToo) {
   // threads = 0 routes through the shared pool; same contract.
   const StudyConfig cfg = smallConfig();

@@ -14,7 +14,9 @@
 #include "fem/thermal.hpp"
 #include "spice/analysis.hpp"
 #include "spice/elements.hpp"
+#include "util/fvstencil.hpp"
 #include "util/linsolve.hpp"
+#include "util/multigrid.hpp"
 #include "util/rng.hpp"
 #include "util/sparse.hpp"
 #include "xbar/fastsim.hpp"
@@ -160,6 +162,230 @@ TEST(ConjugateGradient, WorkspaceReuseAcrossDifferentSystems) {
     ASSERT_TRUE(stats.converged);
     const Vector ax = a.multiply(x);
     for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(ax[i], rhs[i], 1e-8);
+  }
+}
+
+// ---- geometric multigrid -----------------------------------------------------
+
+/// Steady FV heat operator on an m^3 grid: conditioning grows O(m^2), the
+/// regime the multigrid preconditioner targets. Shared with the benchmarks
+/// (util/fvstencil.hpp) so the asserted iteration scaling and the recorded
+/// baseline describe the same operator.
+SparseMatrix steadyFvOperator(std::size_t m, double scale) {
+  return nh::util::makeSteadyFvOperator3d(m, scale);
+}
+
+TEST(GeometricMultigrid, ProlongationRowsSumToOne) {
+  // Partition of unity: constants interpolate exactly, the property that
+  // makes the coarse correction consistent.
+  for (const auto [nx, ny, nz] :
+       {std::tuple<std::size_t, std::size_t, std::size_t>{8, 8, 8},
+        {7, 5, 9},
+        {4, 4, 6}}) {
+    const auto p = nh::util::buildTrilinearProlongation(
+        nx, ny, nz, (nx + 1) / 2, (ny + 1) / 2, (nz + 1) / 2);
+    ASSERT_EQ(p.rows(), nx * ny * nz);
+    for (std::size_t r = 0; r < p.rows(); ++r) {
+      double sum = 0.0;
+      for (std::size_t k = p.rowPtr()[r]; k < p.rowPtr()[r + 1]; ++k) {
+        sum += p.values()[k];
+      }
+      EXPECT_NEAR(sum, 1.0, 1e-14) << "row " << r;
+    }
+  }
+}
+
+TEST(GeometricMultigrid, AgreesWithIc0AndJacobiWithinTolerance) {
+  const std::size_t m = 12;
+  const std::size_t n = m * m * m;
+  const SparseMatrix a = steadyFvOperator(m, 2.0);
+  Vector b(n);
+  Rng rng(5);
+  for (auto& v : b) v = rng.uniform(0.0, 1e-6);
+
+  const auto solveWith = [&](CgPreconditioner pre, std::size_t* iters) {
+    CgOptions options;
+    options.relTol = 1e-10;
+    options.preconditioner = pre;
+    options.gridNx = m;
+    options.gridNy = m;
+    options.gridNz = m;
+    Vector x(n, 0.0);
+    CgWorkspace ws;
+    const auto stats = nh::util::solveConjugateGradient(a, b, x, options, &ws);
+    EXPECT_TRUE(stats.converged);
+    if (iters != nullptr) *iters = stats.iterations;
+    return x;
+  };
+
+  std::size_t itersJacobi = 0, itersIc = 0, itersMg = 0;
+  const Vector xJacobi = solveWith(CgPreconditioner::Jacobi, &itersJacobi);
+  const Vector xIc = solveWith(CgPreconditioner::IncompleteCholesky, &itersIc);
+  const Vector xMg = solveWith(CgPreconditioner::Multigrid, &itersMg);
+  // Solutions agree within the CG tolerance; the preconditioner ladder
+  // strictly cuts iterations at each rung on this operator.
+  const double fieldScale = nh::util::normInf(xJacobi);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(xIc[i], xJacobi[i], 1e-8 * fieldScale);
+    EXPECT_NEAR(xMg[i], xJacobi[i], 1e-8 * fieldScale);
+  }
+  EXPECT_LT(itersIc, itersJacobi);
+  EXPECT_LT(itersMg, itersIc);
+}
+
+TEST(GeometricMultigrid, IterationCountNearGridSizeIndependent) {
+  // The whole point of GMG: iteration counts stay (near) flat as the grid
+  // is refined, where IC(0)'s grow with the edge length.
+  const auto iterationsAt = [](std::size_t m, CgPreconditioner pre) {
+    const SparseMatrix a = steadyFvOperator(m, 2.0);
+    Vector b(a.rows(), 1e-6);
+    Vector x(a.rows(), 0.0);
+    CgOptions options;
+    options.relTol = 1e-8;
+    options.preconditioner = pre;
+    options.gridNx = m;
+    options.gridNy = m;
+    options.gridNz = m;
+    CgWorkspace ws;
+    const auto stats = nh::util::solveConjugateGradient(a, b, x, options, &ws);
+    EXPECT_TRUE(stats.converged) << "m=" << m;
+    return stats.iterations;
+  };
+  const std::size_t mgCoarse = iterationsAt(12, CgPreconditioner::Multigrid);
+  const std::size_t mgFine = iterationsAt(24, CgPreconditioner::Multigrid);
+  const std::size_t icCoarse =
+      iterationsAt(12, CgPreconditioner::IncompleteCholesky);
+  const std::size_t icFine =
+      iterationsAt(24, CgPreconditioner::IncompleteCholesky);
+  // GMG: at most a couple of extra iterations after doubling the edge.
+  EXPECT_LE(mgFine, mgCoarse + 3);
+  // IC(0): the count visibly grows -- the wall GMG removes.
+  EXPECT_GT(icFine, icCoarse + 3);
+  EXPECT_LT(mgFine, icFine);
+}
+
+TEST(GeometricMultigrid, FallsBackWithoutGridDimensions) {
+  // Multigrid requested but no dims supplied: the solve must silently run
+  // on the IC(0) rung and still converge to the right answer.
+  const std::size_t m = 8;
+  const SparseMatrix a = steadyFvOperator(m, 2.0);
+  Vector b(a.rows(), 1e-6);
+  Vector x(a.rows(), 0.0);
+  CgOptions options;
+  options.relTol = 1e-10;
+  options.preconditioner = CgPreconditioner::Multigrid;  // gridN* left 0
+  CgWorkspace ws;
+  const auto stats = nh::util::solveConjugateGradient(a, b, x, options, &ws);
+  ASSERT_TRUE(stats.converged);
+  EXPECT_TRUE(ws.multigrid() == nullptr || !ws.multigrid()->valid());
+  const Vector ax = a.multiply(x);
+  for (std::size_t i = 0; i < a.rows(); ++i) EXPECT_NEAR(ax[i], b[i], 1e-12);
+}
+
+TEST(GeometricMultigrid, RejectsTinyGrids) {
+  nh::util::GeometricMultigrid mg;
+  const SparseMatrix a = steadyFvOperator(4, 1.0);  // 64 rows
+  nh::util::GeometricMultigrid::Options options;
+  options.nx = options.ny = options.nz = 4;
+  EXPECT_FALSE(mg.compute(a, options));  // <= maxCoarseRows: IC(0) territory
+  EXPECT_FALSE(mg.valid());
+}
+
+TEST(GeometricMultigrid, DiffusionSolverAutoUpgradeMatchesExplicitIc0Solution) {
+  // A pin-free diffusion problem big enough to trip the auto-upgrade
+  // (lowered threshold): the GMG solution must agree with IC(0)'s within
+  // tolerance, and the upgrade must leave pinned problems alone.
+  nh::fem::VoxelGrid grid(16, 16, 16, 2e-9);
+  nh::fem::DiffusionProblem problem;
+  problem.grid = &grid;
+  problem.coefficient.assign(grid.voxelCount(), 1.5);
+  problem.sourcePerVoxel.assign(grid.voxelCount(), 0.0);
+  problem.sourcePerVoxel[grid.index(8, 8, 12)] = 3e-6;
+  problem.bottomPlaneDirichlet = true;
+  problem.bottomPlaneValue = 300.0;
+
+  nh::fem::DiffusionOptions upgraded;
+  upgraded.relTol = 1e-10;
+  upgraded.multigridMinVoxels = 1024;  // force the upgrade at 16^3
+  nh::fem::DiffusionOptions plain;
+  plain.relTol = 1e-10;
+  plain.multigridMinVoxels = 0;  // stay on IC(0)
+
+  const auto viaMg = nh::fem::solveDiffusion(problem, upgraded);
+  const auto viaIc = nh::fem::solveDiffusion(problem, plain);
+  ASSERT_TRUE(viaMg.converged());
+  ASSERT_TRUE(viaIc.converged());
+  EXPECT_LT(viaMg.stats.iterations, viaIc.stats.iterations);
+  for (std::size_t v = 0; v < viaMg.field.size(); ++v) {
+    EXPECT_NEAR(viaMg.field[v], viaIc.field[v], 1e-6);
+  }
+}
+
+// ---- warm-started re-solves --------------------------------------------------
+
+TEST(ConjugateGradient, WarmStartReducesIterationsOnPerturbedResolve) {
+  const std::size_t m = 16;
+  const std::size_t n = m * m * m;
+  const SparseMatrix a = steadyFvOperator(m, 2.0);
+  Vector b(n, 1e-6);
+  CgOptions options;
+  options.relTol = 1e-10;
+  options.preconditioner = CgPreconditioner::IncompleteCholesky;
+  CgWorkspace ws;
+
+  Vector base(n, 0.0);
+  const auto first = nh::util::solveConjugateGradient(a, b, base, options, &ws);
+  ASSERT_TRUE(first.converged);
+
+  // Perturb the load by 1% and re-solve cold vs warm.
+  Vector bNext = b;
+  for (auto& v : bNext) v *= 1.01;
+  options.reusePreconditioner = true;  // matrix unchanged
+
+  Vector cold(n, 0.0);
+  const auto coldStats =
+      nh::util::solveConjugateGradient(a, bNext, cold, options, &ws);
+  Vector warm = base;
+  const auto warmStats =
+      nh::util::solveConjugateGradient(a, bNext, warm, options, &ws);
+  ASSERT_TRUE(coldStats.converged);
+  ASSERT_TRUE(warmStats.converged);
+  EXPECT_LT(warmStats.iterations, coldStats.iterations);
+  const double fieldScale = nh::util::normInf(cold);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(warm[i], cold[i], 1e-7 * fieldScale);
+  }
+}
+
+TEST(ThermalSolver, WarmStartedPowerSweepReducesIterations) {
+  // The alpha-extraction pattern: same model, stepped power, each solve
+  // seeded with the previous field. The warm-started re-solve must converge
+  // in fewer CG iterations and to the same field (within tolerance).
+  nh::fem::CrossbarLayout layout;
+  layout.rows = 3;
+  layout.cols = 3;
+  layout.margin = 20e-9;
+  const auto model = nh::fem::CrossbarModel3D::build(layout);
+
+  nh::fem::ThermalScenario scenario;
+  scenario.model = &model;
+  scenario.cellPower = Matrix(3, 3, 0.0);
+  scenario.cellPower(1, 1) = 1e-4;
+
+  nh::fem::ThermalSolver solver;
+  const auto first = solver.solve(scenario);
+  ASSERT_TRUE(first.converged());
+
+  scenario.cellPower(1, 1) = 1.02e-4;  // next sweep point, 2% away
+  const auto cold = solver.solve(scenario);
+  const auto warm = solver.solve(scenario, {}, &first.temperature);
+  ASSERT_TRUE(cold.converged());
+  ASSERT_TRUE(warm.converged());
+  EXPECT_LT(warm.stats.iterations, cold.stats.iterations);
+  // Fields are O(300..600) K solved to relTol 1e-8: different CG
+  // trajectories agree to ~1e-4 K absolute, not exactly.
+  for (std::size_t v = 0; v < warm.temperature.size(); ++v) {
+    EXPECT_NEAR(warm.temperature[v], cold.temperature[v], 5e-4);
   }
 }
 

@@ -91,5 +91,65 @@ TEST(SparseMatrix, AtOutOfRangeThrows) {
   EXPECT_THROW(m.at(2, 0), std::out_of_range);
 }
 
+TEST(SparseMatrix, TransposedMatchesAt) {
+  Rng rng(11);
+  TripletBuilder b(6, 9);
+  for (int k = 0; k < 25; ++k) {
+    b.add(rng.uniformInt(6), rng.uniformInt(9), rng.uniform(-2.0, 2.0));
+  }
+  const auto m = SparseMatrix::fromTriplets(b);
+  const auto t = m.transposed();
+  ASSERT_EQ(t.rows(), m.cols());
+  ASSERT_EQ(t.cols(), m.rows());
+  ASSERT_EQ(t.nonZeros(), m.nonZeros());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      EXPECT_DOUBLE_EQ(t.at(c, r), m.at(r, c));
+    }
+  }
+  // CSR invariant: every transposed row keeps strictly increasing columns.
+  for (std::size_t r = 0; r < t.rows(); ++r) {
+    for (std::size_t k = t.rowPtr()[r] + 1; k < t.rowPtr()[r + 1]; ++k) {
+      EXPECT_LT(t.colIdx()[k - 1], t.colIdx()[k]);
+    }
+  }
+}
+
+TEST(SparseMatrix, MultiplySparseMatchesDenseProduct) {
+  Rng rng(23);
+  TripletBuilder ba(5, 7);
+  TripletBuilder bb(7, 4);
+  for (int k = 0; k < 20; ++k) {
+    ba.add(rng.uniformInt(5), rng.uniformInt(7), rng.uniform(-1.0, 1.0));
+    bb.add(rng.uniformInt(7), rng.uniformInt(4), rng.uniform(-1.0, 1.0));
+  }
+  const auto a = SparseMatrix::fromTriplets(ba);
+  const auto b = SparseMatrix::fromTriplets(bb);
+  const auto c = multiplySparse(a, b);
+  ASSERT_EQ(c.rows(), 5u);
+  ASSERT_EQ(c.cols(), 4u);
+  for (std::size_t r = 0; r < 5; ++r) {
+    for (std::size_t col = 0; col < 4; ++col) {
+      double ref = 0.0;
+      for (std::size_t k = 0; k < 7; ++k) ref += a.at(r, k) * b.at(k, col);
+      EXPECT_NEAR(c.at(r, col), ref, 1e-14) << r << "," << col;
+    }
+  }
+  // Sorted-column invariant holds for the product rows too.
+  for (std::size_t r = 0; r < c.rows(); ++r) {
+    for (std::size_t k = c.rowPtr()[r] + 1; k < c.rowPtr()[r + 1]; ++k) {
+      EXPECT_LT(c.colIdx()[k - 1], c.colIdx()[k]);
+    }
+  }
+}
+
+TEST(SparseMatrix, MultiplySparseShapeMismatchThrows) {
+  TripletBuilder ba(2, 3);
+  TripletBuilder bb(2, 2);
+  EXPECT_THROW(multiplySparse(SparseMatrix::fromTriplets(ba),
+                              SparseMatrix::fromTriplets(bb)),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace nh::util
