@@ -1,68 +1,7 @@
-/// Ablation: crosstalk-matrix truncation radius. The hub sums Eq. 5 over
-/// the full extracted table (Chebyshev radius 2 on the 5x5 array); this
-/// quantifies how much of the attack each coupling shell contributes --
-/// i.e. whether a cheaper nearest-neighbour-only hub would bias the results.
-
-#include <cstdio>
+/// Ablation: crosstalk-matrix truncation radius -- whether a cheaper
+/// nearest-neighbour-only hub would bias the results. Declared in the
+/// experiment registry ("ablation_alpha_truncation").
 
 #include "bench_common.hpp"
-#include "core/study.hpp"
 
-int main() {
-  using namespace nh;
-  bench::banner("ablation -- crosstalk truncation radius",
-                "centre attack at 10 nm / 300 K / 50 ns, alpha table truncated",
-                "radius 0 kills the attack (it is thermal); radius 1 misses "
-                "the mutual heating of the two word-line victims (they sit "
-                "two columns apart) and overestimates the pulse count");
-
-  util::AsciiTable table({"kept couplings", "pulses-to-flip", "flipped",
-                          "vs full table"});
-  table.setTitle("pulses-to-flip vs coupling truncation");
-  util::CsvTable csv({"radius", "pulses", "flipped"});
-
-  core::StudyConfig base;
-  base.spacing = 10e-9;
-  const std::size_t budget = 2'000'000;
-
-  // Full table first (radius 2).
-  std::size_t fullPulses = 0;
-  for (const long long radius : {2LL, 1LL, 0LL}) {
-    core::AttackStudy study(base);
-    auto bench = study.makeBench();
-    // Rebuild the engine with a truncated copy of the table.
-    xbar::AlphaTable table2 = study.alphas();
-    table2.truncate(radius);
-    xbar::FastEngine engine(*bench.array, table2, base.engineOptions);
-    core::AttackEngine attack(engine, base.detector);
-    core::AttackConfig cfg;
-    cfg.aggressors = {{2, 2}};
-    cfg.maxPulses = budget;
-    const auto r = attack.run(cfg);
-
-    if (radius == 2) fullPulses = r.pulsesToFlip;
-    const std::string label = radius == 2   ? "radius 2 (full)"
-                              : radius == 1 ? "radius 1 (direct ring)"
-                                            : "radius 0 (no crosstalk)";
-    table.addRow({label,
-                  util::AsciiTable::grouped(static_cast<long long>(r.pulsesToFlip)),
-                  r.flipped ? "yes" : "NO (budget)",
-                  r.flipped && fullPulses
-                      ? util::AsciiTable::fixed(
-                            static_cast<double>(r.pulsesToFlip) /
-                                static_cast<double>(fullPulses),
-                            2) + "x"
-                      : "-"});
-    csv.addRow(std::vector<double>{static_cast<double>(radius),
-                                   static_cast<double>(r.pulsesToFlip),
-                                   r.flipped ? 1.0 : 0.0});
-  }
-  table.addNote("radius 0 removes the thermal coupling entirely: the half-select");
-  table.addNote("stress alone cannot flip the victim within the budget -- the");
-  table.addNote("attack is thermal, not electrical (paper Sec. III).");
-  table.addNote("radius 1 drops the (0,2) coupling between the two word-line");
-  table.addNote("victims, losing their cooperative self-heating near the flip.");
-  table.print();
-  bench::saveCsv(csv, "ablation_alpha_truncation.csv");
-  return 0;
-}
+int main() { return nh::bench::runRegistered("ablation_alpha_truncation"); }

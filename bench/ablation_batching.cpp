@@ -1,77 +1,8 @@
-/// Ablation: the pulse-batching accelerator of the fast engine. Verifies
-/// the accuracy/speed trade-off of the drift-bounded extrapolation that
-/// makes the 10^5..10^6-pulse sweeps tractable: pulses-to-flip with batching
-/// must track the exact (unbatched) result within a few percent while
-/// running an order of magnitude faster.
-
-#include <chrono>
-#include <cstdio>
+/// Ablation: the pulse-batching accelerator of the fast engine -- batched
+/// pulse counts must track the exact (unbatched) result within a few
+/// percent at ~10x less wall-clock. Declared in the experiment registry
+/// ("ablation_batching").
 
 #include "bench_common.hpp"
-#include "core/study.hpp"
 
-namespace {
-
-struct Run {
-  std::size_t pulses = 0;
-  double wallSeconds = 0.0;
-};
-
-Run runAttack(bool batching, double driftLimit) {
-  nh::core::StudyConfig cfg;
-  cfg.spacing = 30e-9;  // flips in a few thousand pulses: exact run feasible
-  cfg.engineOptions.enableBatching = batching;
-  cfg.engineOptions.batchDriftLimit = driftLimit;
-  nh::core::AttackStudy study(cfg);
-  const auto t0 = std::chrono::steady_clock::now();
-  const auto r = study.attackCenter(nh::core::HammerPulse{}, 2'000'000);
-  const auto t1 = std::chrono::steady_clock::now();
-  return {r.flipped ? r.pulsesToFlip : 0,
-          std::chrono::duration<double>(t1 - t0).count()};
-}
-
-}  // namespace
-
-int main() {
-  using namespace nh;
-  bench::banner("ablation -- pulse-batching accelerator",
-                "centre attack at 30 nm / 300 K / 50 ns; exact vs batched",
-                "batched pulse counts within a few % of exact at ~10x less "
-                "wall-clock");
-
-  const Run exact = runAttack(false, 0.002);
-  util::AsciiTable table({"mode", "drift limit", "pulses-to-flip",
-                          "error vs exact", "wall [s]", "speedup"});
-  table.setTitle("batching accuracy / speed trade-off");
-  util::CsvTable csv({"drift_limit", "pulses", "error_frac", "wall_s"});
-  table.addRow({"exact", "-", util::AsciiTable::grouped(
-                                  static_cast<long long>(exact.pulses)),
-                "-", util::AsciiTable::fixed(exact.wallSeconds, 2), "1.0x"});
-  csv.addRow(std::vector<double>{0.0, static_cast<double>(exact.pulses), 0.0,
-                                 exact.wallSeconds});
-
-  const std::vector<double> limits =
-      bench::fastMode() ? std::vector<double>{0.002}
-                        : std::vector<double>{0.0005, 0.002, 0.01};
-  for (const double limit : limits) {
-    const Run b = runAttack(true, limit);
-    const double err =
-        exact.pulses
-            ? std::abs(static_cast<double>(b.pulses) -
-                       static_cast<double>(exact.pulses)) /
-                  static_cast<double>(exact.pulses)
-            : 0.0;
-    table.addRow({"batched", util::AsciiTable::fixed(limit, 4),
-                  util::AsciiTable::grouped(static_cast<long long>(b.pulses)),
-                  util::AsciiTable::fixed(100.0 * err, 2) + " %",
-                  util::AsciiTable::fixed(b.wallSeconds, 2),
-                  util::AsciiTable::fixed(
-                      b.wallSeconds > 0 ? exact.wallSeconds / b.wallSeconds : 0.0,
-                      1) + "x"});
-    csv.addRow(std::vector<double>{limit, static_cast<double>(b.pulses), err,
-                                   b.wallSeconds});
-  }
-  table.print();
-  bench::saveCsv(csv, "ablation_batching.csv");
-  return 0;
-}
+int main() { return nh::bench::runRegistered("ablation_batching"); }

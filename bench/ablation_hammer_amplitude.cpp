@@ -1,47 +1,8 @@
-/// Ablation: the hammer amplitude. The paper fixes V_SET = 1.05 V; this
-/// sweep shows the attacker's trade-off -- higher amplitude means more
-/// aggressor Joule heat (quadratic-ish) *and* more half-select stress
-/// (exponential), so pulses-to-flip collapses steeply with amplitude. The
-/// defender-side reading: write-voltage margining is a lever against the
-/// attack.
-
-#include <cstdio>
+/// Ablation: the hammer amplitude around the nominal V_SET = 1.05 V --
+/// the attacker's amplitude trade-off and the defender's write-voltage
+/// margining lever. Declared in the experiment registry
+/// ("ablation_hammer_amplitude").
 
 #include "bench_common.hpp"
-#include "core/study.hpp"
 
-int main() {
-  using namespace nh;
-  bench::banner("ablation -- hammer pulse amplitude",
-                "centre attack at 50 nm / 300 K / 50 ns, amplitude swept "
-                "around the nominal V_SET = 1.05 V",
-                "each +0.1 V cuts pulses-to-flip by roughly an order of "
-                "magnitude (sinh field term + hotter aggressor)");
-
-  core::StudyConfig cfg;  // 50 nm / 300 K
-  util::AsciiTable table({"amplitude", "half-select stress",
-                          "# pulses to flip", "flipped"});
-  table.setTitle("pulses-to-flip vs hammer amplitude");
-  util::CsvTable csv({"amplitude_V", "pulses", "flipped"});
-
-  core::AttackStudy study(cfg);
-  const std::vector<double> amplitudes =
-      bench::fastMode() ? std::vector<double>{1.05, 1.25}
-                        : std::vector<double>{0.85, 0.95, 1.05, 1.15, 1.25};
-  for (const double v : amplitudes) {
-    core::HammerPulse pulse;
-    pulse.amplitude = v;
-    const auto r = study.attackCenter(pulse, 30'000'000);
-    table.addRow({util::AsciiTable::fixed(v, 2) + " V",
-                  util::AsciiTable::fixed(v / 2.0, 3) + " V",
-                  util::AsciiTable::grouped(static_cast<long long>(r.pulsesToFlip)),
-                  r.flipped ? "yes" : "NO (budget)"});
-    csv.addRow(std::vector<double>{v, static_cast<double>(r.pulsesToFlip),
-                                   r.flipped ? 1.0 : 0.0});
-  }
-  table.addNote("amplitudes above ~1.3 V start disturbing unselected cells in");
-  table.addNote("normal operation, so the attacker cannot raise V arbitrarily.");
-  table.print();
-  bench::saveCsv(csv, "ablation_hammer_amplitude.csv");
-  return 0;
-}
+int main() { return nh::bench::runRegistered("ablation_hammer_amplitude"); }

@@ -1,102 +1,8 @@
-/// Ablation + countermeasure evaluation (paper future work): (a) the biasing
-/// scheme -- V/3 reduces the half-select stress from V/2 to V/3, pushing the
-/// victim out of the exploitable kinetics window; (b) refresh scrubbing
-/// intervals; (c) per-line hammer-count monitoring; (d) duty-cycle
-/// throttling (shown ineffective: the heating is intra-pulse).
-
-#include <cstdio>
+/// Ablation + countermeasure evaluation (paper future work): V/3 biasing,
+/// refresh scrubbing, per-line hammer-count monitoring, and duty-cycle
+/// throttling against the reference attack, one row per countermeasure
+/// case. Declared in the experiment registry ("ablation_scheme_defense").
 
 #include "bench_common.hpp"
-#include "core/defense.hpp"
 
-int main() {
-  using namespace nh;
-  bench::banner("countermeasures -- scheme, scrubbing, monitoring, throttling",
-                "reference attack: centre cell, 10 nm spacing (fast regime), "
-                "50 ns pulses, 300 K",
-                "V/3 scheme and fast scrubbing stop the attack; activation "
-                "monitors detect it early; throttling does not help");
-
-  core::StudyConfig cfg;
-  cfg.spacing = 10e-9;
-  core::HammerPulse pulse;
-  const std::size_t budget = bench::fastMode() ? 200'000 : 1'000'000;
-
-  // (a) biasing scheme.
-  core::AttackStudy study(cfg);
-  const auto v2 = study.attackCenter(pulse, budget);
-  core::AttackConfig v3attack;
-  v3attack.aggressors = {{2, 2}};
-  v3attack.scheme = xbar::BiasScheme::Third;
-  v3attack.pulse = pulse;
-  v3attack.maxPulses = budget;
-  const auto v3 = study.attack(v3attack);
-
-  util::AsciiTable scheme({"bias scheme", "half-select stress", "pulses", "flipped"});
-  scheme.setTitle("(a) V/2 vs V/3 biasing scheme");
-  scheme.addRow({"V/2", "0.525 V",
-                 util::AsciiTable::grouped(static_cast<long long>(v2.pulsesToFlip)),
-                 v2.flipped ? "yes" : "NO (budget)"});
-  scheme.addRow({"V/3", "0.350 V",
-                 util::AsciiTable::grouped(static_cast<long long>(v3.pulsesToFlip)),
-                 v3.flipped ? "yes" : "NO (budget)"});
-  scheme.addNote("V/3 trades attack immunity for stress on *all* cells and");
-  scheme.addNote("3x the driver effort -- the classic scheme trade-off.");
-  scheme.print();
-
-  // (b) scrubbing interval sweep.
-  util::AsciiTable scrub({"scrub interval", "attack flipped", "pulses survived",
-                          "scrub passes", "cells refreshed"});
-  scrub.setTitle("\n(b) refresh scrubbing");
-  const std::size_t reference = v2.flipped ? v2.pulsesToFlip : budget;
-  for (const double frac : {0.25, 1.0, 4.0}) {
-    core::ScrubbingConfig s;
-    s.intervalPulses =
-        std::max<std::size_t>(1, static_cast<std::size_t>(frac * reference));
-    const auto outcome = core::evaluateScrubbing(cfg, pulse, s, 3 * reference);
-    scrub.addRow({util::AsciiTable::grouped(static_cast<long long>(s.intervalPulses)),
-                  outcome.attackSucceeded ? "YES" : "no",
-                  util::AsciiTable::grouped(static_cast<long long>(
-                      outcome.attackSucceeded ? outcome.pulsesUntilFlip
-                                              : outcome.pulsesSurvived)),
-                  std::to_string(outcome.scrubPasses),
-                  std::to_string(outcome.cellsRefreshed)});
-  }
-  scrub.addNote("scrubbing faster than ~the flip time defeats the attack at the");
-  scrub.addNote("cost of continuous refresh traffic (interval in hammer pulses).");
-  scrub.print();
-
-  // (c) hammer-count monitor.
-  util::AsciiTable mon({"line threshold", "detected", "detection pulse",
-                        "flip pulse", "flip first?"});
-  mon.setTitle("\n(c) per-line activation monitor (ReRAM analogue of TRR)");
-  for (const double frac : {0.2, 2.0}) {
-    core::MonitorConfig m;
-    m.lineThreshold =
-        std::max<std::size_t>(1, static_cast<std::size_t>(frac * reference));
-    const auto outcome = core::evaluateMonitor(cfg, pulse, m, budget);
-    mon.addRow({util::AsciiTable::grouped(static_cast<long long>(m.lineThreshold)),
-                outcome.attackDetected ? "yes" : "no",
-                util::AsciiTable::grouped(
-                    static_cast<long long>(outcome.pulsesUntilDetection)),
-                util::AsciiTable::grouped(
-                    static_cast<long long>(outcome.pulsesUntilFlip)),
-                outcome.flippedBeforeDetection ? "YES (defence too slow)" : "no"});
-  }
-  mon.print();
-
-  // (d) duty-cycle throttling.
-  util::AsciiTable thr({"duty cycle", "pulses-to-flip", "attack wall clock"});
-  thr.setTitle("\n(d) duty-cycle throttling (negative result)");
-  const auto outcomes = core::evaluateThrottling(cfg, pulse.width,
-                                                 {0.5, 0.2, 0.05}, budget);
-  for (const auto& o : outcomes) {
-    thr.addRow({util::AsciiTable::fixed(o.dutyCycle, 2),
-                util::AsciiTable::grouped(static_cast<long long>(o.pulses)),
-                util::AsciiTable::si(o.wallClockTime, "s", 2)});
-  }
-  thr.addNote("pulse count is flat: victim heating settles within each pulse");
-  thr.addNote("(tau_th ~ 2 ns << period), so idle time between pulses is no defence.");
-  thr.print();
-  return 0;
-}
+int main() { return nh::bench::runRegistered("ablation_scheme_defense"); }

@@ -1,54 +1,7 @@
-/// Ablation: the filament thermal time constant tau_th. DESIGN.md calls out
-/// the thermal lag as the source of the extra pulse-count penalty at short
-/// pulse lengths (Fig. 3a curvature). Sweeping tau_th confirms: with a
-/// slower filament the 10 ns attack pays a large warm-up tax per pulse,
-/// while 100 ns pulses barely notice.
-
-#include <cstdio>
+/// Ablation: the filament thermal time constant tau_th -- the source of
+/// the extra pulse-count penalty at short pulse lengths (Fig. 3a
+/// curvature). Declared in the experiment registry ("ablation_thermal_tau").
 
 #include "bench_common.hpp"
-#include "core/study.hpp"
 
-int main() {
-  using namespace nh;
-  bench::banner("ablation -- filament thermal time constant tau_th",
-                "centre attack at 50 nm / 300 K, pulse lengths 10 and 100 ns",
-                "larger tau_th inflates pulses-to-flip at short pulse lengths "
-                "far more than at long ones");
-
-  util::AsciiTable table({"tau_th", "pulses @10 ns", "pulses @100 ns",
-                          "ratio 10ns/100ns"});
-  table.setTitle("pulses-to-flip vs thermal time constant");
-  util::CsvTable csv({"tau_ns", "pulses_10ns", "pulses_100ns"});
-
-  const std::vector<double> taus =
-      bench::fastMode() ? std::vector<double>{2e-9}
-                        : std::vector<double>{0.5e-9, 2e-9, 5e-9};
-  for (const double tau : taus) {
-    core::StudyConfig cfg;
-    cfg.cellParams.tauThermal = tau;
-    std::size_t pulses[2] = {0, 0};
-    const double widths[2] = {10e-9, 100e-9};
-    for (int i = 0; i < 2; ++i) {
-      core::AttackStudy study(cfg);
-      core::HammerPulse pulse;
-      pulse.width = widths[i];
-      const auto r = study.attackCenter(pulse, 20'000'000);
-      pulses[i] = r.flipped ? r.pulsesToFlip : 0;
-    }
-    table.addRow({util::AsciiTable::si(tau, "s", 1),
-                  util::AsciiTable::grouped(static_cast<long long>(pulses[0])),
-                  util::AsciiTable::grouped(static_cast<long long>(pulses[1])),
-                  util::AsciiTable::fixed(
-                      pulses[1] ? static_cast<double>(pulses[0]) /
-                                      static_cast<double>(pulses[1])
-                                : 0.0,
-                      1)});
-    csv.addRow(std::vector<double>{tau * 1e9, static_cast<double>(pulses[0]),
-                                   static_cast<double>(pulses[1])});
-  }
-  table.addNote("a pure 1/length law would give ratio 10; the excess is the warm-up tax");
-  table.print();
-  bench::saveCsv(csv, "ablation_thermal_tau.csv");
-  return 0;
-}
+int main() { return nh::bench::runRegistered("ablation_thermal_tau"); }

@@ -1,47 +1,8 @@
-/// Extension study: device-to-device variability. The paper evaluates the
-/// deterministic JART variant; real arrays vary in filament radius, window
-/// and activation energy. This Monte-Carlo quantifies how the attack budget
-/// spreads across device corners -- the attacker needs the *weakest*
-/// neighbour, so variability helps the attack.
-
-#include <cstdio>
+/// Extension study: device-to-device variability -- Monte-Carlo over
+/// perturbed JART parameters; the attacker needs the *weakest* neighbour,
+/// so variability helps the attack. Declared in the experiment registry
+/// ("ablation_variability").
 
 #include "bench_common.hpp"
-#include "core/variability.hpp"
 
-int main() {
-  using namespace nh;
-  bench::banner("extension -- device-to-device variability",
-                "Monte-Carlo over perturbed JART parameters, centre attack at "
-                "30 nm / 300 K / 50 ns",
-                "pulses-to-flip spreads over ~1 decade at sigma = 5%; flip "
-                "rate stays 100% (the attack is robust to variability)");
-
-  util::AsciiTable table({"sigma", "trials", "flip rate", "min", "median",
-                          "max", "spread [dec]"});
-  table.setTitle("pulses-to-flip distribution under parameter variability");
-  util::CsvTable csv({"sigma", "trials", "flip_rate", "min", "median", "max"});
-
-  core::VariabilityConfig cfg;
-  cfg.base.spacing = 30e-9;
-  cfg.trials = bench::fastMode() ? 5 : 25;
-  for (const double sigma : {0.02, 0.05, 0.10}) {
-    cfg.sigma = sigma;
-    const auto r = core::runVariabilityStudy(cfg);
-    table.addRow({util::AsciiTable::fixed(sigma, 2), std::to_string(r.trials),
-                  util::AsciiTable::fixed(100.0 * r.flipRate, 0) + " %",
-                  util::AsciiTable::grouped(static_cast<long long>(r.minPulses)),
-                  util::AsciiTable::grouped(static_cast<long long>(r.medianPulses)),
-                  util::AsciiTable::grouped(static_cast<long long>(r.maxPulses)),
-                  util::AsciiTable::fixed(r.spreadDecades, 2)});
-    csv.addRow(std::vector<double>{sigma, static_cast<double>(r.trials),
-                                   r.flipRate, static_cast<double>(r.minPulses),
-                                   static_cast<double>(r.medianPulses),
-                                   static_cast<double>(r.maxPulses)});
-  }
-  table.addNote("spread comes almost entirely from the activation-energy jitter");
-  table.addNote("(kinetics are exponential in Ea/kT).");
-  table.print();
-  bench::saveCsv(csv, "ablation_variability.csv");
-  return 0;
-}
+int main() { return nh::bench::runRegistered("ablation_variability"); }

@@ -1,56 +1,7 @@
 /// Attack-cost accounting: total energy dissipated in the array from the
-/// first hammer pulse to the bit-flip, across electrode spacings. Two
-/// defender-relevant readings: (1) the attack costs only nano-to-micro-
-/// joules -- no power anomaly a PMIC would notice per pulse; but (2) the
-/// *sustained* line energy is concentrated on one word line, which is what
-/// a per-line energy monitor could flag (cf. the activation monitor in
-/// ablation_scheme_defense).
-
-#include <cstdio>
+/// first hammer pulse to the bit-flip, across electrode spacings. Declared
+/// in the experiment registry ("attack_energy").
 
 #include "bench_common.hpp"
-#include "core/study.hpp"
 
-int main() {
-  using namespace nh;
-  bench::banner("attack energy budget",
-                "centre attack, 50 ns pulses, 300 K; energy until the flip",
-                "total flip energy grows with spacing (more pulses); the "
-                "aggressor cell dominates the per-cell breakdown");
-
-  util::AsciiTable table({"spacing", "# pulses", "total energy", "energy/pulse",
-                          "aggressor share"});
-  table.setTitle("energy to induce one bit-flip");
-  util::CsvTable csv({"spacing_nm", "pulses", "energy_J", "aggressor_share"});
-
-  for (const double spacingNm : {10.0, 50.0, 90.0}) {
-    core::StudyConfig cfg;
-    cfg.spacing = spacingNm * 1e-9;
-    core::AttackStudy study(cfg);
-    auto bench2 = study.makeBench();
-    core::AttackEngine attack(*bench2.engine, cfg.detector);
-    core::AttackConfig a;
-    a.aggressors = {{2, 2}};
-    a.maxPulses = 5'000'000;
-    const auto r = attack.run(a);
-    const double energy = bench2.engine->totalEnergy();
-    const double aggShare =
-        energy > 0.0 ? bench2.engine->energyByCell()(2, 2) / energy : 0.0;
-    table.addRow({util::AsciiTable::fixed(spacingNm, 0) + " nm",
-                  util::AsciiTable::grouped(static_cast<long long>(r.pulsesToFlip)),
-                  util::AsciiTable::si(energy, "J", 2),
-                  util::AsciiTable::si(
-                      energy / static_cast<double>(std::max<std::size_t>(
-                                   r.pulsesToFlip, 1)),
-                      "J", 2),
-                  util::AsciiTable::fixed(100.0 * aggShare, 1) + " %"});
-    csv.addRow(std::vector<double>{spacingNm,
-                                   static_cast<double>(r.pulsesToFlip), energy,
-                                   aggShare});
-  }
-  table.addNote("per-pulse energy is pJ-scale: invisible to coarse power");
-  table.addNote("monitoring; a per-line energy counter is the workable hook.");
-  table.print();
-  bench::saveCsv(csv, "attack_energy.csv");
-  return 0;
-}
+int main() { return nh::bench::runRegistered("attack_energy"); }

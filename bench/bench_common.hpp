@@ -1,12 +1,16 @@
 #pragma once
 /// Shared helpers for the figure-reproduction benches: result directory
-/// handling and a consistent "paper vs measured" banner.
+/// handling, a consistent "paper vs measured" banner, and the one-call
+/// registry runner every experiment-backed driver reduces to.
 
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <filesystem>
 #include <string>
 
+#include "core/experiment.hpp"
+#include "core/experiment_registry.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 #include "util/threadpool.hpp"
@@ -14,11 +18,9 @@
 namespace nh::bench {
 
 /// Directory CSV series are written to (NH_RESULTS_DIR or ./bench_results).
+/// The convention has one home: core/experiment's defaultResultsDir().
 inline std::filesystem::path resultsDir() {
-  if (const char* env = std::getenv("NH_RESULTS_DIR")) {
-    return std::filesystem::path(env);
-  }
-  return std::filesystem::path("bench_results");
+  return nh::core::defaultResultsDir();
 }
 
 /// Save a CSV table and report the location on stdout.
@@ -28,14 +30,11 @@ inline void saveCsv(const nh::util::CsvTable& table, const std::string& name) {
   std::printf("  series written to %s\n", path.string().c_str());
 }
 
-/// Standard banner for each reproduced artefact.
+/// Standard banner for each reproduced artefact (shared renderer in
+/// core/experiment so the nh_sweep CLI prints the identical header).
 inline void banner(const char* figure, const char* description,
                    const char* paperShape) {
-  std::printf("=====================================================================\n");
-  std::printf("NeuroHammer reproduction -- %s\n", figure);
-  std::printf("%s\n", description);
-  std::printf("paper shape: %s\n", paperShape);
-  std::printf("=====================================================================\n");
+  nh::core::printBanner(figure, description, paperShape);
 }
 
 /// True when NH_FAST_BENCH is set: benches shrink budgets/grids so the whole
@@ -55,6 +54,31 @@ inline std::size_t sweepThreads() {
     return t;
   }();
   return threads;
+}
+
+/// The whole body of an experiment-backed bench driver: look the experiment
+/// up in the registry, print the banner, run the grid on the pool (fast
+/// mode via NH_FAST_BENCH), render the ASCII table, and emit the CSV + JSON
+/// series into resultsDir(). Returns the process exit code.
+inline int runRegistered(const std::string& name) try {
+  const nh::core::ExperimentSpec spec = nh::core::makeExperiment(name);
+  nh::core::printBanner(spec);
+
+  nh::core::RunOptions options;
+  options.threads = sweepThreads();
+  options.fast = fastMode();
+  const nh::core::ExperimentResult result =
+      nh::core::runExperiment(spec, options);
+
+  nh::core::toAsciiTable(result).print();
+  const auto files = nh::core::writeResultFiles(result, resultsDir());
+  std::printf("  series written to %s\n", files.csv.string().c_str());
+  std::printf("  json written to %s (config digest %s)\n",
+              files.json.string().c_str(), result.configDigest.c_str());
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "%s: %s\n", name.c_str(), e.what());
+  return 1;
 }
 
 }  // namespace nh::bench

@@ -1,69 +1,7 @@
 /// Security-margin quantification: how many V/2 half-select pulses does an
-/// *un-hammered* cell survive at room temperature? This is the disturb
-/// endurance of normal operation -- every legitimate write half-selects the
-/// cells of its row and column -- and the denominator of the attack's
-/// advantage: NeuroHammer wins because crosstalk heating shrinks this
-/// number by orders of magnitude.
-
-#include <cstdio>
+/// *un-hammered* cell survive -- the denominator of the attack's advantage.
+/// Declared in the experiment registry ("endurance_half_select").
 
 #include "bench_common.hpp"
-#include "core/study.hpp"
 
-int main() {
-  using namespace nh;
-  bench::banner("security margin -- half-select endurance without crosstalk",
-                "cold V/2 stress on an HRS cell (alpha table zeroed) vs the "
-                "hammered flip at 50 nm / 300 K / 50 ns",
-                "cold disturb needs >10^6 pulses; hammering cuts that by "
-                "~2 orders of magnitude at 50 nm and ~4 at 10 nm");
-
-  core::StudyConfig base;  // 50 nm / 300 K
-  const std::size_t budget = bench::fastMode() ? 1'000'000 : 20'000'000;
-
-  // Hammered reference.
-  core::AttackStudy study(base);
-  const auto hot = study.attackCenter(core::HammerPulse{}, budget);
-
-  // Cold disturb: same machinery, thermal coupling removed.
-  auto bench2 = study.makeBench();
-  xbar::AlphaTable noCoupling = study.alphas();
-  noCoupling.truncate(0);
-  xbar::FastEngine engine(*bench2.array, noCoupling, base.engineOptions);
-  core::AttackEngine attack(engine, base.detector);
-  core::AttackConfig cfg;
-  cfg.aggressors = {{2, 2}};
-  cfg.maxPulses = budget;
-  const auto cold = attack.run(cfg);
-
-  util::AsciiTable table({"condition", "# pulses to flip", "flipped",
-                          "stress time"});
-  table.setTitle("half-select disturb: hammered vs normal operation");
-  table.addRow({"hammered (crosstalk on)",
-                util::AsciiTable::grouped(static_cast<long long>(hot.pulsesToFlip)),
-                hot.flipped ? "yes" : "NO (budget)",
-                util::AsciiTable::si(hot.stressTime, "s", 2)});
-  table.addRow({"normal operation (no crosstalk)",
-                util::AsciiTable::grouped(static_cast<long long>(cold.pulsesToFlip)),
-                cold.flipped ? "yes" : "NO (budget)",
-                util::AsciiTable::si(cold.stressTime, "s", 2)});
-  if (hot.flipped && cold.flipped) {
-    table.addNote("attack advantage: " +
-                  util::AsciiTable::fixed(
-                      static_cast<double>(cold.pulsesToFlip) /
-                          static_cast<double>(hot.pulsesToFlip),
-                      0) +
-                  "x fewer pulses than the intrinsic disturb limit");
-  }
-  table.addNote("the cold number also bounds write-disturb endurance: a row");
-  table.addNote("tolerates that many writes before an unrelated HRS cell drifts.");
-  table.print();
-
-  util::CsvTable csv({"condition", "pulses", "flipped"});
-  csv.addRow({std::string("hammered"), std::to_string(hot.pulsesToFlip),
-              hot.flipped ? "1" : "0"});
-  csv.addRow({std::string("cold"), std::to_string(cold.pulsesToFlip),
-              cold.flipped ? "1" : "0"});
-  bench::saveCsv(csv, "endurance_half_select.csv");
-  return 0;
-}
+int main() { return nh::bench::runRegistered("endurance_half_select"); }

@@ -1,56 +1,9 @@
 /// Fig. 3a reproduction: number of hammer pulses required to trigger a
 /// bit-flip vs pulse length (10..100 ns), centre-cell attack on the 5x5
-/// crossbar, 50 nm electrode spacing, 300 K ambient. Paper: monotone
-/// decrease from ~10^4 at 10 ns to ~10^3 at 100 ns (log-log slope ~ -1,
-/// i.e. a constant integrated-stress-time budget).
-
-#include <cmath>
-#include <cstdio>
+/// crossbar, 50 nm electrode spacing, 300 K ambient. The whole study is
+/// declared in the experiment registry ("fig3a_pulse_length"); this driver
+/// is banner + registry lookup + shared result emission.
 
 #include "bench_common.hpp"
-#include "core/study.hpp"
 
-int main() {
-  using namespace nh;
-  bench::banner("Fig. 3a -- impact of the pulse length",
-                "centre-cell attack, V_SET = 1.05 V, 50% duty, spacing 50 nm, "
-                "T0 = 300 K",
-                "pulses-to-flip falls ~1/length (10^4 -> 10^3 in the paper); "
-                "extra penalty at short pulses from the thermal ramp");
-
-  core::StudyConfig cfg;  // 50 nm, 300 K defaults
-  std::vector<double> widths;
-  if (bench::fastMode()) {
-    widths = {20e-9, 50e-9, 100e-9};
-  } else {
-    for (int ns = 10; ns <= 100; ns += 10) widths.push_back(ns * 1e-9);
-  }
-  const auto points =
-      core::sweepPulseLength(cfg, widths, 5'000'000, bench::sweepThreads());
-
-  util::AsciiTable table(
-      {"pulse length", "# pulses to flip", "stress time", "flipped"});
-  table.setTitle("Fig. 3a: pulses to trigger a bit-flip vs pulse length");
-  util::CsvTable csv({"pulse_length_ns", "pulses", "stress_time_s", "flipped"});
-  for (const auto& p : points) {
-    table.addRow({util::AsciiTable::si(p.parameter, "s", 0),
-                  util::AsciiTable::grouped(static_cast<long long>(p.pulses)),
-                  util::AsciiTable::si(p.stressTime, "s", 2),
-                  p.flipped ? "yes" : "NO (budget)"});
-    csv.addRow(std::vector<double>{p.parameter * 1e9,
-                                   static_cast<double>(p.pulses), p.stressTime,
-                                   p.flipped ? 1.0 : 0.0});
-  }
-  // Log-log slope between the endpoints.
-  if (points.size() >= 2 && points.front().flipped && points.back().flipped) {
-    const double slope =
-        std::log10(static_cast<double>(points.back().pulses) /
-                   static_cast<double>(points.front().pulses)) /
-        std::log10(points.back().parameter / points.front().parameter);
-    table.addNote("log-log slope (first->last point): " +
-                  util::AsciiTable::fixed(slope, 2) + "  (paper: ~ -1)");
-  }
-  table.print();
-  bench::saveCsv(csv, "fig3a_pulse_length.csv");
-  return 0;
-}
+int main() { return nh::bench::runRegistered("fig3a_pulse_length"); }

@@ -1,41 +1,9 @@
 /// Fig. 3b reproduction: pulses-to-flip vs electrode spacing (10/50/90 nm)
-/// for pulse lengths 50/75/100 ns at 300 K. Paper: the closer the cells,
-/// the more vulnerable -- roughly 10^3 pulses at 10 nm up to 10^5 at 90 nm.
-
-#include <cstdio>
+/// for pulse lengths 50/75/100 ns at 300 K. Declared in the experiment
+/// registry ("fig3b_electrode_spacing"); the engine's study-dedup cache
+/// builds one AttackStudy per spacing and shares it across the width
+/// series.
 
 #include "bench_common.hpp"
-#include "core/study.hpp"
 
-int main() {
-  using namespace nh;
-  bench::banner("Fig. 3b -- impact of the electrode spacing",
-                "centre-cell attack, pulse lengths {50, 75, 100} ns, T0 = 300 K",
-                "pulses-to-flip rises ~2 decades from 10 nm to 90 nm; longer "
-                "pulses need proportionally fewer");
-
-  core::StudyConfig cfg;
-  const std::vector<double> spacings = {10e-9, 50e-9, 90e-9};
-  const std::vector<double> widths =
-      bench::fastMode() ? std::vector<double>{50e-9}
-                        : std::vector<double>{50e-9, 75e-9, 100e-9};
-  const auto points = core::sweepSpacing(cfg, spacings, widths, 5'000'000,
-                                         bench::sweepThreads());
-
-  util::AsciiTable table({"spacing", "pulse length", "# pulses to flip", "flipped"});
-  table.setTitle("Fig. 3b: pulses to trigger a bit-flip vs electrode spacing");
-  util::CsvTable csv({"spacing_nm", "pulse_length_ns", "pulses", "flipped"});
-  for (const auto& p : points) {
-    table.addRow({util::AsciiTable::si(p.parameter, "m", 0),
-                  util::AsciiTable::si(p.series, "s", 0),
-                  util::AsciiTable::grouped(static_cast<long long>(p.pulses)),
-                  p.flipped ? "yes" : "NO (budget)"});
-    csv.addRow(std::vector<double>{p.parameter * 1e9, p.series * 1e9,
-                                   static_cast<double>(p.pulses),
-                                   p.flipped ? 1.0 : 0.0});
-  }
-  table.addNote("paper @50 ns: ~10^3 (10 nm) -> ~10^4 (50 nm) -> ~10^5 (90 nm)");
-  table.print();
-  bench::saveCsv(csv, "fig3b_electrode_spacing.csv");
-  return 0;
-}
+int main() { return nh::bench::runRegistered("fig3b_electrode_spacing"); }

@@ -1,45 +1,7 @@
 /// Fig. 3c reproduction: pulses-to-flip vs ambient temperature (273..373 K)
-/// for pulse lengths 10/30/50 ns at 50 nm spacing. Paper: strong Arrhenius
-/// dependence -- ~10^5 pulses at 273 K down to ~10^2 at 373 K.
-
-#include <cstdio>
+/// for pulse lengths 10/30/50 ns at 50 nm spacing. Declared in the
+/// experiment registry ("fig3c_ambient_temperature").
 
 #include "bench_common.hpp"
-#include "core/study.hpp"
 
-int main() {
-  using namespace nh;
-  bench::banner("Fig. 3c -- impact of the ambient temperature",
-                "centre-cell attack, spacing 50 nm, pulse lengths {10, 30, 50} ns",
-                "~3 decades fewer pulses from 273 K to 373 K (Arrhenius "
-                "switching kinetics)");
-
-  core::StudyConfig cfg;
-  const std::vector<double> ambients =
-      bench::fastMode() ? std::vector<double>{298.0, 348.0}
-                        : std::vector<double>{273.0, 298.0, 323.0, 348.0, 373.0};
-  const std::vector<double> widths =
-      bench::fastMode() ? std::vector<double>{50e-9}
-                        : std::vector<double>{10e-9, 30e-9, 50e-9};
-  // 273 K at 10 ns needs a few million pulses -- cap the budget there.
-  const auto points = core::sweepAmbient(cfg, ambients, widths, 20'000'000,
-                                         bench::sweepThreads());
-
-  util::AsciiTable table(
-      {"ambient", "pulse length", "# pulses to flip", "flipped"});
-  table.setTitle("Fig. 3c: pulses to trigger a bit-flip vs ambient temperature");
-  util::CsvTable csv({"ambient_K", "pulse_length_ns", "pulses", "flipped"});
-  for (const auto& p : points) {
-    table.addRow({util::AsciiTable::fixed(p.parameter, 0) + " K",
-                  util::AsciiTable::si(p.series, "s", 0),
-                  util::AsciiTable::grouped(static_cast<long long>(p.pulses)),
-                  p.flipped ? "yes" : "NO (budget)"});
-    csv.addRow(std::vector<double>{p.parameter, p.series * 1e9,
-                                   static_cast<double>(p.pulses),
-                                   p.flipped ? 1.0 : 0.0});
-  }
-  table.addNote("paper @10 ns: ~10^5 (273 K) -> ~10^2..10^3 (373 K)");
-  table.print();
-  bench::saveCsv(csv, "fig3c_ambient_temperature.csv");
-  return 0;
-}
+int main() { return nh::bench::runRegistered("fig3c_ambient_temperature"); }

@@ -1,46 +1,8 @@
-/// Fig. 3d-h reproduction: impact of different attack patterns. The arXiv
-/// preprint references panels (d)-(h) in the Fig. 3 caption ("impact of
-/// different attack patterns" and "overview of attack patterns") without
-/// rendering them; we implement the natural aggressor arrangements around a
-/// centre victim and report the same metric (# pulses to trigger the flip).
-/// Aggressors are hammered round-robin, so the per-line stress duty is
-/// shared while the thermal input adds up.
-
-#include <cstdio>
+/// Fig. 3d-h reproduction: impact of different attack patterns around a
+/// centre victim (single / row-pair / column-pair / cross / ring hammered
+/// round-robin). Declared in the experiment registry
+/// ("fig3d_attack_patterns").
 
 #include "bench_common.hpp"
-#include "core/study.hpp"
 
-int main() {
-  using namespace nh;
-  bench::banner("Fig. 3d-h -- impact of the attack pattern",
-                "victim = centre cell, aggressors hammered round-robin, "
-                "spacing 50 nm, 50 ns pulses, T0 = 300 K",
-                "word-line aggressors dominate: the row pair halves the pulse "
-                "count; off-line aggressors add heat but dilute the victim's "
-                "V/2 stress duty");
-
-  core::StudyConfig cfg;
-  core::HammerPulse pulse;  // 1.05 V / 50 ns / 50% duty
-  const auto points =
-      core::sweepPatterns(cfg, pulse, bench::fastMode() ? 500'000 : 5'000'000,
-                          bench::sweepThreads());
-
-  util::AsciiTable table(
-      {"pattern", "aggressors", "# pulses to flip", "flipped"});
-  table.setTitle("Fig. 3d: pulses to flip the centre victim per attack pattern");
-  util::CsvTable csv({"pattern", "aggressors", "pulses", "flipped"});
-  for (const auto& p : points) {
-    table.addRow({core::patternName(p.pattern), std::to_string(p.aggressorCount),
-                  util::AsciiTable::grouped(static_cast<long long>(p.pulses)),
-                  p.flipped ? "yes" : "NO (budget)"});
-    csv.addRow({core::patternName(p.pattern), std::to_string(p.aggressorCount),
-                std::to_string(p.pulses), p.flipped ? "1" : "0"});
-  }
-  table.addNote("single/row-pair hammer the victim's word line (strong coupling);");
-  table.addNote("column-pair works through the weaker top-electrode path; cross/ring");
-  table.addNote("add heat but spend pulses on lines that do not stress the victim.");
-  table.print();
-  bench::saveCsv(csv, "fig3d_attack_patterns.csv");
-  return 0;
-}
+int main() { return nh::bench::runRegistered("fig3d_attack_patterns"); }

@@ -1,71 +1,8 @@
 /// Extension study: attack locality on a larger (7x7) crossbar -- how far
-/// from the aggressor can a victim be flipped? Sweeps the monitored victim
-/// offset along the word line, the bit line and the diagonal. This bounds
-/// the blast radius an allocator-level defence (victim/aggressor guard
-/// banding) would need.
-
-#include <cstdio>
+/// from the aggressor can a victim be flipped? Bounds the blast radius an
+/// allocator-level guard-banding defence would need. Declared in the
+/// experiment registry ("scaling_victim_distance").
 
 #include "bench_common.hpp"
-#include "core/study.hpp"
 
-int main() {
-  using namespace nh;
-  bench::banner("extension -- victim distance / attack blast radius (7x7)",
-                "aggressor at the centre of a 7x7 array, 10 nm spacing, 50 ns "
-                "pulses, one monitored victim per run",
-                "word-line victims flip fastest; two cells away costs ~1-2 "
-                "decades; beyond the coupling radius the attack fails");
-
-  core::StudyConfig cfg;
-  cfg.rows = 7;
-  cfg.cols = 7;
-  cfg.spacing = 10e-9;
-  core::AttackStudy study(cfg);
-  const std::size_t budget = bench::fastMode() ? 500'000 : 10'000'000;
-
-  struct Case {
-    const char* label;
-    long long dr, dc;
-  };
-  const Case cases[] = {
-      {"word line, 1 away", 0, 1},  {"word line, 2 away", 0, 2},
-      {"word line, 3 away", 0, 3},  {"bit line, 1 away", 1, 0},
-      {"bit line, 2 away", 2, 0},   {"diagonal, (1,1)", 1, 1},
-      {"diagonal, (2,2)", 2, 2},
-  };
-
-  util::AsciiTable table({"victim position", "alpha", "shares a line",
-                          "# pulses to flip", "flipped"});
-  table.setTitle("pulses-to-flip vs victim offset from the aggressor");
-  util::CsvTable csv({"dr", "dc", "alpha", "pulses", "flipped"});
-  for (const auto& c : cases) {
-    const xbar::CellCoord aggressor{3, 3};
-    const xbar::CellCoord victim{static_cast<std::size_t>(3 + c.dr),
-                                 static_cast<std::size_t>(3 + c.dc)};
-    core::AttackConfig attack;
-    attack.aggressors = {aggressor};
-    attack.victims = {victim};
-    attack.maxPulses = budget;
-    const auto r = study.attack(attack);
-    const double alpha = study.alphas().at(c.dr, c.dc);
-    const bool sharesLine = c.dr == 0 || c.dc == 0;
-    table.addRow({c.label, util::AsciiTable::fixed(alpha, 4),
-                  sharesLine ? "yes (V/2 stress)" : "no (heat only)",
-                  util::AsciiTable::grouped(static_cast<long long>(r.pulsesToFlip)),
-                  r.flipped ? "yes" : "NO (budget)"});
-    csv.addRow(std::vector<double>{static_cast<double>(c.dr),
-                                   static_cast<double>(c.dc), alpha,
-                                   static_cast<double>(r.pulsesToFlip),
-                                   r.flipped ? 1.0 : 0.0});
-  }
-  table.addNote("diagonal victims receive heat but no half-select stress, so they");
-  table.addNote("cannot flip at all under the single-aggressor V/2 pattern --");
-  table.addNote("the blast radius is confined to the aggressor's own lines.");
-  table.addNote("NOTE the domino effect at 'word line, 3 away' (alpha = 0): nearer");
-  table.addNote("victims flip first, then their own LRS half-select Joule heating");
-  table.addNote("relays the attack outward along the line.");
-  table.print();
-  bench::saveCsv(csv, "scaling_victim_distance.csv");
-  return 0;
-}
+int main() { return nh::bench::runRegistered("scaling_victim_distance"); }

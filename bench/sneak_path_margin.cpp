@@ -1,90 +1,7 @@
-/// Substrate-level table: why the paper drives unselected lines at V/2.
-/// Worst-case read margin (selected cell vs an all-LRS background) as a
-/// function of array size and read scheme -- the floating-line scheme
-/// collapses with array size because every unselected cell becomes a sneak
-/// path; the V/2 scheme holds the margin at the cost of half-select power.
-
-#include <cstdio>
+/// Substrate-level table: why the paper drives unselected lines at V/2 --
+/// worst-case read margin and write-level disturb bound vs array size and
+/// scheme. Declared in the experiment registry ("sneak_path_margin").
 
 #include "bench_common.hpp"
-#include "xbar/sneak.hpp"
 
-int main() {
-  using namespace nh;
-  bench::banner("substrate -- sneak paths and worst-case read margin",
-                "selected cell read at 0.2 V against an all-LRS array",
-                "read margin collapses with array size under both schemes "
-                "(the passive-crossbar scaling limit); the V/2 scheme's real "
-                "guarantee is bounding the disturb voltage on unselected "
-                "cells at write levels");
-
-  util::AsciiTable table({"array", "scheme", "I(sel=LRS)", "I(sel=HRS)",
-                          "read margin", "half-select power"});
-  table.setTitle("worst-case read margin vs array size and scheme");
-  util::CsvTable csv({"size", "scheme", "i_lrs", "i_hrs", "margin"});
-
-  const std::vector<std::size_t> sizes =
-      bench::fastMode() ? std::vector<std::size_t>{5, 9}
-                        : std::vector<std::size_t>{5, 9, 17, 33};
-  for (const std::size_t n : sizes) {
-    xbar::ArrayConfig cfg;
-    cfg.rows = n;
-    cfg.cols = n;
-    for (const auto scheme :
-         {xbar::ReadScheme::FloatingLines, xbar::ReadScheme::HalfBias}) {
-      const auto m = xbar::worstCaseReadMargin(cfg, 0.2, scheme);
-      // Half-select power at the LRS worst case, for the cost column.
-      xbar::CrossbarArray array(cfg);
-      array.fill(xbar::CellState::Lrs);
-      const auto a = xbar::analyzeSneak(array, n / 2, n / 2, 0.2, scheme);
-      const char* name =
-          scheme == xbar::ReadScheme::FloatingLines ? "floating" : "V/2";
-      table.addRow({std::to_string(n) + "x" + std::to_string(n), name,
-                    util::AsciiTable::si(m.iSelectedLrs, "A", 2),
-                    util::AsciiTable::si(m.iSelectedHrs, "A", 2),
-                    util::AsciiTable::fixed(100.0 * m.margin, 1) + " %",
-                    util::AsciiTable::si(a.halfSelectPower, "W", 2)});
-      csv.addRow({std::to_string(n), name, util::formatDouble(m.iSelectedLrs),
-                  util::formatDouble(m.iSelectedHrs),
-                  util::formatDouble(m.margin)});
-    }
-  }
-  table.addNote("margin = (I_lrs - I_hrs) / I_lrs at the selected bit line;");
-  table.addNote("a sense amplifier needs a healthy positive margin. The cells'");
-  table.addNote("strong nonlinearity self-limits floating-line sneak at 0.2 V,");
-  table.addNote("so both schemes degrade similarly on reads.");
-  table.print();
-
-  // The write-level disturb bound: the actual reason for the V/2 scheme.
-  // Mixed (checkerboard) data is the hazardous case for floating lines: an
-  // HRS cell inside a conductive sneak chain takes nearly the full drive.
-  util::AsciiTable disturb({"array", "scheme", "max |V| on unselected cells"});
-  disturb.setTitle("\nunselected-cell disturb voltage at V_SET = 1.05 V drive "
-                   "(checkerboard data)");
-  for (const std::size_t n : sizes) {
-    xbar::ArrayConfig cfg;
-    cfg.rows = n;
-    cfg.cols = n;
-    xbar::CrossbarArray array(cfg);
-    for (std::size_t r = 0; r < n; ++r) {
-      for (std::size_t c = 0; c < n; ++c) {
-        array.setState(r, c, (r + c) % 2 == 0 ? xbar::CellState::Lrs
-                                              : xbar::CellState::Hrs);
-      }
-    }
-    for (const auto scheme :
-         {xbar::ReadScheme::FloatingLines, xbar::ReadScheme::HalfBias}) {
-      const auto a = xbar::analyzeSneak(array, n / 2, n / 2, 1.05, scheme);
-      disturb.addRow({std::to_string(n) + "x" + std::to_string(n),
-                      scheme == xbar::ReadScheme::FloatingLines ? "floating" : "V/2",
-                      util::AsciiTable::fixed(a.maxUnselectedVoltage, 3) + " V"});
-    }
-  }
-  disturb.addNote("the V/2 scheme caps disturb at V/2 *by construction*, for any");
-  disturb.addNote("stored data. The floating-line bound lands near V/2 here only");
-  disturb.addNote("because the cell's Schottky interface acts as a built-in");
-  disturb.addNote("selector -- it is an emergent, data-dependent property.");
-  disturb.print();
-  bench::saveCsv(csv, "sneak_path_margin.csv");
-  return 0;
-}
+int main() { return nh::bench::runRegistered("sneak_path_margin"); }

@@ -1,32 +1,38 @@
-/// Config-file-driven sweep runner: executes any of the four Fig. 3 sweeps
-/// (pulse-length, spacing, ambient, patterns) on the thread pool and writes
-/// the series as CSV -- the batch-mode complement to the fixed-grid
-/// bench/fig3* binaries.
+/// Generic experiment CLI: the command-line front end of the experiment
+/// registry, plus the original INI-driven sweep mode.
 ///
-/// Usage:  ./examples/nh_sweep [sweep.ini]
-///
-/// The [study] keys follow configurable_attack (array/geometry/environment
-/// sections via core::studyConfigFrom); the sweep itself is described by a
-/// [sweep] section:
-///
-///   [sweep]
-///   type = spacing            ; pulse-length|spacing|ambient|patterns
-///   widths_ns = 50, 75, 100   ; pulse-length series (all types but patterns)
-///   spacings_nm = 10, 50, 90  ; swept values for type = spacing
-///   ambients_K = 273, 323, 373; swept values for type = ambient
-///   width_ns = 50             ; single pulse width for type = patterns
-///   max_pulses = 5000000
-///   threads = 0               ; 0 = NH_THREADS or hardware concurrency
-///   output = sweep.csv
+/// Usage:
+///   nh_sweep list
+///       List every registered experiment with its one-line summary.
+///   nh_sweep run <name> [--fast] [--threads N] [--max-pulses N]
+///                       [--set axis=v1,v2,...] [--out DIR]
+///       Run a registered experiment: prints the banner + ASCII table and
+///       writes <name>.csv and <name>.json into DIR (default: the bench
+///       results directory -- NH_RESULTS_DIR or ./bench_results). --fast
+///       (or NH_FAST_BENCH=1) selects the shrunk CI-smoke grids; --set
+///       replaces a named axis's value list (repeatable).
+///   nh_sweep [sweep.ini]
+///       Legacy INI mode: any of the four Fig. 3 sweeps (pulse-length,
+///       spacing, ambient, patterns) with configurable grids; see the
+///       built-in default config printed when run without arguments. The
+///       CSV lands in the bench results directory unless [sweep] output
+///       gives an explicit path.
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "core/configio.hpp"
+#include "core/experiment.hpp"
+#include "core/experiment_registry.hpp"
 #include "core/study.hpp"
 #include "util/csv.hpp"
+#include "util/stringutil.hpp"
 #include "util/threadpool.hpp"
 
 namespace {
@@ -46,6 +52,101 @@ max_pulses = 5000000
 threads = 0
 output = sweep.csv
 )ini";
+
+int listExperiments() {
+  const auto entries = nh::core::registeredExperiments();
+  std::printf("%zu registered experiments:\n\n", entries.size());
+  std::size_t width = 0;
+  for (const auto& e : entries) width = std::max(width, e.name.size());
+  for (const auto& e : entries) {
+    std::printf("  %-*s  %s\n", static_cast<int>(width), e.name.c_str(),
+                e.summary.c_str());
+  }
+  std::printf("\nrun one with: nh_sweep run <name> [--fast] "
+              "[--set axis=v1,v2,...]\n");
+  return 0;
+}
+
+/// Parse "axis=v1,v2,..." into an axis-override entry.
+void parseAxisOverride(const std::string& arg, nh::core::RunOptions& options) {
+  const auto eq = arg.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 >= arg.size()) {
+    throw std::invalid_argument("--set expects axis=v1,v2,... (got '" + arg +
+                                "')");
+  }
+  const std::string axis = arg.substr(0, eq);
+  std::vector<double> values;
+  for (const auto& token : nh::util::split(arg.substr(eq + 1), ',')) {
+    values.push_back(nh::util::parseDouble(nh::util::trim(token),
+                                           "--set " + axis));
+  }
+  options.axisOverrides[axis] = std::move(values);
+}
+
+int runExperimentCommand(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "nh_sweep run: missing experiment name "
+                 "(see 'nh_sweep list')\n");
+    return 2;
+  }
+  const std::string name = argv[2];
+  nh::core::RunOptions options;
+  options.fast = std::getenv("NH_FAST_BENCH") != nullptr;
+  std::filesystem::path outDir = nh::core::defaultResultsDir();
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* what) -> std::string {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument(std::string(what) + " expects a value");
+      }
+      return argv[++i];
+    };
+    // Counts accept "5e6"-style doubles but must be non-negative integers
+    // (a negative double-to-size_t cast would be undefined behaviour).
+    auto nextCount = [&](const char* what, double max) -> std::size_t {
+      const double v = nh::util::parseDouble(next(what), what);
+      if (!(v >= 0.0) || v > max || v != std::floor(v)) {
+        throw std::invalid_argument(std::string(what) +
+                                    " expects a non-negative integer");
+      }
+      return static_cast<std::size_t>(v);
+    };
+    if (arg == "--fast") {
+      options.fast = true;
+    } else if (arg == "--threads") {
+      // Same oversubscription guard the NH_THREADS path applies.
+      options.threads = nh::util::clampThreadCount(
+          nextCount("--threads", 1e9), "nh_sweep: --threads ");
+    } else if (arg == "--max-pulses") {
+      options.maxPulsesOverride = nextCount("--max-pulses", 1e15);
+    } else if (arg == "--set") {
+      parseAxisOverride(next("--set"), options);
+    } else if (arg == "--out") {
+      outDir = next("--out");
+    } else {
+      throw std::invalid_argument("unknown option '" + arg + "'");
+    }
+  }
+
+  const nh::core::ExperimentSpec spec = nh::core::makeExperiment(name);
+  nh::core::printBanner(spec);
+  if (options.threads == 0) options.threads = nh::util::defaultThreadCount();
+  std::printf("threads: %zu (override with --threads or NH_THREADS)%s\n",
+              options.threads, options.fast ? "  [fast mode]" : "");
+
+  const nh::core::ExperimentResult result =
+      nh::core::runExperiment(spec, options);
+  nh::core::toAsciiTable(result).print();
+  const auto files = nh::core::writeResultFiles(result, outDir);
+  std::printf("nh_sweep: %zu row(s); series written to %s and %s "
+              "(config digest %s)\n",
+              result.rows.size(), files.csv.string().c_str(),
+              files.json.string().c_str(), result.configDigest.c_str());
+  return 0;
+}
+
+// ---- legacy INI mode ------------------------------------------------------
 
 std::vector<double> scaled(const std::vector<double>& values, double factor) {
   std::vector<double> out;
@@ -67,9 +168,7 @@ nh::util::CsvTable sweepPointCsv(const std::vector<nh::core::SweepPoint>& points
   return csv;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) try {
+int runIniMode(int argc, char** argv) {
   using namespace nh;
 
   util::Config ini;
@@ -89,7 +188,13 @@ int main(int argc, char** argv) try {
   std::size_t threads =
       static_cast<std::size_t>(ini.getInt("sweep.threads", 0));
   if (threads == 0) threads = util::defaultThreadCount();
-  const std::string output = ini.getString("sweep.output", "sweep.csv");
+  // A bare filename (the default sweep.csv included) lands in the bench
+  // results directory instead of littering the CWD; explicit paths with a
+  // directory component are honoured as given.
+  const std::filesystem::path requested =
+      ini.getString("sweep.output", "sweep.csv");
+  const std::filesystem::path output =
+      requested.has_parent_path() ? requested : nh::core::defaultResultsDir() / requested;
 
   const std::vector<double> widths =
       ini.has("sweep.widths_ns")
@@ -142,8 +247,37 @@ int main(int argc, char** argv) try {
 
   csv.save(output);
   std::printf("nh_sweep: %zu point(s) written to %s\n", csv.rowCount(),
-              output.c_str());
+              output.string().c_str());
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  if (argc > 1 && std::strcmp(argv[1], "list") == 0) return listExperiments();
+  if (argc > 1 && std::strcmp(argv[1], "run") == 0) {
+    return runExperimentCommand(argc, argv);
+  }
+  if (argc > 1 && (std::strcmp(argv[1], "--help") == 0 ||
+                   std::strcmp(argv[1], "-h") == 0 ||
+                   std::strcmp(argv[1], "help") == 0)) {
+    std::printf(
+        "usage:\n"
+        "  nh_sweep list                         list registered experiments\n"
+        "  nh_sweep run <name> [options]         run a registered experiment\n"
+        "    --fast                              shrunk CI-smoke grids "
+        "(also: NH_FAST_BENCH=1)\n"
+        "    --threads N                         worker count (default "
+        "NH_THREADS / hardware)\n"
+        "    --max-pulses N                      override the pulse budget\n"
+        "    --set axis=v1,v2,...                replace an axis's values "
+        "(repeatable)\n"
+        "    --out DIR                           output directory (default "
+        "NH_RESULTS_DIR / bench_results)\n"
+        "  nh_sweep [sweep.ini]                  legacy INI sweep mode\n");
+    return 0;
+  }
+  return runIniMode(argc, argv);
 } catch (const std::exception& e) {
   std::fprintf(stderr, "nh_sweep: %s\n", e.what());
   return 1;

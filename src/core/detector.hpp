@@ -17,6 +17,9 @@ struct DetectorConfig {
   double readVoltage = 0.2;
   double rLrsMax = 1.5e5;  ///< R below this reads as logic LRS [Ohm].
   double rHrsMin = 1.0e6;  ///< R above this reads as logic HRS [Ohm].
+
+  /// Exact comparison (study-dedup cache key component).
+  bool operator==(const DetectorConfig&) const = default;
 };
 
 /// Tri-state read classification.

@@ -1,0 +1,435 @@
+#include "core/experiment.hpp"
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+
+#include "util/json.hpp"
+#include "util/log.hpp"
+#include "util/threadpool.hpp"
+
+namespace nh::core {
+
+ResultValue ResultValue::num(double v) {
+  ResultValue out;
+  out.kind = Kind::Number;
+  out.number = v;
+  return out;
+}
+
+ResultValue ResultValue::boolean(bool v) { return num(v ? 1.0 : 0.0); }
+
+ResultValue ResultValue::str(std::string s) {
+  ResultValue out;
+  out.kind = Kind::Text;
+  out.text = std::move(s);
+  return out;
+}
+
+std::string ResultValue::render() const {
+  return kind == Kind::Number ? nh::util::formatDouble(number) : text;
+}
+
+namespace colfmt {
+
+using Formatter = std::function<std::string(const ResultValue&)>;
+
+// Every canned formatter passes text cells through verbatim: finalize hooks
+// leave "-" placeholders in cross-row columns when no reference exists.
+
+Formatter si(std::string unit, int decimals) {
+  return [unit = std::move(unit), decimals](const ResultValue& v) {
+    if (v.kind == ResultValue::Kind::Text) return v.text;
+    return nh::util::AsciiTable::si(v.number, unit, decimals);
+  };
+}
+
+Formatter fixed(int decimals, std::string suffix) {
+  return [decimals, suffix = std::move(suffix)](const ResultValue& v) {
+    if (v.kind == ResultValue::Kind::Text) return v.text;
+    return nh::util::AsciiTable::fixed(v.number, decimals) + suffix;
+  };
+}
+
+Formatter grouped() {
+  return [](const ResultValue& v) {
+    if (v.kind == ResultValue::Kind::Text) return v.text;
+    return nh::util::AsciiTable::grouped(static_cast<long long>(v.number));
+  };
+}
+
+Formatter flipped() {
+  return [](const ResultValue& v) {
+    if (v.kind == ResultValue::Kind::Text) return v.text;
+    return std::string(v.number != 0.0 ? "yes" : "NO (budget)");
+  };
+}
+
+Formatter yesNo() {
+  return [](const ResultValue& v) {
+    if (v.kind == ResultValue::Kind::Text) return v.text;
+    return std::string(v.number != 0.0 ? "yes" : "no");
+  };
+}
+
+}  // namespace colfmt
+
+double PointContext::value(const std::string& axis) const {
+  for (std::size_t i = 0; i < spec->axes.size(); ++i) {
+    if (spec->axes[i].name == axis) return values[i];
+  }
+  throw std::out_of_range("PointContext: no axis named '" + axis + "'");
+}
+
+namespace {
+
+/// Axis value lists as actually executed: fast subsets, then CLI overrides.
+std::vector<ExperimentResult::Axis> resolveAxes(const ExperimentSpec& spec,
+                                                const RunOptions& options) {
+  std::vector<ExperimentResult::Axis> axes;
+  axes.reserve(spec.axes.size());
+  for (const auto& axis : spec.axes) {
+    axes.push_back({axis.name, axis.active(options.fast)});
+  }
+  for (const auto& [name, values] : options.axisOverrides) {
+    bool found = false;
+    for (auto& axis : axes) {
+      if (axis.name == name) {
+        axis.values = values;
+        found = true;
+      }
+    }
+    if (!found) {
+      throw std::out_of_range("experiment '" + spec.name + "' has no axis '" +
+                              name + "'");
+    }
+  }
+  for (const auto& axis : axes) {
+    if (axis.values.empty()) {
+      throw std::invalid_argument("experiment '" + spec.name + "': axis '" +
+                                  axis.name + "' has no values");
+    }
+  }
+  return axes;
+}
+
+std::size_t resolveBudget(const ExperimentSpec& spec, const RunOptions& options) {
+  if (options.maxPulsesOverride) return options.maxPulsesOverride;
+  if (options.fast && spec.fastMaxPulses) return spec.fastMaxPulses;
+  return spec.maxPulses;
+}
+
+/// Mixed-radix decode of a serial point index, first axis outermost -- the
+/// same slot order the legacy sweeps used (outer * widths.size() + width).
+std::vector<double> pointValuesAt(
+    const std::vector<ExperimentResult::Axis>& axes, std::size_t index) {
+  std::vector<double> values(axes.size());
+  std::size_t rem = index;
+  for (std::size_t ai = axes.size(); ai-- > 0;) {
+    const auto& list = axes[ai].values;
+    values[ai] = list[rem % list.size()];
+    rem /= list.size();
+  }
+  return values;
+}
+
+std::uint64_t fnv1a(std::uint64_t h, const std::string& s) {
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  // Field separator: without it the hash sees only the concatenation, and
+  // e.g. rows=1,cols=25 would collide with rows=12,cols=5.
+  h ^= 0x1f;
+  h *= 1099511628211ull;
+  return h;
+}
+
+/// Hash every field that participates in StudyConfig::operator== -- the
+/// digest must distinguish any two configs the study-dedup cache would
+/// (toConfigText only serialises the INI-supported subset, which would make
+/// configs differing in e.g. femOptions or engine options collide). Keep
+/// this list in sync when StudyConfig or its nested structs grow fields.
+std::uint64_t hashStudyConfig(std::uint64_t h, const StudyConfig& c) {
+  const jart::Params& p = c.cellParams;
+  const fem::DiffusionOptions& f = c.femOptions;
+  const xbar::FastEngineOptions& e = c.engineOptions;
+  const DetectorConfig& d = c.detector;
+  const double fields[] = {
+      static_cast<double>(c.rows), static_cast<double>(c.cols), c.spacing,
+      c.ambientK, c.useFemAlphas ? 1.0 : 0.0, c.femVoxelSize,
+      // jart::Params
+      p.rFilament, p.lCell, p.lDisc, p.lPlug, p.nDiscMin, p.nDiscMax, p.nPlug,
+      p.mobility, p.rSeries, p.richardson, p.phiBarrier0, p.phiLowering,
+      p.idealityFwd, p.phiBarrierRev, p.idealityRev, p.rThEff, p.tauThermal,
+      p.activationEnergySet, p.activationEnergyReset, p.kineticPrefactorSet,
+      p.kineticPrefactorReset, p.hopDistance, p.chargeNumber,
+      p.fieldEnhancement, p.windowExponent,
+      // fem::DiffusionOptions
+      f.relTol, static_cast<double>(f.maxIterations),
+      static_cast<double>(f.preconditioner),
+      static_cast<double>(f.multigridMinVoxels),
+      // xbar::FastEngineOptions
+      static_cast<double>(e.substepsPerPulse), e.solveLineNetwork ? 1.0 : 0.0,
+      e.relaxBetweenPulses ? 1.0 : 0.0, e.enableBatching ? 1.0 : 0.0,
+      e.batchDriftLimit, static_cast<double>(e.maxBatch), e.newtonTol,
+      static_cast<double>(e.maxNewtonIterations), e.useSchurSolve ? 1.0 : 0.0,
+      // DetectorConfig
+      d.readVoltage, d.rLrsMax, d.rHrsMin};
+  for (const double v : fields) h = fnv1a(h, nh::util::formatDouble(v));
+  return h;
+}
+
+std::string digestOf(const ExperimentSpec& spec,
+                     const std::vector<ExperimentResult::Axis>& axes,
+                     std::size_t maxPulses) {
+  std::uint64_t h = 1469598103934665603ull;
+  h = fnv1a(h, spec.name);
+  h = hashStudyConfig(h, spec.base);
+  for (const auto& axis : axes) {
+    h = fnv1a(h, axis.name);
+    for (const double v : axis.values) h = fnv1a(h, nh::util::formatDouble(v));
+  }
+  h = fnv1a(h, std::to_string(maxPulses));
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%016" PRIx64, h);
+  return buf;
+}
+
+}  // namespace
+
+std::string configDigest(const ExperimentSpec& spec, const RunOptions& options) {
+  return digestOf(spec, resolveAxes(spec, options), resolveBudget(spec, options));
+}
+
+ExperimentResult runExperiment(const ExperimentSpec& spec,
+                               const RunOptions& options) {
+  if (!spec.run) {
+    throw std::invalid_argument("runExperiment: spec '" + spec.name +
+                                "' has no run function");
+  }
+  const auto axes = resolveAxes(spec, options);
+  const std::size_t maxPulses = resolveBudget(spec, options);
+
+  std::size_t pointCount = 1;
+  for (const auto& axis : axes) pointCount *= axis.values.size();
+
+  // Materialise every point's StudyConfig and deduplicate in serial point
+  // order: points whose study-relevant config compares equal (defaulted
+  // operator==) share one cached AttackStudy. Linear search is fine at the
+  // grid sizes of the catalog (tens to hundreds of points).
+  std::vector<StudyConfig> pointConfigs;
+  pointConfigs.reserve(pointCount);
+  std::vector<std::size_t> studyIndex(pointCount, 0);
+  std::vector<const StudyConfig*> uniqueConfigs;
+  for (std::size_t i = 0; i < pointCount; ++i) {
+    pointConfigs.push_back([&] {
+      StudyConfig cfg = spec.base;
+      const std::vector<double> values = pointValuesAt(axes, i);
+      for (std::size_t ai = 0; ai < spec.axes.size(); ++ai) {
+        if (spec.axes[ai].apply) spec.axes[ai].apply(cfg, values[ai]);
+      }
+      return cfg;
+    }());
+  }
+  for (std::size_t i = 0; i < pointCount; ++i) {
+    std::size_t found = uniqueConfigs.size();
+    for (std::size_t u = 0; u < uniqueConfigs.size(); ++u) {
+      if (*uniqueConfigs[u] == pointConfigs[i]) {
+        found = u;
+        break;
+      }
+    }
+    if (found == uniqueConfigs.size()) uniqueConfigs.push_back(&pointConfigs[i]);
+    studyIndex[i] = found;
+  }
+
+  // Construct the unique studies on the pool (the FEM-alpha path makes
+  // construction expensive); each construction is internally serial, so the
+  // parallel build stays bit-identical for every thread count.
+  std::vector<std::unique_ptr<AttackStudy>> studies;
+  if (spec.buildStudies) {
+    studies.resize(uniqueConfigs.size());
+    nh::util::parallelFor(
+        uniqueConfigs.size(),
+        [&](std::size_t u) {
+          studies[u] = std::make_unique<AttackStudy>(*uniqueConfigs[u]);
+        },
+        options.threads);
+  }
+
+  ExperimentResult result;
+  result.name = spec.name;
+  result.tableTitle = spec.tableTitle;
+  result.columns = spec.columns;
+  result.axes = axes;
+  // Record what actually executed: serialPoints specs run single-threaded
+  // whatever the caller asked for, and their JSON must say so (wall-clock
+  // provenance).
+  result.threads = spec.serialPoints ? 1
+                   : options.threads ? options.threads
+                                     : nh::util::defaultThreadCount();
+  result.fast = options.fast;
+  result.maxPulses = maxPulses;
+  result.studiesConstructed = spec.buildStudies ? uniqueConfigs.size() : 0;
+  result.configDigest = digestOf(spec, axes, maxPulses);
+  result.rows.resize(pointCount);
+  result.pointValues.resize(pointCount);
+
+  // threads == 1 runs in index order on the calling thread -- the mode
+  // wall-clock-measuring specs force so points never time each other.
+  const std::size_t pointThreads = spec.serialPoints ? 1 : options.threads;
+  nh::util::parallelFor(
+      pointCount,
+      [&](std::size_t i) {
+        PointContext ctx;
+        ctx.spec = &spec;
+        ctx.index = i;
+        ctx.values = pointValuesAt(axes, i);
+        ctx.config = pointConfigs[i];
+        ctx.study = spec.buildStudies ? studies[studyIndex[i]].get() : nullptr;
+        ctx.maxPulses = maxPulses;
+        ctx.fast = options.fast;
+        std::vector<ResultValue> row = spec.run(ctx);
+        if (row.size() != spec.columns.size()) {
+          throw std::runtime_error("experiment '" + spec.name + "': point " +
+                                   std::to_string(i) + " produced " +
+                                   std::to_string(row.size()) + " cells for " +
+                                   std::to_string(spec.columns.size()) +
+                                   " columns");
+        }
+        std::string where;
+        for (std::size_t ai = 0; ai < axes.size(); ++ai) {
+          where += (ai ? " " : "") + axes[ai].name + "=" +
+                   nh::util::formatDouble(ctx.values[ai]);
+        }
+        nh::util::logInfo(spec.name, ": ", where, " done (point ", i + 1, "/",
+                          pointCount, ")");
+        result.pointValues[i] = std::move(ctx.values);
+        result.rows[i] = std::move(row);
+      },
+      pointThreads);
+
+  if (spec.finalize) spec.finalize(result);
+  for (const auto& note : spec.notes) result.notes.push_back(note);
+  return result;
+}
+
+std::filesystem::path defaultResultsDir() {
+  if (const char* env = std::getenv("NH_RESULTS_DIR")) {
+    return std::filesystem::path(env);
+  }
+  return std::filesystem::path("bench_results");
+}
+
+void printBanner(const std::string& title, const std::string& description,
+                 const std::string& paperShape) {
+  std::printf(
+      "=====================================================================\n");
+  std::printf("NeuroHammer reproduction -- %s\n", title.c_str());
+  std::printf("%s\n", description.c_str());
+  std::printf("paper shape: %s\n", paperShape.c_str());
+  std::printf(
+      "=====================================================================\n");
+}
+
+nh::util::AsciiTable toAsciiTable(const ExperimentResult& result) {
+  std::vector<std::string> header;
+  header.reserve(result.columns.size());
+  for (const auto& col : result.columns) header.push_back(col.heading());
+  nh::util::AsciiTable table(std::move(header));
+  if (!result.tableTitle.empty()) table.setTitle(result.tableTitle);
+  for (const auto& row : result.rows) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const auto& format = result.columns[c].format;
+      cells.push_back(format ? format(row[c]) : row[c].render());
+    }
+    table.addRow(std::move(cells));
+  }
+  for (const auto& note : result.notes) table.addNote(note);
+  return table;
+}
+
+nh::util::CsvTable toCsvTable(const ExperimentResult& result) {
+  std::vector<std::string> header;
+  header.reserve(result.columns.size());
+  for (const auto& col : result.columns) header.push_back(col.name);
+  nh::util::CsvTable csv(std::move(header));
+  for (const auto& row : result.rows) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (const auto& cell : row) cells.push_back(cell.render());
+    csv.addRow(cells);
+  }
+  return csv;
+}
+
+std::string toJson(const ExperimentResult& result) {
+  nh::util::JsonWriter w;
+  w.beginObject();
+  w.key("experiment").value(result.name);
+  w.key("config_digest").value(result.configDigest);
+#ifdef NH_BUILD_TYPE
+  w.key("build_type").value(NH_BUILD_TYPE);
+#else
+  w.key("build_type").value("unknown");
+#endif
+  w.key("fast").value(result.fast);
+  w.key("threads").value(result.threads);
+  w.key("max_pulses").value(result.maxPulses);
+  w.key("studies_constructed").value(result.studiesConstructed);
+  w.key("axes").beginArray();
+  for (const auto& axis : result.axes) {
+    w.beginObject();
+    w.key("name").value(axis.name);
+    w.key("values").beginArray();
+    for (const double v : axis.values) w.value(v);
+    w.endArray();
+    w.endObject();
+  }
+  w.endArray();
+  w.key("columns").beginArray();
+  for (const auto& col : result.columns) w.value(col.name);
+  w.endArray();
+  w.key("rows").beginArray();
+  for (const auto& row : result.rows) {
+    w.beginArray();
+    for (const auto& cell : row) {
+      if (cell.kind == ResultValue::Kind::Number) {
+        w.value(cell.number);
+      } else {
+        w.value(cell.text);
+      }
+    }
+    w.endArray();
+  }
+  w.endArray();
+  w.key("notes").beginArray();
+  for (const auto& note : result.notes) w.value(note);
+  w.endArray();
+  w.endObject();
+  return w.str();
+}
+
+EmittedFiles writeResultFiles(const ExperimentResult& result,
+                              const std::filesystem::path& dir) {
+  EmittedFiles files;
+  files.csv = dir / (result.name + ".csv");
+  files.json = dir / (result.name + ".json");
+  toCsvTable(result).save(files.csv);  // creates parent directories
+  std::ofstream out(files.json);
+  out << toJson(result) << "\n";
+  if (!out) {
+    throw std::runtime_error("writeResultFiles: cannot write " +
+                             files.json.string());
+  }
+  return files;
+}
+
+}  // namespace nh::core

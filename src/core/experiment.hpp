@@ -1,0 +1,224 @@
+#pragma once
+/// \file experiment.hpp
+/// Declarative experiment engine: the paper's evaluation is one catalog of
+/// parameter studies, and this layer runs any of them through a single
+/// deterministic pipeline. An ExperimentSpec describes the cross-product of
+/// named parameter axes, a per-point run function, paper-shape metadata for
+/// the banner, and a fast-mode shrink policy; runExperiment() executes the
+/// grid on the thread pool with results written into serially-indexed slots
+/// (bit-identical for every thread count) and **deduplicates study
+/// construction**: points whose study-relevant StudyConfig compares equal
+/// (C++20 defaulted operator==) share one cached AttackStudy, so e.g. a
+/// spacing x ambient grid builds one study per unique (spacing, ambient)
+/// instead of one per point, and the expensive FEM-alpha extraction is
+/// amortised across the whole series.
+///
+/// Results flow through one ExperimentResult sink that renders the ASCII
+/// table, the CSV series, and a machine-readable JSON document (name,
+/// config digest, axes, rows, thread count, build type).
+
+#include <filesystem>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/study.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace nh::core {
+
+/// One table cell: a number (CSV/JSON emit it as such) or a text label.
+struct ResultValue {
+  enum class Kind { Number, Text };
+  Kind kind = Kind::Number;
+  double number = 0.0;
+  std::string text;
+
+  static ResultValue num(double v);
+  static ResultValue boolean(bool v);  ///< Stored as 0/1.
+  static ResultValue str(std::string s);
+
+  /// CSV cell: util::formatDouble for numbers, the text verbatim otherwise.
+  std::string render() const;
+
+  bool operator==(const ResultValue&) const = default;
+};
+
+/// One result column: machine-readable name (CSV header / JSON), optional
+/// display header for the ASCII table, optional ASCII cell formatter
+/// (numbers default to formatDouble, text passes through).
+struct ColumnSpec {
+  std::string name;
+  std::string display;
+  std::function<std::string(const ResultValue&)> format;
+
+  const std::string& heading() const { return display.empty() ? name : display; }
+};
+
+/// Canned ASCII formatters for ColumnSpec::format.
+namespace colfmt {
+/// Engineering/SI formatting after scaling ("1.2 ns" from 1.2e-9, unit "s").
+std::function<std::string(const ResultValue&)> si(std::string unit,
+                                                  int decimals = 0);
+/// Fixed decimals with an optional suffix ("1.05 V").
+std::function<std::string(const ResultValue&)> fixed(int decimals,
+                                                     std::string suffix = "");
+/// Thousands-grouped integer ("12,345").
+std::function<std::string(const ResultValue&)> grouped();
+/// 1 -> "yes", 0 -> "NO (budget)" (the flip-outcome convention).
+std::function<std::string(const ResultValue&)> flipped();
+/// 1 -> "yes", 0 -> "no".
+std::function<std::string(const ResultValue&)> yesNo();
+}  // namespace colfmt
+
+/// One named parameter axis: a value list plus an optional StudyConfig
+/// setter. Axes without a setter (e.g. the hammer pulse width) do not change
+/// the study, so every point along them shares one cached AttackStudy.
+struct ParamAxis {
+  std::string name;
+  std::vector<double> values;
+  /// Fast-mode (NH_FAST_BENCH / --fast) subset; empty = use \p values.
+  std::vector<double> fastValues;
+  /// Applies a value to the point's StudyConfig; null when the axis does not
+  /// affect study construction.
+  std::function<void(StudyConfig&, double)> apply;
+
+  const std::vector<double>& active(bool fast) const {
+    return fast && !fastValues.empty() ? fastValues : values;
+  }
+};
+
+struct ExperimentSpec;
+
+/// Everything a per-point run function sees. The study pointer is null when
+/// the spec opts out of study construction (ExperimentSpec::buildStudies).
+struct PointContext {
+  const ExperimentSpec* spec = nullptr;
+  std::size_t index = 0;             ///< Serial slot (row-major over the axes).
+  std::vector<double> values;        ///< One value per axis, in axis order.
+  StudyConfig config;                ///< base with every axis setter applied.
+  const AttackStudy* study = nullptr;
+  std::size_t maxPulses = 0;
+  bool fast = false;
+
+  /// Value of the named axis at this point; throws std::out_of_range.
+  double value(const std::string& axis) const;
+};
+
+struct ExperimentResult;
+
+/// One declarative experiment: metadata + base config + axes + run function.
+struct ExperimentSpec {
+  std::string name;         ///< Registry key, CSV/JSON stem ("fig3a_pulse_length").
+  std::string title;        ///< Banner heading ("Fig. 3a -- ...").
+  std::string description;  ///< Banner setup line.
+  std::string paperShape;   ///< Banner "paper shape:" line.
+  std::string tableTitle;   ///< ASCII table title.
+
+  StudyConfig base;
+  std::vector<ParamAxis> axes;  ///< Cross product, first axis outermost.
+  std::vector<ColumnSpec> columns;
+
+  std::size_t maxPulses = 5'000'000;
+  std::size_t fastMaxPulses = 0;  ///< 0 = maxPulses in fast mode too.
+
+  /// Build (deduplicated) AttackStudy instances for the points. Specs whose
+  /// run functions never touch a study (e.g. substrate-level sweeps) opt out.
+  bool buildStudies = true;
+
+  /// Force serial (index-ordered, single-worker) point execution regardless
+  /// of RunOptions::threads. For experiments whose rows carry wall-clock
+  /// measurements (the batching ablation): concurrent points would time
+  /// each other under core contention and distort the speedup columns.
+  bool serialPoints = false;
+
+  /// Produces one result row (width == columns.size()) per grid point. Must
+  /// be deterministic and thread-safe across points (the Fig. 3 attack entry
+  /// points are: each run builds a fresh bench from immutable study state).
+  std::function<std::vector<ResultValue>(const PointContext&)> run;
+
+  /// Optional post-pass over the complete, serially-ordered result: derived
+  /// cross-row columns (ratios vs a reference row) and data-dependent notes.
+  /// Runs serially after every point finished.
+  std::function<void(ExperimentResult&)> finalize;
+
+  /// Static footnotes appended after finalize's.
+  std::vector<std::string> notes;
+};
+
+/// Execution controls.
+struct RunOptions {
+  std::size_t threads = 0;  ///< 0 = util::defaultThreadCount().
+  bool fast = false;        ///< Use the fast-mode axis subsets / budget.
+  std::size_t maxPulsesOverride = 0;  ///< 0 = spec budget.
+  /// Replace named axes' value lists (the CLI's --set axis=v1,v2,...).
+  /// Unknown names throw std::out_of_range before anything runs.
+  std::map<std::string, std::vector<double>> axisOverrides;
+};
+
+/// Complete experiment output: the data plus the provenance the JSON records.
+struct ExperimentResult {
+  std::string name;
+  std::string tableTitle;
+  std::vector<ColumnSpec> columns;
+  std::vector<std::vector<ResultValue>> rows;   ///< One per point, serial order.
+  std::vector<std::vector<double>> pointValues; ///< Axis values per row.
+  struct Axis {
+    std::string name;
+    std::vector<double> values;
+  };
+  std::vector<Axis> axes;       ///< As resolved (fast subset / overrides).
+  std::vector<std::string> notes;
+  std::size_t threads = 0;
+  bool fast = false;
+  std::size_t maxPulses = 0;
+  std::size_t studiesConstructed = 0;  ///< Unique studies the dedup cache built.
+  std::string configDigest;            ///< FNV-1a over base config + axes.
+};
+
+/// Run the full cross product on the pool. Deterministic: rows land in
+/// serially-indexed slots, studies are deduplicated by config equality in
+/// serial point order, and every run function only reads shared immutable
+/// state -- so the result is bit-identical for any RunOptions::threads.
+ExperimentResult runExperiment(const ExperimentSpec& spec,
+                               const RunOptions& options = {});
+
+/// Digest of the study-relevant inputs (base config, axes, budget); stable
+/// across runs and thread counts, recorded in the JSON document.
+std::string configDigest(const ExperimentSpec& spec, const RunOptions& options);
+
+/// ---- result sink ---------------------------------------------------------
+
+/// Where experiment series land by default: NH_RESULTS_DIR when set,
+/// ./bench_results otherwise. Single home for the convention the benches
+/// and the nh_sweep CLI share.
+std::filesystem::path defaultResultsDir();
+
+/// The standard reproduction banner (title, setup line, paper shape).
+void printBanner(const std::string& title, const std::string& description,
+                 const std::string& paperShape);
+inline void printBanner(const ExperimentSpec& spec) {
+  printBanner(spec.title, spec.description, spec.paperShape);
+}
+
+/// ASCII rendering (title, formatted columns, notes).
+nh::util::AsciiTable toAsciiTable(const ExperimentResult& result);
+
+/// CSV series (machine column names, formatDouble numbers).
+nh::util::CsvTable toCsvTable(const ExperimentResult& result);
+
+/// Machine-readable JSON document: experiment name, config digest, axes,
+/// columns, rows, notes, thread count, fast flag, build type.
+std::string toJson(const ExperimentResult& result);
+
+/// Write <name>.csv and <name>.json into \p dir (created when missing).
+struct EmittedFiles {
+  std::filesystem::path csv;
+  std::filesystem::path json;
+};
+EmittedFiles writeResultFiles(const ExperimentResult& result,
+                              const std::filesystem::path& dir);
+
+}  // namespace nh::core

@@ -1,0 +1,992 @@
+#include "core/experiment_registry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <iterator>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+#include "core/defense.hpp"
+#include "core/variability.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+#include "xbar/sneak.hpp"
+
+namespace nh::core {
+
+namespace {
+
+using nh::util::AsciiTable;
+using Formatter = std::function<std::string(const ResultValue&)>;
+
+/// SI formatting after scaling the stored cell value (cells keep the CSV
+/// unit, e.g. nanoseconds; the ASCII table shows "50 ns" via scale 1e-9).
+Formatter siScaled(double scale, std::string unit, int decimals = 0) {
+  return [scale, unit = std::move(unit), decimals](const ResultValue& v) {
+    if (v.kind == ResultValue::Kind::Text) return v.text;
+    return AsciiTable::si(v.number * scale, unit, decimals);
+  };
+}
+
+/// "12.3 %" from a stored fraction.
+Formatter percent(int decimals) {
+  return [decimals](const ResultValue& v) {
+    if (v.kind == ResultValue::Kind::Text) return v.text;
+    return AsciiTable::fixed(100.0 * v.number, decimals) + " %";
+  };
+}
+
+double pulsesOf(const AttackResult& r) {
+  return static_cast<double>(r.pulsesToFlip);
+}
+
+/// Validated integer axis value in [lo, hi]: several specs use an axis as
+/// a case index or array size, and the CLI's --set can feed it anything --
+/// reject instead of indexing out of bounds (or the UB of casting a
+/// negative double to an unsigned type).
+std::size_t integerAxis(const PointContext& ctx, const std::string& axis,
+                        std::size_t lo, std::size_t hi) {
+  const double v = ctx.value(axis);
+  if (!(v >= static_cast<double>(lo)) || v > static_cast<double>(hi) ||
+      v != std::floor(v)) {
+    throw std::invalid_argument(
+        "experiment '" + ctx.spec->name + "': axis '" + axis +
+        "' must be an integer in [" + std::to_string(lo) + ", " +
+        std::to_string(hi) + "], got " + nh::util::formatDouble(v));
+  }
+  return static_cast<std::size_t>(v);
+}
+
+/// Case-table index: integerAxis over [0, count-1].
+std::size_t caseIndex(const PointContext& ctx, const std::string& axis,
+                      std::size_t count) {
+  return integerAxis(ctx, axis, 0, count - 1);
+}
+
+// ---- Fig. 3 ---------------------------------------------------------------
+
+ExperimentSpec fig3aSpec() {
+  ExperimentSpec spec;
+  spec.name = "fig3a_pulse_length";
+  spec.title = "Fig. 3a -- impact of the pulse length";
+  spec.description =
+      "centre-cell attack, V_SET = 1.05 V, 50% duty, spacing 50 nm, "
+      "T0 = 300 K";
+  spec.paperShape =
+      "pulses-to-flip falls ~1/length (10^4 -> 10^3 in the paper); "
+      "extra penalty at short pulses from the thermal ramp";
+  spec.tableTitle = "Fig. 3a: pulses to trigger a bit-flip vs pulse length";
+  std::vector<double> widths;
+  for (int ns = 10; ns <= 100; ns += 10) widths.push_back(ns * 1e-9);
+  spec.axes = {{"width", widths, {20e-9, 50e-9, 100e-9}, {}}};
+  spec.columns = {
+      {"pulse_length_ns", "pulse length", siScaled(1e-9, "s")},
+      {"pulses", "# pulses to flip", colfmt::grouped()},
+      {"stress_time_s", "stress time", colfmt::si("s", 2)},
+      {"flipped", "flipped", colfmt::flipped()},
+  };
+  spec.run = [](const PointContext& ctx) {
+    HammerPulse pulse;
+    pulse.width = ctx.value("width");
+    const AttackResult r = ctx.study->attackCenter(pulse, ctx.maxPulses);
+    return std::vector<ResultValue>{
+        ResultValue::num(pulse.width * 1e9), ResultValue::num(pulsesOf(r)),
+        ResultValue::num(r.stressTime), ResultValue::boolean(r.flipped)};
+  };
+  spec.finalize = [](ExperimentResult& result) {
+    if (result.rows.size() < 2) return;
+    const auto& first = result.rows.front();
+    const auto& last = result.rows.back();
+    if (first[3].number == 0.0 || last[3].number == 0.0) return;
+    const double slope = std::log10(last[1].number / first[1].number) /
+                         std::log10(last[0].number / first[0].number);
+    result.notes.push_back("log-log slope (first->last point): " +
+                           AsciiTable::fixed(slope, 2) + "  (paper: ~ -1)");
+  };
+  return spec;
+}
+
+ExperimentSpec fig3bSpec() {
+  ExperimentSpec spec;
+  spec.name = "fig3b_electrode_spacing";
+  spec.title = "Fig. 3b -- impact of the electrode spacing";
+  spec.description =
+      "centre-cell attack, pulse lengths {50, 75, 100} ns, T0 = 300 K";
+  spec.paperShape =
+      "pulses-to-flip rises ~2 decades from 10 nm to 90 nm; longer "
+      "pulses need proportionally fewer";
+  spec.tableTitle =
+      "Fig. 3b: pulses to trigger a bit-flip vs electrode spacing";
+  spec.axes = {{"spacing",
+                {10e-9, 50e-9, 90e-9},
+                {},
+                [](StudyConfig& cfg, double v) { cfg.spacing = v; }},
+               {"width", {50e-9, 75e-9, 100e-9}, {50e-9}, {}}};
+  spec.columns = {
+      {"spacing_nm", "spacing", siScaled(1e-9, "m")},
+      {"pulse_length_ns", "pulse length", siScaled(1e-9, "s")},
+      {"pulses", "# pulses to flip", colfmt::grouped()},
+      {"flipped", "flipped", colfmt::flipped()},
+  };
+  spec.run = [](const PointContext& ctx) {
+    HammerPulse pulse;
+    pulse.width = ctx.value("width");
+    const AttackResult r = ctx.study->attackCenter(pulse, ctx.maxPulses);
+    return std::vector<ResultValue>{
+        ResultValue::num(ctx.value("spacing") * 1e9),
+        ResultValue::num(pulse.width * 1e9), ResultValue::num(pulsesOf(r)),
+        ResultValue::boolean(r.flipped)};
+  };
+  spec.notes = {
+      "paper @50 ns: ~10^3 (10 nm) -> ~10^4 (50 nm) -> ~10^5 (90 nm)"};
+  return spec;
+}
+
+ExperimentSpec fig3cSpec() {
+  ExperimentSpec spec;
+  spec.name = "fig3c_ambient_temperature";
+  spec.title = "Fig. 3c -- impact of the ambient temperature";
+  spec.description =
+      "centre-cell attack, spacing 50 nm, pulse lengths {10, 30, 50} ns";
+  spec.paperShape =
+      "~3 decades fewer pulses from 273 K to 373 K (Arrhenius "
+      "switching kinetics)";
+  spec.tableTitle =
+      "Fig. 3c: pulses to trigger a bit-flip vs ambient temperature";
+  // 273 K at 10 ns needs a few million pulses -- the budget caps it there.
+  spec.maxPulses = 20'000'000;
+  spec.axes = {{"ambient",
+                {273.0, 298.0, 323.0, 348.0, 373.0},
+                {298.0, 348.0},
+                [](StudyConfig& cfg, double v) { cfg.ambientK = v; }},
+               {"width", {10e-9, 30e-9, 50e-9}, {50e-9}, {}}};
+  spec.columns = {
+      {"ambient_K", "ambient", colfmt::fixed(0, " K")},
+      {"pulse_length_ns", "pulse length", siScaled(1e-9, "s")},
+      {"pulses", "# pulses to flip", colfmt::grouped()},
+      {"flipped", "flipped", colfmt::flipped()},
+  };
+  spec.run = [](const PointContext& ctx) {
+    HammerPulse pulse;
+    pulse.width = ctx.value("width");
+    const AttackResult r = ctx.study->attackCenter(pulse, ctx.maxPulses);
+    return std::vector<ResultValue>{
+        ResultValue::num(ctx.value("ambient")),
+        ResultValue::num(pulse.width * 1e9), ResultValue::num(pulsesOf(r)),
+        ResultValue::boolean(r.flipped)};
+  };
+  spec.notes = {"paper @10 ns: ~10^5 (273 K) -> ~10^2..10^3 (373 K)"};
+  return spec;
+}
+
+ExperimentSpec fig3dSpec() {
+  ExperimentSpec spec;
+  spec.name = "fig3d_attack_patterns";
+  spec.title = "Fig. 3d-h -- impact of the attack pattern";
+  spec.description =
+      "victim = centre cell, aggressors hammered round-robin, "
+      "spacing 50 nm, 50 ns pulses, T0 = 300 K";
+  spec.paperShape =
+      "word-line aggressors dominate: the row pair halves the pulse "
+      "count; off-line aggressors add heat but dilute the victim's "
+      "V/2 stress duty";
+  spec.tableTitle =
+      "Fig. 3d: pulses to flip the centre victim per attack pattern";
+  spec.fastMaxPulses = 500'000;
+  const std::size_t patternCount = allPatterns().size();
+  std::vector<double> indices(patternCount);
+  for (std::size_t i = 0; i < patternCount; ++i) {
+    indices[i] = static_cast<double>(i);
+  }
+  spec.axes = {{"pattern", indices, {}, {}}};
+  spec.columns = {
+      {"pattern", "pattern", {}},
+      {"aggressors", "aggressors", {}},
+      {"pulses", "# pulses to flip", colfmt::grouped()},
+      {"flipped", "flipped", colfmt::flipped()},
+  };
+  spec.run = [](const PointContext& ctx) {
+    const AttackPattern pattern =
+        allPatterns()[caseIndex(ctx, "pattern", allPatterns().size())];
+    const HammerPulse pulse;  // 1.05 V / 50 ns / 50% duty
+    const AttackResult r =
+        ctx.study->attackPattern(pattern, pulse, ctx.maxPulses);
+    const auto aggressors = patternAggressors(
+        pattern, {ctx.config.rows / 2, ctx.config.cols / 2}, ctx.config.rows,
+        ctx.config.cols);
+    return std::vector<ResultValue>{
+        ResultValue::str(patternName(pattern)),
+        ResultValue::num(static_cast<double>(aggressors.size())),
+        ResultValue::num(pulsesOf(r)), ResultValue::boolean(r.flipped)};
+  };
+  spec.notes = {
+      "single/row-pair hammer the victim's word line (strong coupling);",
+      "column-pair works through the weaker top-electrode path; cross/ring",
+      "add heat but spend pulses on lines that do not stress the victim."};
+  return spec;
+}
+
+// ---- ablations ------------------------------------------------------------
+
+ExperimentSpec alphaTruncationSpec() {
+  ExperimentSpec spec;
+  spec.name = "ablation_alpha_truncation";
+  spec.title = "ablation -- crosstalk truncation radius";
+  spec.description =
+      "centre attack at 10 nm / 300 K / 50 ns, alpha table truncated";
+  spec.paperShape =
+      "radius 0 kills the attack (it is thermal); radius 1 misses "
+      "the mutual heating of the two word-line victims (they sit "
+      "two columns apart) and overestimates the pulse count";
+  spec.tableTitle = "pulses-to-flip vs coupling truncation";
+  spec.base.spacing = 10e-9;
+  spec.maxPulses = 2'000'000;
+  spec.axes = {{"radius", {2.0, 1.0, 0.0}, {}, {}}};
+  spec.columns = {
+      {"radius", "kept couplings",
+       [](const ResultValue& v) {
+         if (v.kind == ResultValue::Kind::Text) return v.text;
+         if (v.number == 2.0) return std::string("radius 2 (full)");
+         if (v.number == 1.0) return std::string("radius 1 (direct ring)");
+         return std::string("radius 0 (no crosstalk)");
+       }},
+      {"pulses", "pulses-to-flip", colfmt::grouped()},
+      {"flipped", "flipped", colfmt::flipped()},
+      {"vs_full", "vs full table", colfmt::fixed(2, "x")},
+  };
+  spec.run = [](const PointContext& ctx) {
+    const auto radius =
+        static_cast<long long>(integerAxis(ctx, "radius", 0, 2));
+    auto bench = ctx.study->makeBench();
+    xbar::AlphaTable table = ctx.study->alphas();
+    table.truncate(radius);
+    xbar::FastEngine engine(*bench.array, table, ctx.config.engineOptions);
+    AttackEngine attack(engine, ctx.config.detector);
+    AttackConfig cfg;
+    cfg.aggressors = {{ctx.config.rows / 2, ctx.config.cols / 2}};
+    cfg.maxPulses = ctx.maxPulses;
+    const AttackResult r = attack.run(cfg);
+    return std::vector<ResultValue>{
+        ResultValue::num(static_cast<double>(radius)),
+        ResultValue::num(pulsesOf(r)), ResultValue::boolean(r.flipped),
+        ResultValue::str("-")};
+  };
+  spec.finalize = [](ExperimentResult& result) {
+    // The ratio column compares to the full (radius 2) table; located by
+    // axis value so --set reorderings cannot silently shift the reference.
+    const std::vector<ResultValue>* full = nullptr;
+    for (const auto& row : result.rows) {
+      if (row[0].number == 2.0) full = &row;
+    }
+    if (!full || (*full)[2].number == 0.0 || (*full)[1].number <= 0.0) return;
+    const double fullPulses = (*full)[1].number;
+    for (auto& row : result.rows) {
+      if (row[2].number != 0.0) {
+        row[3] = ResultValue::num(row[1].number / fullPulses);
+      }
+    }
+  };
+  spec.notes = {
+      "radius 0 removes the thermal coupling entirely: the half-select",
+      "stress alone cannot flip the victim within the budget -- the",
+      "attack is thermal, not electrical (paper Sec. III).",
+      "radius 1 drops the (0,2) coupling between the two word-line",
+      "victims, losing their cooperative self-heating near the flip."};
+  return spec;
+}
+
+ExperimentSpec batchingSpec() {
+  ExperimentSpec spec;
+  spec.name = "ablation_batching";
+  spec.title = "ablation -- pulse-batching accelerator";
+  spec.description = "centre attack at 30 nm / 300 K / 50 ns; exact vs batched";
+  spec.paperShape =
+      "batched pulse counts within a few % of exact at ~10x less wall-clock";
+  spec.tableTitle = "batching accuracy / speed trade-off";
+  spec.base.spacing = 30e-9;  // flips in a few thousand pulses: exact feasible
+  spec.maxPulses = 2'000'000;
+  // The rows carry wall-clock measurements: points must not run
+  // concurrently or they time each other under core contention and the
+  // speedup column stops measuring the accelerator.
+  spec.serialPoints = true;
+  // drift_limit 0 encodes the exact (unbatched) reference run.
+  spec.axes = {{"drift_limit", {0.0, 0.0005, 0.002, 0.01}, {0.0, 0.002},
+                [](StudyConfig& cfg, double v) {
+                  cfg.engineOptions.enableBatching = v > 0.0;
+                  if (v > 0.0) cfg.engineOptions.batchDriftLimit = v;
+                }}};
+  spec.columns = {
+      {"drift_limit", "mode / drift limit",
+       [](const ResultValue& v) {
+         if (v.kind == ResultValue::Kind::Text) return v.text;
+         return v.number == 0.0 ? std::string("exact")
+                                : AsciiTable::fixed(v.number, 4);
+       }},
+      {"pulses", "pulses-to-flip", colfmt::grouped()},
+      {"error_frac", "error vs exact", percent(2)},
+      {"wall_s", "wall [s]", colfmt::fixed(2)},
+      {"speedup", "speedup", colfmt::fixed(1, "x")},
+  };
+  spec.run = [](const PointContext& ctx) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const AttackResult r =
+        ctx.study->attackCenter(HammerPulse{}, ctx.maxPulses);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double wall = std::chrono::duration<double>(t1 - t0).count();
+    return std::vector<ResultValue>{
+        ResultValue::num(ctx.value("drift_limit")),
+        ResultValue::num(r.flipped ? pulsesOf(r) : 0.0), ResultValue::str("-"),
+        ResultValue::num(wall), ResultValue::str("-")};
+  };
+  spec.finalize = [](ExperimentResult& result) {
+    // Locate the exact run by its axis value (drift_limit == 0): --set can
+    // reorder or drop it, and then the derived columns must stay "-".
+    const std::vector<ResultValue>* exact = nullptr;
+    for (auto& row : result.rows) {
+      if (row[0].number == 0.0) {
+        row[4] = ResultValue::num(1.0);
+        if (!exact) exact = &row;
+      }
+    }
+    if (!exact) return;
+    const double exactPulses = (*exact)[1].number;
+    const double exactWall = (*exact)[3].number;
+    for (auto& row : result.rows) {
+      if (row[0].number == 0.0) continue;
+      if (exactPulses > 0.0) {
+        row[2] = ResultValue::num(std::abs(row[1].number - exactPulses) /
+                                  exactPulses);
+      }
+      if (row[3].number > 0.0) {
+        row[4] = ResultValue::num(exactWall / row[3].number);
+      }
+    }
+  };
+  spec.notes = {
+      "points run serially (never concurrently) so the wall-clock column is",
+      "honest; it still varies run to run -- the pulse counts do not."};
+  return spec;
+}
+
+ExperimentSpec hammerAmplitudeSpec() {
+  ExperimentSpec spec;
+  spec.name = "ablation_hammer_amplitude";
+  spec.title = "ablation -- hammer pulse amplitude";
+  spec.description =
+      "centre attack at 50 nm / 300 K / 50 ns, amplitude swept "
+      "around the nominal V_SET = 1.05 V";
+  spec.paperShape =
+      "each +0.1 V cuts pulses-to-flip by roughly an order of "
+      "magnitude (sinh field term + hotter aggressor)";
+  spec.tableTitle = "pulses-to-flip vs hammer amplitude";
+  spec.maxPulses = 30'000'000;
+  spec.axes = {
+      {"amplitude", {0.85, 0.95, 1.05, 1.15, 1.25}, {1.05, 1.25}, {}}};
+  spec.columns = {
+      {"amplitude_V", "amplitude", colfmt::fixed(2, " V")},
+      {"half_select_V", "half-select stress", colfmt::fixed(3, " V")},
+      {"pulses", "# pulses to flip", colfmt::grouped()},
+      {"flipped", "flipped", colfmt::flipped()},
+  };
+  spec.run = [](const PointContext& ctx) {
+    HammerPulse pulse;
+    pulse.amplitude = ctx.value("amplitude");
+    const AttackResult r = ctx.study->attackCenter(pulse, ctx.maxPulses);
+    return std::vector<ResultValue>{
+        ResultValue::num(pulse.amplitude),
+        ResultValue::num(pulse.amplitude / 2.0), ResultValue::num(pulsesOf(r)),
+        ResultValue::boolean(r.flipped)};
+  };
+  spec.notes = {
+      "amplitudes above ~1.3 V start disturbing unselected cells in",
+      "normal operation, so the attacker cannot raise V arbitrarily."};
+  return spec;
+}
+
+ExperimentSpec thermalTauSpec() {
+  ExperimentSpec spec;
+  spec.name = "ablation_thermal_tau";
+  spec.title = "ablation -- filament thermal time constant tau_th";
+  spec.description =
+      "centre attack at 50 nm / 300 K, pulse lengths 10 and 100 ns";
+  spec.paperShape =
+      "larger tau_th inflates pulses-to-flip at short pulse lengths "
+      "far more than at long ones";
+  spec.tableTitle = "pulses-to-flip vs thermal time constant";
+  spec.maxPulses = 20'000'000;
+  spec.axes = {{"tau", {0.5e-9, 2e-9, 5e-9}, {2e-9},
+                [](StudyConfig& cfg, double v) { cfg.cellParams.tauThermal = v; }}};
+  spec.columns = {
+      {"tau_ns", "tau_th", siScaled(1e-9, "s", 1)},
+      {"pulses_10ns", "pulses @10 ns", colfmt::grouped()},
+      {"pulses_100ns", "pulses @100 ns", colfmt::grouped()},
+      {"ratio", "ratio 10ns/100ns", colfmt::fixed(1)},
+  };
+  // Both widths run against the same cached study (the axis only varies
+  // tau), so each tau costs one study construction, not two.
+  spec.run = [](const PointContext& ctx) {
+    double pulses[2] = {0.0, 0.0};
+    const double widths[2] = {10e-9, 100e-9};
+    for (int i = 0; i < 2; ++i) {
+      HammerPulse pulse;
+      pulse.width = widths[i];
+      const AttackResult r = ctx.study->attackCenter(pulse, ctx.maxPulses);
+      pulses[i] = r.flipped ? pulsesOf(r) : 0.0;
+    }
+    return std::vector<ResultValue>{
+        ResultValue::num(ctx.value("tau") * 1e9), ResultValue::num(pulses[0]),
+        ResultValue::num(pulses[1]),
+        ResultValue::num(pulses[1] > 0.0 ? pulses[0] / pulses[1] : 0.0)};
+  };
+  spec.notes = {
+      "a pure 1/length law would give ratio 10; the excess is the warm-up "
+      "tax"};
+  return spec;
+}
+
+ExperimentSpec schemeDefenseSpec() {
+  ExperimentSpec spec;
+  spec.name = "ablation_scheme_defense";
+  spec.title = "countermeasures -- scheme, scrubbing, monitoring, throttling";
+  spec.description =
+      "reference attack: centre cell, 10 nm spacing (fast regime), "
+      "50 ns pulses, 300 K";
+  spec.paperShape =
+      "V/3 scheme and fast scrubbing stop the attack; activation "
+      "monitors detect it early; throttling does not help";
+  spec.tableTitle = "countermeasure effectiveness vs the reference attack";
+  spec.base.spacing = 10e-9;
+  spec.maxPulses = 1'000'000;
+  spec.fastMaxPulses = 200'000;
+  // One row per countermeasure case; the scrub/monitor settings scale with
+  // the reference (undefended) pulses-to-flip, recomputed per point from the
+  // shared cached study -- deterministic, so parallel runs stay
+  // bit-identical.
+  spec.axes = {{"case", {0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, {}, {}}};
+  spec.columns = {
+      {"countermeasure", "countermeasure", {}},
+      {"setting", "setting", {}},
+      {"pulses", "pulses", colfmt::grouped()},
+      {"outcome", "outcome", {}},
+  };
+  // The undefended reference attack (which the scrub intervals and monitor
+  // thresholds scale with) is identical for every point: compute it once
+  // per run via a shared memo instead of once per case. call_once keeps the
+  // value deterministic under parallel points, so 1-vs-N-thread runs stay
+  // bit-identical.
+  struct ReferenceMemo {
+    std::mutex mutex;
+    std::map<std::size_t, std::size_t> pulsesByBudget;  // spec may be re-run
+  };
+  auto memo = std::make_shared<ReferenceMemo>();
+  spec.run = [memo](const PointContext& ctx) {
+    const HammerPulse pulse;  // 1.05 V / 50 ns / 50% duty
+    const std::size_t budget = ctx.maxPulses;
+    const xbar::CellCoord centre{ctx.config.rows / 2, ctx.config.cols / 2};
+    auto row = [](std::string what, std::string setting, double pulses,
+                  std::string outcome) {
+      return std::vector<ResultValue>{
+          ResultValue::str(std::move(what)), ResultValue::str(std::move(setting)),
+          ResultValue::num(pulses), ResultValue::str(std::move(outcome))};
+    };
+    const std::size_t which = caseIndex(ctx, "case", 10);
+    if (which == 0) {
+      const AttackResult r = ctx.study->attackCenter(pulse, budget);
+      return row("none (V/2 scheme)", "0.525 V half-select", pulsesOf(r),
+                 r.flipped ? "victim flips" : "survives budget");
+    }
+    if (which == 1) {
+      AttackConfig attack;
+      attack.aggressors = {centre};
+      attack.scheme = xbar::BiasScheme::Third;
+      attack.pulse = pulse;
+      attack.maxPulses = budget;
+      const AttackResult r = ctx.study->attack(attack);
+      return row("V/3 biasing scheme", "0.350 V half-select", pulsesOf(r),
+                 r.flipped ? "victim flips" : "attack defeated");
+    }
+    if (which >= 7) {
+      const double duty = which == 7 ? 0.5 : which == 8 ? 0.2 : 0.05;
+      const auto outcomes =
+          evaluateThrottling(ctx.config, pulse.width, {duty}, budget);
+      const ThrottleOutcome& o = outcomes.front();
+      return row("duty-cycle throttling", "duty " + AsciiTable::fixed(duty, 2),
+                 static_cast<double>(o.pulses),
+                 o.flipped ? "no help (victim flips)" : "survives budget");
+    }
+    // Scrub/monitor settings are fractions of the memoised undefended flip
+    // count. Computing under the lock serialises the (deterministic)
+    // reference attack to exactly one execution per run/budget.
+    std::size_t reference;
+    {
+      const std::lock_guard<std::mutex> lock(memo->mutex);
+      auto it = memo->pulsesByBudget.find(budget);
+      if (it == memo->pulsesByBudget.end()) {
+        const AttackResult ref = ctx.study->attackCenter(pulse, budget);
+        it = memo->pulsesByBudget
+                 .emplace(budget, ref.flipped ? ref.pulsesToFlip : budget)
+                 .first;
+      }
+      reference = it->second;
+    }
+    if (which >= 2 && which <= 4) {
+      const double frac = which == 2 ? 0.25 : which == 3 ? 1.0 : 4.0;
+      ScrubbingConfig scrub;
+      scrub.intervalPulses = std::max<std::size_t>(
+          1, static_cast<std::size_t>(frac * static_cast<double>(reference)));
+      const ScrubbingOutcome o =
+          evaluateScrubbing(ctx.config, pulse, scrub, 3 * reference);
+      return row(
+          "refresh scrubbing",
+          "interval " + AsciiTable::grouped(
+                            static_cast<long long>(scrub.intervalPulses)) +
+              " pulses",
+          static_cast<double>(o.attackSucceeded ? o.pulsesUntilFlip
+                                                : o.pulsesSurvived),
+          o.attackSucceeded
+              ? "victim flips"
+              : "defeated (" + std::to_string(o.scrubPasses) + " passes, " +
+                    std::to_string(o.cellsRefreshed) + " refreshes)");
+    }
+    const double frac = which == 5 ? 0.2 : 2.0;
+    MonitorConfig monitor;
+    monitor.lineThreshold = std::max<std::size_t>(
+        1, static_cast<std::size_t>(frac * static_cast<double>(reference)));
+    const MonitorOutcome o = evaluateMonitor(ctx.config, pulse, monitor, budget);
+    return row(
+        "activation monitor",
+        "threshold " +
+            AsciiTable::grouped(static_cast<long long>(monitor.lineThreshold)),
+        static_cast<double>(o.pulsesUntilDetection),
+        !o.attackDetected ? "NOT detected"
+        : o.flippedBeforeDetection ? "flip before detection (too slow)"
+                                   : "detected before the flip");
+  };
+  spec.notes = {
+      "V/3 trades attack immunity for stress on *all* cells and 3x the",
+      "driver effort -- the classic scheme trade-off. Scrubbing faster than",
+      "~the flip time defeats the attack at the cost of refresh traffic.",
+      "Throttling is flat: victim heating settles within each pulse",
+      "(tau_th ~ 2 ns << period), so idle time between pulses is no defence."};
+  return spec;
+}
+
+ExperimentSpec variabilitySpec() {
+  ExperimentSpec spec;
+  spec.name = "ablation_variability";
+  spec.title = "extension -- device-to-device variability";
+  spec.description =
+      "Monte-Carlo over perturbed JART parameters, centre attack at "
+      "30 nm / 300 K / 50 ns";
+  spec.paperShape =
+      "pulses-to-flip spreads over ~1 decade at sigma = 5%; flip "
+      "rate stays 100% (the attack is robust to variability)";
+  spec.tableTitle = "pulses-to-flip distribution under parameter variability";
+  spec.base.spacing = 30e-9;
+  // Each trial perturbs the cell parameters and builds its own study inside
+  // runVariabilityStudy, so the dedup cache has nothing to share here.
+  spec.buildStudies = false;
+  spec.axes = {{"sigma", {0.02, 0.05, 0.10}, {}, {}}};
+  spec.columns = {
+      {"sigma", "sigma", colfmt::fixed(2)},
+      {"trials", "trials", {}},
+      {"flip_rate", "flip rate", percent(0)},
+      {"min", "min", colfmt::grouped()},
+      {"median", "median", colfmt::grouped()},
+      {"max", "max", colfmt::grouped()},
+      {"spread_decades", "spread [dec]", colfmt::fixed(2)},
+  };
+  spec.run = [](const PointContext& ctx) {
+    VariabilityConfig cfg;
+    cfg.base = ctx.config;
+    cfg.trials = ctx.fast ? 5 : 25;
+    cfg.sigma = ctx.value("sigma");
+    cfg.budget = ctx.maxPulses;
+    const VariabilityResult r = runVariabilityStudy(cfg);
+    return std::vector<ResultValue>{
+        ResultValue::num(cfg.sigma),
+        ResultValue::num(static_cast<double>(r.trials)),
+        ResultValue::num(r.flipRate),
+        ResultValue::num(static_cast<double>(r.minPulses)),
+        ResultValue::num(static_cast<double>(r.medianPulses)),
+        ResultValue::num(static_cast<double>(r.maxPulses)),
+        ResultValue::num(r.spreadDecades)};
+  };
+  spec.notes = {
+      "spread comes almost entirely from the activation-energy jitter",
+      "(kinetics are exponential in Ea/kT)."};
+  return spec;
+}
+
+// ---- extension / substrate studies ---------------------------------------
+
+ExperimentSpec victimDistanceSpec() {
+  ExperimentSpec spec;
+  spec.name = "scaling_victim_distance";
+  spec.title = "extension -- victim distance / attack blast radius (7x7)";
+  spec.description =
+      "aggressor at the centre of a 7x7 array, 10 nm spacing, 50 ns "
+      "pulses, one monitored victim per run";
+  spec.paperShape =
+      "word-line victims flip fastest; two cells away costs ~1-2 "
+      "decades; beyond the coupling radius the attack fails";
+  spec.tableTitle = "pulses-to-flip vs victim offset from the aggressor";
+  spec.base.rows = 7;
+  spec.base.cols = 7;
+  spec.base.spacing = 10e-9;
+  spec.maxPulses = 10'000'000;
+  spec.fastMaxPulses = 500'000;
+  spec.axes = {{"case", {0, 1, 2, 3, 4, 5, 6}, {}, {}}};
+  spec.columns = {
+      {"position", "victim position", {}},
+      {"dr", "dr", {}},
+      {"dc", "dc", {}},
+      {"alpha", "alpha", colfmt::fixed(4)},
+      {"shares_line", "shares a line",
+       [](const ResultValue& v) {
+         if (v.kind == ResultValue::Kind::Text) return v.text;
+         return std::string(v.number != 0.0 ? "yes (V/2 stress)"
+                                            : "no (heat only)");
+       }},
+      {"pulses", "# pulses to flip", colfmt::grouped()},
+      {"flipped", "flipped", colfmt::flipped()},
+  };
+  spec.run = [](const PointContext& ctx) {
+    struct Case {
+      const char* label;
+      long long dr, dc;
+    };
+    static constexpr Case kCases[] = {
+        {"word line, 1 away", 0, 1}, {"word line, 2 away", 0, 2},
+        {"word line, 3 away", 0, 3}, {"bit line, 1 away", 1, 0},
+        {"bit line, 2 away", 2, 0},  {"diagonal, (1,1)", 1, 1},
+        {"diagonal, (2,2)", 2, 2},
+    };
+    const Case& c = kCases[caseIndex(ctx, "case", std::size(kCases))];
+    const std::size_t cr = ctx.config.rows / 2;
+    const std::size_t cc = ctx.config.cols / 2;
+    AttackConfig attack;
+    attack.aggressors = {{cr, cc}};
+    attack.victims = {{static_cast<std::size_t>(cr + c.dr),
+                       static_cast<std::size_t>(cc + c.dc)}};
+    attack.maxPulses = ctx.maxPulses;
+    const AttackResult r = ctx.study->attack(attack);
+    const double alpha = ctx.study->alphas().at(c.dr, c.dc);
+    const bool sharesLine = c.dr == 0 || c.dc == 0;
+    return std::vector<ResultValue>{
+        ResultValue::str(c.label),
+        ResultValue::num(static_cast<double>(c.dr)),
+        ResultValue::num(static_cast<double>(c.dc)), ResultValue::num(alpha),
+        ResultValue::boolean(sharesLine), ResultValue::num(pulsesOf(r)),
+        ResultValue::boolean(r.flipped)};
+  };
+  spec.notes = {
+      "diagonal victims receive heat but no half-select stress, so they",
+      "cannot flip at all under the single-aggressor V/2 pattern --",
+      "the blast radius is confined to the aggressor's own lines.",
+      "NOTE the domino effect at 'word line, 3 away' (alpha = 0): nearer",
+      "victims flip first, then their own LRS half-select Joule heating",
+      "relays the attack outward along the line."};
+  return spec;
+}
+
+ExperimentSpec attackEnergySpec() {
+  ExperimentSpec spec;
+  spec.name = "attack_energy";
+  spec.title = "attack energy budget";
+  spec.description =
+      "centre attack, 50 ns pulses, 300 K; energy until the flip";
+  spec.paperShape =
+      "total flip energy grows with spacing (more pulses); the "
+      "aggressor cell dominates the per-cell breakdown";
+  spec.tableTitle = "energy to induce one bit-flip";
+  spec.axes = {{"spacing",
+                {10e-9, 50e-9, 90e-9},
+                {10e-9, 50e-9},
+                [](StudyConfig& cfg, double v) { cfg.spacing = v; }}};
+  spec.columns = {
+      {"spacing_nm", "spacing", colfmt::fixed(0, " nm")},
+      {"pulses", "# pulses", colfmt::grouped()},
+      {"energy_J", "total energy", colfmt::si("J", 2)},
+      {"energy_per_pulse_J", "energy/pulse", colfmt::si("J", 2)},
+      {"aggressor_share", "aggressor share", percent(1)},
+  };
+  spec.run = [](const PointContext& ctx) {
+    auto bench = ctx.study->makeBench();
+    AttackEngine attack(*bench.engine, ctx.config.detector);
+    AttackConfig a;
+    const std::size_t cr = ctx.config.rows / 2;
+    const std::size_t cc = ctx.config.cols / 2;
+    a.aggressors = {{cr, cc}};
+    a.maxPulses = ctx.maxPulses;
+    const AttackResult r = attack.run(a);
+    const double energy = bench.engine->totalEnergy();
+    const double aggShare =
+        energy > 0.0 ? bench.engine->energyByCell()(cr, cc) / energy : 0.0;
+    const double perPulse =
+        energy / static_cast<double>(std::max<std::size_t>(r.pulsesToFlip, 1));
+    return std::vector<ResultValue>{
+        ResultValue::num(ctx.value("spacing") * 1e9),
+        ResultValue::num(pulsesOf(r)), ResultValue::num(energy),
+        ResultValue::num(perPulse), ResultValue::num(aggShare)};
+  };
+  spec.notes = {
+      "per-pulse energy is pJ-scale: invisible to coarse power",
+      "monitoring; a per-line energy counter is the workable hook."};
+  return spec;
+}
+
+ExperimentSpec sneakPathSpec() {
+  ExperimentSpec spec;
+  spec.name = "sneak_path_margin";
+  spec.title = "substrate -- sneak paths and worst-case read margin";
+  spec.description = "selected cell read at 0.2 V against an all-LRS array";
+  spec.paperShape =
+      "read margin collapses with array size under both schemes "
+      "(the passive-crossbar scaling limit); the V/2 scheme's real "
+      "guarantee is bounding the disturb voltage on unselected "
+      "cells at write levels";
+  spec.tableTitle = "worst-case read margin vs array size and scheme";
+  spec.buildStudies = false;  // pure network analysis, no AttackStudy
+  spec.axes = {{"size", {5, 9, 17, 33}, {5, 9}, {}},
+               {"scheme", {0, 1}, {}, {}}};
+  spec.columns = {
+      {"size", "array",
+       [](const ResultValue& v) {
+         if (v.kind == ResultValue::Kind::Text) return v.text;
+         const auto n = std::to_string(static_cast<long long>(v.number));
+         return n + "x" + n;
+       }},
+      {"scheme", "scheme", {}},
+      {"i_lrs", "I(sel=LRS)", colfmt::si("A", 2)},
+      {"i_hrs", "I(sel=HRS)", colfmt::si("A", 2)},
+      {"margin", "read margin", percent(1)},
+      {"half_select_power_W", "half-select power", colfmt::si("W", 2)},
+      {"disturb_V", "max disturb @1.05 V", colfmt::fixed(3, " V")},
+  };
+  spec.run = [](const PointContext& ctx) {
+    const std::size_t n = integerAxis(ctx, "size", 2, 1024);
+    const auto scheme = caseIndex(ctx, "scheme", 2) == 0
+                            ? xbar::ReadScheme::FloatingLines
+                            : xbar::ReadScheme::HalfBias;
+    xbar::ArrayConfig cfg;
+    cfg.rows = n;
+    cfg.cols = n;
+    const auto margin = xbar::worstCaseReadMargin(cfg, 0.2, scheme);
+    // Half-select power at the all-LRS worst case (the cost column).
+    xbar::CrossbarArray lrsArray(cfg);
+    lrsArray.fill(xbar::CellState::Lrs);
+    const auto read = xbar::analyzeSneak(lrsArray, n / 2, n / 2, 0.2, scheme);
+    // Write-level disturb bound on checkerboard data: the hazardous case
+    // for floating lines (an HRS cell inside a conductive sneak chain).
+    xbar::CrossbarArray mixed(cfg);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) {
+        mixed.setState(r, c, (r + c) % 2 == 0 ? xbar::CellState::Lrs
+                                              : xbar::CellState::Hrs);
+      }
+    }
+    const auto write = xbar::analyzeSneak(mixed, n / 2, n / 2, 1.05, scheme);
+    return std::vector<ResultValue>{
+        ResultValue::num(static_cast<double>(n)),
+        ResultValue::str(scheme == xbar::ReadScheme::FloatingLines ? "floating"
+                                                                   : "V/2"),
+        ResultValue::num(margin.iSelectedLrs),
+        ResultValue::num(margin.iSelectedHrs), ResultValue::num(margin.margin),
+        ResultValue::num(read.halfSelectPower),
+        ResultValue::num(write.maxUnselectedVoltage)};
+  };
+  spec.notes = {
+      "margin = (I_lrs - I_hrs) / I_lrs at the selected bit line; a sense",
+      "amplifier needs a healthy positive margin. The cells' strong",
+      "nonlinearity self-limits floating-line sneak at 0.2 V, so both",
+      "schemes degrade similarly on reads. The V/2 scheme caps the",
+      "write-level disturb at V/2 *by construction*, for any stored data;",
+      "the floating-line bound lands near V/2 here only because the",
+      "Schottky interface acts as a built-in selector (data-dependent)."};
+  return spec;
+}
+
+ExperimentSpec enduranceSpec() {
+  ExperimentSpec spec;
+  spec.name = "endurance_half_select";
+  spec.title = "security margin -- half-select endurance without crosstalk";
+  spec.description =
+      "cold V/2 stress on an HRS cell (alpha table zeroed) vs the "
+      "hammered flip at 50 nm / 300 K / 50 ns";
+  spec.paperShape =
+      "cold disturb needs >10^6 pulses; hammering cuts that by "
+      "~2 orders of magnitude at 50 nm and ~4 at 10 nm";
+  spec.tableTitle = "half-select disturb: hammered vs normal operation";
+  spec.maxPulses = 20'000'000;
+  spec.fastMaxPulses = 1'000'000;
+  spec.axes = {{"condition", {0, 1}, {}, {}}};  // 0 = hammered, 1 = cold
+  spec.columns = {
+      {"condition", "condition", {}},
+      {"pulses", "# pulses to flip", colfmt::grouped()},
+      {"flipped", "flipped", colfmt::flipped()},
+      {"stress_time_s", "stress time", colfmt::si("s", 2)},
+  };
+  spec.run = [](const PointContext& ctx) {
+    const bool cold = caseIndex(ctx, "condition", 2) == 1;
+    AttackResult r;
+    if (!cold) {
+      r = ctx.study->attackCenter(HammerPulse{}, ctx.maxPulses);
+    } else {
+      // Same machinery, thermal coupling removed.
+      auto bench = ctx.study->makeBench();
+      xbar::AlphaTable noCoupling = ctx.study->alphas();
+      noCoupling.truncate(0);
+      xbar::FastEngine engine(*bench.array, noCoupling,
+                              ctx.config.engineOptions);
+      AttackEngine attack(engine, ctx.config.detector);
+      AttackConfig cfg;
+      cfg.aggressors = {{ctx.config.rows / 2, ctx.config.cols / 2}};
+      cfg.maxPulses = ctx.maxPulses;
+      r = attack.run(cfg);
+    }
+    return std::vector<ResultValue>{
+        ResultValue::str(cold ? "normal operation (no crosstalk)"
+                              : "hammered (crosstalk on)"),
+        ResultValue::num(pulsesOf(r)), ResultValue::boolean(r.flipped),
+        ResultValue::num(r.stressTime)};
+  };
+  spec.finalize = [](ExperimentResult& result) {
+    // Locate the two conditions by axis value, not row position (--set can
+    // reorder or drop one).
+    const std::vector<ResultValue>* hot = nullptr;
+    const std::vector<ResultValue>* cold = nullptr;
+    for (std::size_t i = 0; i < result.rows.size(); ++i) {
+      (result.pointValues[i][0] == 0.0 ? hot : cold) = &result.rows[i];
+    }
+    if (!hot || !cold) return;
+    if ((*hot)[2].number != 0.0 && (*cold)[2].number != 0.0 &&
+        (*hot)[1].number > 0.0) {
+      result.notes.push_back(
+          "attack advantage: " +
+          AsciiTable::fixed((*cold)[1].number / (*hot)[1].number, 0) +
+          "x fewer pulses than the intrinsic disturb limit");
+    }
+  };
+  spec.notes = {
+      "the cold number also bounds write-disturb endurance: a row",
+      "tolerates that many writes before an unrelated HRS cell drifts."};
+  return spec;
+}
+
+// ---- registry plumbing ----------------------------------------------------
+
+struct Entry {
+  std::string summary;
+  std::function<ExperimentSpec()> factory;
+};
+
+struct Registry {
+  std::map<std::string, Entry> entries;
+  std::mutex mutex;
+
+  Registry() {
+    // Names are passed explicitly (they are compile-time constants in each
+    // factory) so registration does not build and discard 14 full specs.
+    auto add = [this](std::string name, std::string summary,
+                      std::function<ExperimentSpec()> factory) {
+      entries.emplace(std::move(name),
+                      Entry{std::move(summary), std::move(factory)});
+    };
+    add("fig3a_pulse_length", "Fig. 3a: pulses-to-flip vs pulse length",
+        fig3aSpec);
+    add("fig3b_electrode_spacing",
+        "Fig. 3b: pulses-to-flip vs electrode spacing x width", fig3bSpec);
+    add("fig3c_ambient_temperature",
+        "Fig. 3c: pulses-to-flip vs ambient temperature x width", fig3cSpec);
+    add("fig3d_attack_patterns", "Fig. 3d: pulses-to-flip per attack pattern",
+        fig3dSpec);
+    add("ablation_alpha_truncation",
+        "ablation: crosstalk-matrix truncation radius (attack is thermal)",
+        alphaTruncationSpec);
+    add("ablation_batching",
+        "ablation: pulse-batching accelerator accuracy/speed trade-off",
+        batchingSpec);
+    add("ablation_hammer_amplitude",
+        "ablation: hammer amplitude around the nominal V_SET",
+        hammerAmplitudeSpec);
+    add("ablation_thermal_tau",
+        "ablation: filament thermal time constant vs pulse length",
+        thermalTauSpec);
+    add("ablation_scheme_defense",
+        "countermeasures: V/3 scheme, scrubbing, monitoring, throttling",
+        schemeDefenseSpec);
+    add("ablation_variability",
+        "extension: Monte-Carlo device-to-device variability", variabilitySpec);
+    add("scaling_victim_distance",
+        "extension: attack blast radius on a 7x7 array", victimDistanceSpec);
+    add("attack_energy", "attack energy budget until the bit-flip",
+        attackEnergySpec);
+    add("sneak_path_margin",
+        "substrate: sneak paths, read margin, and disturb bounds",
+        sneakPathSpec);
+    add("endurance_half_select",
+        "security margin: half-select endurance without crosstalk",
+        enduranceSpec);
+  }
+};
+
+Registry& registry() {
+  static Registry instance;
+  return instance;
+}
+
+}  // namespace
+
+std::vector<RegisteredExperiment> registeredExperiments() {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  std::vector<RegisteredExperiment> out;
+  out.reserve(reg.entries.size());
+  for (const auto& [name, entry] : reg.entries) {
+    out.push_back({name, entry.summary});
+  }
+  return out;  // std::map iteration is already name-sorted
+}
+
+bool hasExperiment(const std::string& name) {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  return reg.entries.count(name) != 0;
+}
+
+ExperimentSpec makeExperiment(const std::string& name) {
+  Registry& reg = registry();
+  std::function<ExperimentSpec()> factory;
+  {
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    const auto it = reg.entries.find(name);
+    if (it == reg.entries.end()) {
+      std::string known;
+      for (const auto& [known_name, entry] : reg.entries) {
+        known += (known.empty() ? "" : ", ") + known_name;
+      }
+      throw std::out_of_range("unknown experiment '" + name +
+                              "' (registered: " + known + ")");
+    }
+    factory = it->second.factory;
+  }
+  return factory();
+}
+
+void registerExperiment(std::string name, std::string summary,
+                        std::function<ExperimentSpec()> factory) {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  const auto [it, inserted] =
+      reg.entries.emplace(std::move(name), Entry{std::move(summary), std::move(factory)});
+  if (!inserted) {
+    throw std::invalid_argument("experiment '" + it->first +
+                                "' is already registered");
+  }
+}
+
+}  // namespace nh::core

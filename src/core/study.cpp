@@ -1,15 +1,26 @@
 #include "core/study.hpp"
 
+#include <atomic>
 #include <memory>
 #include <stdexcept>
 
+#include "core/experiment.hpp"
 #include "fem/geometry.hpp"
 #include "util/log.hpp"
 #include "util/threadpool.hpp"
 
 namespace nh::core {
 
+namespace {
+std::atomic<std::size_t> studyConstructions{0};
+}  // namespace
+
+std::size_t AttackStudy::constructionCount() {
+  return studyConstructions.load();
+}
+
 AttackStudy::AttackStudy(StudyConfig config) : config_(std::move(config)) {
+  studyConstructions.fetch_add(1, std::memory_order_relaxed);
   if (config_.rows < 3 || config_.cols < 3) {
     throw std::invalid_argument("AttackStudy: need at least a 3x3 array");
   }
@@ -93,44 +104,47 @@ AttackResult AttackStudy::attackPattern(AttackPattern pattern,
 
 namespace {
 
-/// Shared harness for the Fig. 3b/3c outer-parameter sweeps: build one
-/// AttackStudy per outer value (in parallel -- the FEM-alpha path makes
-/// construction expensive), then attack every (outer, width) point on the
-/// pool. Points land in slot outer*widths.size()+width, the serial order.
-/// Warm starts never cross outer points: each study's internal FEM power
-/// sweep is its own serial warm-started chain, so the parallel construction
-/// stays bit-identical for every thread count.
-std::vector<SweepPoint> sweepOuterByWidth(
-    const StudyConfig& base, const std::vector<double>& outers,
-    const std::vector<double>& widths, std::size_t maxPulses,
-    std::size_t threads, const char* tag, const char* outerName,
-    void (*applyOuter)(StudyConfig&, double)) {
-  std::vector<std::unique_ptr<AttackStudy>> studies(outers.size());
-  nh::util::parallelFor(
-      outers.size(),
-      [&](std::size_t oi) {
-        StudyConfig cfg = base;
-        applyOuter(cfg, outers[oi]);
-        studies[oi] = std::make_unique<AttackStudy>(cfg);
-      },
-      threads);
+/// The legacy sweeps are thin wrappers over the experiment engine: the
+/// engine provides the pool-parallel, serially-slotted execution and the
+/// study-dedup cache; the wrappers collect exact SweepPoint/PatternPoint
+/// values through a slot-indexed sink so the public API keeps returning
+/// bit-identical vectors for every thread count (the engine's display rows
+/// are discarded here). Placeholder columns keep the engine's row-width
+/// invariant satisfied.
+std::vector<ColumnSpec> sinkColumns() { return {{"sunk", "", {}}}; }
 
+std::vector<ResultValue> sunkRow() { return {ResultValue::num(0.0)}; }
+
+/// Shared spec for the Fig. 3b/3c outer-parameter-by-width sweeps. Slot
+/// order is outer * widths.size() + width -- the engine's row-major cross
+/// product with the outer axis first reproduces it. The study-dedup cache
+/// builds one AttackStudy per unique outer value, exactly what the old
+/// hand-rolled harness did (and strictly fewer when the list has
+/// duplicates; results are unchanged since equal configs run identically).
+std::vector<SweepPoint> runOuterByWidth(
+    const StudyConfig& base, const char* tag, const char* outerName,
+    const std::vector<double>& outers, const std::vector<double>& widths,
+    std::size_t maxPulses, std::size_t threads,
+    std::function<void(StudyConfig&, double)> applyOuter) {
   std::vector<SweepPoint> points(outers.size() * widths.size());
-  nh::util::parallelFor(
-      points.size(),
-      [&](std::size_t idx) {
-        const std::size_t oi = idx / widths.size();
-        const std::size_t wi = idx % widths.size();
-        HammerPulse pulse;
-        pulse.width = widths[wi];
-        const AttackResult r = studies[oi]->attackCenter(pulse, maxPulses);
-        points[idx] = {outers[oi], widths[wi], r.pulsesToFlip, r.flipped,
-                       r.stressTime};
-        nh::util::logInfo(tag, ": ", outerName, "=", outers[oi],
-                          " width=", widths[wi], " pulses=", r.pulsesToFlip,
-                          " flipped=", r.flipped);
-      },
-      threads);
+  ExperimentSpec spec;
+  spec.name = tag;
+  spec.base = base;
+  spec.axes = {{outerName, outers, {}, std::move(applyOuter)},
+               {"width", widths, {}, {}}};
+  spec.columns = sinkColumns();
+  spec.maxPulses = maxPulses;
+  spec.run = [&points, outerName](const PointContext& ctx) {
+    HammerPulse pulse;
+    pulse.width = ctx.value("width");
+    const AttackResult r = ctx.study->attackCenter(pulse, ctx.maxPulses);
+    points[ctx.index] = {ctx.value(outerName), pulse.width, r.pulsesToFlip,
+                         r.flipped, r.stressTime};
+    return sunkRow();
+  };
+  RunOptions options;
+  options.threads = threads;
+  runExperiment(spec, options);
   return points;
 }
 
@@ -140,20 +154,24 @@ std::vector<SweepPoint> sweepPulseLength(const StudyConfig& base,
                                          const std::vector<double>& widths,
                                          std::size_t maxPulses,
                                          std::size_t threads) {
-  const AttackStudy study(base);
   std::vector<SweepPoint> points(widths.size());
-  nh::util::parallelFor(
-      widths.size(),
-      [&](std::size_t i) {
-        HammerPulse pulse;
-        pulse.width = widths[i];
-        const AttackResult r = study.attackCenter(pulse, maxPulses);
-        points[i] = {widths[i], widths[i], r.pulsesToFlip, r.flipped,
-                     r.stressTime};
-        nh::util::logInfo("fig3a: width=", widths[i],
-                          " pulses=", r.pulsesToFlip, " flipped=", r.flipped);
-      },
-      threads);
+  ExperimentSpec spec;
+  spec.name = "sweep_pulse_length";
+  spec.base = base;
+  spec.axes = {{"width", widths, {}, {}}};
+  spec.columns = sinkColumns();
+  spec.maxPulses = maxPulses;
+  spec.run = [&points](const PointContext& ctx) {
+    HammerPulse pulse;
+    pulse.width = ctx.value("width");
+    const AttackResult r = ctx.study->attackCenter(pulse, ctx.maxPulses);
+    points[ctx.index] = {pulse.width, pulse.width, r.pulsesToFlip, r.flipped,
+                         r.stressTime};
+    return sunkRow();
+  };
+  RunOptions options;
+  options.threads = threads;
+  runExperiment(spec, options);
   return points;
 }
 
@@ -162,9 +180,9 @@ std::vector<SweepPoint> sweepSpacing(const StudyConfig& base,
                                      const std::vector<double>& widths,
                                      std::size_t maxPulses,
                                      std::size_t threads) {
-  return sweepOuterByWidth(base, spacings, widths, maxPulses, threads, "fig3b",
-                           "spacing",
-                           [](StudyConfig& cfg, double v) { cfg.spacing = v; });
+  return runOuterByWidth(base, "fig3b", "spacing", spacings, widths, maxPulses,
+                         threads,
+                         [](StudyConfig& cfg, double v) { cfg.spacing = v; });
 }
 
 std::vector<SweepPoint> sweepAmbient(const StudyConfig& base,
@@ -172,30 +190,38 @@ std::vector<SweepPoint> sweepAmbient(const StudyConfig& base,
                                      const std::vector<double>& widths,
                                      std::size_t maxPulses,
                                      std::size_t threads) {
-  return sweepOuterByWidth(base, ambients, widths, maxPulses, threads, "fig3c",
-                           "T0",
-                           [](StudyConfig& cfg, double v) { cfg.ambientK = v; });
+  return runOuterByWidth(base, "fig3c", "T0", ambients, widths, maxPulses,
+                         threads,
+                         [](StudyConfig& cfg, double v) { cfg.ambientK = v; });
 }
 
 std::vector<PatternPoint> sweepPatterns(const StudyConfig& base,
                                         const HammerPulse& pulse,
                                         std::size_t maxPulses,
                                         std::size_t threads) {
-  const AttackStudy study(base);
   const std::vector<AttackPattern> patterns = allPatterns();
+  std::vector<double> indices(patterns.size());
+  for (std::size_t i = 0; i < patterns.size(); ++i) {
+    indices[i] = static_cast<double>(i);
+  }
   std::vector<PatternPoint> points(patterns.size());
-  nh::util::parallelFor(
-      patterns.size(),
-      [&](std::size_t i) {
-        const AttackPattern pattern = patterns[i];
-        const AttackResult r = study.attackPattern(pattern, pulse, maxPulses);
-        const auto aggressors = patternAggressors(
-            pattern, {base.rows / 2, base.cols / 2}, base.rows, base.cols);
-        points[i] = {pattern, aggressors.size(), r.pulsesToFlip, r.flipped};
-        nh::util::logInfo("fig3d: pattern=", patternName(pattern),
-                          " pulses=", r.pulsesToFlip, " flipped=", r.flipped);
-      },
-      threads);
+  ExperimentSpec spec;
+  spec.name = "fig3d";
+  spec.base = base;
+  spec.axes = {{"pattern", indices, {}, {}}};
+  spec.columns = sinkColumns();
+  spec.maxPulses = maxPulses;
+  spec.run = [&points, &patterns, &pulse, &base](const PointContext& ctx) {
+    const AttackPattern pattern = patterns[ctx.index];
+    const AttackResult r = ctx.study->attackPattern(pattern, pulse, ctx.maxPulses);
+    const auto aggressors = patternAggressors(
+        pattern, {base.rows / 2, base.cols / 2}, base.rows, base.cols);
+    points[ctx.index] = {pattern, aggressors.size(), r.pulsesToFlip, r.flipped};
+    return sunkRow();
+  };
+  RunOptions options;
+  options.threads = threads;
+  runExperiment(spec, options);
   return points;
 }
 

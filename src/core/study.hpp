@@ -41,6 +41,11 @@ struct StudyConfig {
   fem::DiffusionOptions femOptions;
   xbar::FastEngineOptions engineOptions;
   DetectorConfig detector;
+
+  /// Exact member-wise comparison (C++20 defaulted). The experiment
+  /// engine's study-dedup cache keys on it: grid points whose config
+  /// compares equal share one AttackStudy construction.
+  bool operator==(const StudyConfig&) const = default;
 };
 
 /// One experiment harness instance. Owns the alpha table; creates a fresh
@@ -75,6 +80,11 @@ class AttackStudy {
     std::unique_ptr<xbar::FastEngine> engine;
   };
   Bench makeBench() const;
+
+  /// Process-wide number of AttackStudy constructions so far. Test hook for
+  /// the experiment engine's study-dedup cache: a grid run must raise this
+  /// by exactly the number of *unique* study configs, not of grid points.
+  static std::size_t constructionCount();
 
  private:
   StudyConfig config_;

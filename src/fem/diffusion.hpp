@@ -59,6 +59,9 @@ struct DiffusionOptions {
   /// iteration count becomes the scaling wall. 0 disables the upgrade; an
   /// explicit preconditioner other than IC(0) is never overridden.
   std::size_t multigridMinVoxels = 32768;
+
+  /// Exact comparison (study-dedup cache key component).
+  bool operator==(const DiffusionOptions&) const = default;
 };
 
 /// Translate DiffusionOptions into the CG controls for a structured FV

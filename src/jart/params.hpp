@@ -116,6 +116,10 @@ struct Params {
   /// (negative lengths, inverted window, lDisc+lPlug != lCell, ...).
   void validate() const;
 
+  /// Exact member-wise comparison (C++20 defaulted); the experiment
+  /// engine's study-dedup cache relies on it.
+  bool operator==(const Params&) const = default;
+
   /// Default parameter set used throughout the reproduction.
   static Params paperDefaults();
 

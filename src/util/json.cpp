@@ -1,0 +1,158 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace nh::util {
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string jsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  // formatDouble round-trips (precision 17); its output ("1e-08", "42") is
+  // already valid JSON number syntax.
+  return formatDouble(v);
+}
+
+JsonWriter& JsonWriter::beginObject() {
+  beforeValue();
+  push(Scope::Object, '{');
+  return *this;
+}
+
+JsonWriter& JsonWriter::endObject() {
+  pop(Scope::Object, '}');
+  return *this;
+}
+
+JsonWriter& JsonWriter::beginArray() {
+  beforeValue();
+  push(Scope::Array, '[');
+  return *this;
+}
+
+JsonWriter& JsonWriter::endArray() {
+  pop(Scope::Array, ']');
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  if (stack_.empty() || stack_.back() != Scope::Object || keyPending_) {
+    throw std::logic_error("JsonWriter::key outside an object");
+  }
+  if (hasItems_.back()) out_ += ',';
+  hasItems_.back() = true;
+  out_ += '"';
+  out_ += jsonEscape(name);
+  out_ += "\":";
+  keyPending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  beforeValue();
+  out_ += '"';
+  out_ += jsonEscape(v);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) { return value(std::string(v)); }
+
+JsonWriter& JsonWriter::value(double v) {
+  beforeValue();
+  out_ += jsonNumber(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(long long v) {
+  beforeValue();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::size_t v) {
+  beforeValue();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  beforeValue();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  beforeValue();
+  out_ += "null";
+  return *this;
+}
+
+std::string JsonWriter::str() const {
+  if (!stack_.empty()) {
+    throw std::logic_error("JsonWriter::str with open containers");
+  }
+  return out_;
+}
+
+void JsonWriter::beforeValue() {
+  if (keyPending_) {
+    keyPending_ = false;
+    return;
+  }
+  if (stack_.empty()) {
+    if (!out_.empty()) {
+      throw std::logic_error("JsonWriter: multiple top-level values");
+    }
+    return;
+  }
+  if (stack_.back() == Scope::Object) {
+    throw std::logic_error("JsonWriter: object value without a key");
+  }
+  if (hasItems_.back()) out_ += ',';
+  hasItems_.back() = true;
+}
+
+void JsonWriter::push(Scope scope, char open) {
+  out_ += open;
+  stack_.push_back(scope);
+  hasItems_.push_back(false);
+}
+
+void JsonWriter::pop(Scope scope, char close) {
+  if (stack_.empty() || stack_.back() != scope || keyPending_) {
+    throw std::logic_error("JsonWriter: mismatched container end");
+  }
+  out_ += close;
+  stack_.pop_back();
+  hasItems_.pop_back();
+}
+
+}  // namespace nh::util

@@ -1,0 +1,66 @@
+#pragma once
+/// \file json.hpp
+/// Minimal streaming JSON writer for the machine-readable experiment
+/// results (core/experiment). Emits a compact, valid document with correct
+/// string escaping and round-trippable numbers; no reader -- downstream
+/// tooling (Python, jq) parses the files.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace nh::util {
+
+/// Escape \p s for use inside a JSON string literal (quotes not included).
+std::string jsonEscape(const std::string& s);
+
+/// Render a double as a JSON number token. NaN/inf have no JSON encoding
+/// and are emitted as null.
+std::string jsonNumber(double v);
+
+/// Streaming writer with automatic comma placement. Usage:
+///
+///   JsonWriter w;
+///   w.beginObject();
+///   w.key("name").value("fig3a");
+///   w.key("rows").beginArray();
+///   w.value(1.0).value(2.0);
+///   w.endArray();
+///   w.endObject();
+///   std::string doc = w.str();
+///
+/// Mismatched begin/end or a key outside an object throw std::logic_error.
+class JsonWriter {
+ public:
+  JsonWriter& beginObject();
+  JsonWriter& endObject();
+  JsonWriter& beginArray();
+  JsonWriter& endArray();
+
+  /// Write an object key; must be inside an object and followed by a value.
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);
+  JsonWriter& value(long long v);
+  JsonWriter& value(std::size_t v);
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// Finished document. Throws std::logic_error when containers are open.
+  std::string str() const;
+
+ private:
+  enum class Scope { Object, Array };
+  void beforeValue();
+  void push(Scope scope, char open);
+  void pop(Scope scope, char close);
+
+  std::string out_;
+  std::vector<Scope> stack_;
+  std::vector<bool> hasItems_;
+  bool keyPending_ = false;
+};
+
+}  // namespace nh::util

@@ -17,30 +17,40 @@ namespace {
 thread_local ThreadPool* t_currentPool = nullptr;
 }  // namespace
 
-std::size_t defaultThreadCount() {
+namespace {
+std::size_t hardwareThreads() {
   const unsigned hw = std::thread::hardware_concurrency();
-  const std::size_t hardware = hw > 0 ? static_cast<std::size_t>(hw) : 1;
+  return hw > 0 ? static_cast<std::size_t>(hw) : 1;
+}
+}  // namespace
+
+std::size_t clampThreadCount(std::size_t requested, const char* tag) {
+  if (requested == 0) return 0;
+  // Oversubscribing beyond a small multiple of the hardware buys nothing,
+  // and a typo (1000000 workers) would try to spawn a million threads.
+  const std::size_t hardware = hardwareThreads();
+  const std::size_t maxThreads = hardware * 4;
+  if (requested <= maxThreads) return requested;
+  std::fprintf(stderr,
+               "%s%zu exceeds 4x hardware concurrency (%zu); clamping to "
+               "%zu\n",
+               tag, requested, hardware, maxThreads);
+  return maxThreads;
+}
+
+std::size_t defaultThreadCount() {
   if (const char* env = std::getenv("NH_THREADS")) {
     char* end = nullptr;
     const long parsed = std::strtol(env, &end, 10);
     if (end != env && parsed > 0) {
-      // Oversubscribing beyond a small multiple of the hardware buys
-      // nothing, and a typo (NH_THREADS=1000000) would try to spawn a
-      // million workers; clamp, and warn once per process.
-      const std::size_t maxThreads = hardware * 4;
-      const auto requested = static_cast<std::size_t>(parsed);
-      if (requested <= maxThreads) return requested;
-      static std::atomic<bool> warned{false};
-      if (!warned.exchange(true)) {
-        std::fprintf(stderr,
-                     "NH_THREADS=%zu exceeds 4x hardware concurrency (%zu); "
-                     "clamping to %zu\n",
-                     requested, hardware, maxThreads);
-      }
-      return maxThreads;
+      // Cached: NH_THREADS is fixed for the process, this runs on every
+      // sweep call, and the clamp warning should print once, not per call.
+      static const std::size_t resolved =
+          clampThreadCount(static_cast<std::size_t>(parsed), "NH_THREADS=");
+      return resolved;
     }
   }
-  return hardware;
+  return hardwareThreads();
 }
 
 ThreadPool::ThreadPool(std::size_t threads) {

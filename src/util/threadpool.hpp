@@ -21,6 +21,14 @@ namespace nh::util {
 /// concurrency (minimum 1).
 std::size_t defaultThreadCount();
 
+/// Oversubscription guard shared by every way of requesting a worker count
+/// (NH_THREADS, the nh_sweep --threads flag): returns \p requested clamped
+/// to 4x the hardware concurrency, warning on stderr (prefixed with \p tag)
+/// each time the clamp engages. 0 passes through (= default). Callers on
+/// hot paths cache the result -- defaultThreadCount resolves NH_THREADS
+/// through a function-local static, so its warning prints once per process.
+std::size_t clampThreadCount(std::size_t requested, const char* tag);
+
 /// Fixed pool of worker threads draining a FIFO job queue.
 class ThreadPool {
  public:

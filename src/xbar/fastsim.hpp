@@ -45,6 +45,9 @@ struct FastEngineOptions {
   /// O((rows+cols)^3) dense factorisation. False keeps the seed dense solve
   /// (equivalence-test reference).
   bool useSchurSolve = true;
+
+  /// Exact comparison (study-dedup cache key component).
+  bool operator==(const FastEngineOptions&) const = default;
 };
 
 /// Result of an applyPulseTrain run.

@@ -1,0 +1,239 @@
+#include "core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "fem/diffusion.hpp"
+#include "jart/params.hpp"
+#include "xbar/fastsim.hpp"
+
+namespace nh::core {
+namespace {
+
+/// ---- config equality (the study-dedup cache key) -------------------------
+
+TEST(ConfigEquality, DefaultConstructedPairsCompareEqual) {
+  EXPECT_EQ(StudyConfig{}, StudyConfig{});
+  EXPECT_EQ(DetectorConfig{}, DetectorConfig{});
+  EXPECT_EQ(fem::DiffusionOptions{}, fem::DiffusionOptions{});
+  EXPECT_EQ(xbar::FastEngineOptions{}, xbar::FastEngineOptions{});
+  EXPECT_EQ(jart::Params::paperDefaults(), jart::Params::paperDefaults());
+}
+
+TEST(ConfigEquality, PerturbedFieldBreaksEquality) {
+  StudyConfig a;
+  StudyConfig b;
+  b.spacing = 10e-9;
+  EXPECT_NE(a, b);
+
+  StudyConfig c;
+  c.cellParams.activationEnergySet += 1e-3;  // nested jart::Params member
+  EXPECT_NE(a, c);
+
+  StudyConfig d;
+  d.femOptions.relTol *= 10.0;  // nested fem::DiffusionOptions member
+  EXPECT_NE(a, d);
+
+  StudyConfig e;
+  e.engineOptions.batchDriftLimit *= 2.0;  // nested FastEngineOptions member
+  EXPECT_NE(a, e);
+
+  StudyConfig f;
+  f.detector.rHrsMin *= 2.0;  // nested DetectorConfig member
+  EXPECT_NE(a, f);
+
+  DetectorConfig g;
+  g.readVoltage = 0.3;
+  EXPECT_NE(DetectorConfig{}, g);
+
+  fem::DiffusionOptions h;
+  h.maxIterations += 1;
+  EXPECT_NE(fem::DiffusionOptions{}, h);
+
+  xbar::FastEngineOptions i;
+  i.useSchurSolve = false;
+  EXPECT_NE(xbar::FastEngineOptions{}, i);
+
+  jart::Params j = jart::Params::paperDefaults();
+  j.rFilament *= 1.01;
+  EXPECT_NE(jart::Params::paperDefaults(), j);
+}
+
+/// ---- engine mechanics (no studies involved) ------------------------------
+
+/// Two-axis spec whose run function just echoes its slot and values; used
+/// to pin down the row-major cross-product order and the override plumbing.
+ExperimentSpec echoSpec() {
+  ExperimentSpec spec;
+  spec.name = "echo";
+  spec.buildStudies = false;
+  spec.axes = {{"outer", {1.0, 2.0}, {}, {}}, {"inner", {10.0, 20.0, 30.0}, {}, {}}};
+  spec.columns = {{"index", "", {}}, {"outer", "", {}}, {"inner", "", {}}};
+  spec.run = [](const PointContext& ctx) {
+    return std::vector<ResultValue>{
+        ResultValue::num(static_cast<double>(ctx.index)),
+        ResultValue::num(ctx.value("outer")),
+        ResultValue::num(ctx.value("inner"))};
+  };
+  return spec;
+}
+
+TEST(ExperimentEngine, CrossProductIsRowMajorFirstAxisOutermost) {
+  const ExperimentResult result = runExperiment(echoSpec());
+  ASSERT_EQ(result.rows.size(), 6u);
+  for (std::size_t o = 0; o < 2; ++o) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      const auto& row = result.rows[o * 3 + i];
+      EXPECT_EQ(row[0].number, static_cast<double>(o * 3 + i));
+      EXPECT_EQ(row[1].number, (o + 1) * 1.0);
+      EXPECT_EQ(row[2].number, (i + 1) * 10.0);
+    }
+  }
+  EXPECT_EQ(result.studiesConstructed, 0u);  // buildStudies = false
+  ASSERT_EQ(result.axes.size(), 2u);
+  EXPECT_EQ(result.axes[0].name, "outer");
+  EXPECT_EQ(result.axes[1].values, (std::vector<double>{10.0, 20.0, 30.0}));
+}
+
+TEST(ExperimentEngine, AxisOverrideReplacesValuesAndUnknownAxisThrows) {
+  RunOptions options;
+  options.axisOverrides["inner"] = {99.0};
+  const ExperimentResult result = runExperiment(echoSpec(), options);
+  ASSERT_EQ(result.rows.size(), 2u);
+  EXPECT_EQ(result.rows[0][2].number, 99.0);
+  EXPECT_EQ(result.rows[1][1].number, 2.0);
+
+  RunOptions bad;
+  bad.axisOverrides["no_such_axis"] = {1.0};
+  EXPECT_THROW(runExperiment(echoSpec(), bad), std::out_of_range);
+
+  RunOptions empty;
+  empty.axisOverrides["inner"] = {};
+  EXPECT_THROW(runExperiment(echoSpec(), empty), std::invalid_argument);
+}
+
+TEST(ExperimentEngine, FastModeUsesAxisSubsetsAndShrunkBudget) {
+  ExperimentSpec spec = echoSpec();
+  spec.axes[1].fastValues = {20.0};
+  spec.maxPulses = 1000;
+  spec.fastMaxPulses = 10;
+  std::size_t seenBudget = 0;
+  spec.run = [&seenBudget](const PointContext& ctx) {
+    seenBudget = ctx.maxPulses;
+    return std::vector<ResultValue>{ResultValue::num(0.0),
+                                    ResultValue::num(ctx.value("outer")),
+                                    ResultValue::num(ctx.value("inner"))};
+  };
+  RunOptions options;
+  options.fast = true;
+  options.threads = 1;
+  const ExperimentResult result = runExperiment(spec, options);
+  EXPECT_EQ(result.rows.size(), 2u);  // 2 outer x 1 fast inner
+  EXPECT_EQ(seenBudget, 10u);
+  EXPECT_TRUE(result.fast);
+}
+
+TEST(ExperimentEngine, RowWidthMismatchThrows) {
+  ExperimentSpec spec = echoSpec();
+  spec.run = [](const PointContext&) {
+    return std::vector<ResultValue>{ResultValue::num(0.0)};  // 1 cell, 3 columns
+  };
+  RunOptions options;
+  options.threads = 1;
+  EXPECT_THROW(runExperiment(spec, options), std::runtime_error);
+}
+
+TEST(ExperimentEngine, DigestIsStableAndInputSensitive) {
+  const std::string digest = configDigest(echoSpec(), {});
+  EXPECT_EQ(digest.size(), 16u);
+  EXPECT_EQ(digest, configDigest(echoSpec(), {}));
+
+  ExperimentSpec other = echoSpec();
+  other.base.spacing = 10e-9;
+  EXPECT_NE(digest, configDigest(other, {}));
+
+  RunOptions override1;
+  override1.axisOverrides["inner"] = {99.0};
+  EXPECT_NE(digest, configDigest(echoSpec(), override1));
+}
+
+/// ---- study-dedup cache + determinism over real attacks -------------------
+
+/// Small, fast two-axis grid: tight spacing flips in O(10^2..10^3) pulses.
+ExperimentSpec attackGridSpec() {
+  ExperimentSpec spec;
+  spec.name = "attack_grid";
+  spec.base.rows = 3;
+  spec.base.cols = 3;
+  spec.maxPulses = 100'000;
+  spec.axes = {{"spacing",
+                {10e-9, 20e-9},
+                {},
+                [](StudyConfig& cfg, double v) { cfg.spacing = v; }},
+               {"width", {50e-9, 80e-9}, {}, {}}};
+  spec.columns = {{"spacing_nm", "", {}},
+                  {"pulse_length_ns", "", {}},
+                  {"pulses", "", {}},
+                  {"flipped", "", {}}};
+  spec.run = [](const PointContext& ctx) {
+    HammerPulse pulse;
+    pulse.width = ctx.value("width");
+    const AttackResult r = ctx.study->attackCenter(pulse, ctx.maxPulses);
+    return std::vector<ResultValue>{
+        ResultValue::num(ctx.value("spacing") * 1e9),
+        ResultValue::num(pulse.width * 1e9),
+        ResultValue::num(static_cast<double>(r.pulsesToFlip)),
+        ResultValue::boolean(r.flipped)};
+  };
+  return spec;
+}
+
+TEST(ExperimentEngine, TwoAxisGridConstructsOneStudyPerUniqueConfig) {
+  const std::size_t before = AttackStudy::constructionCount();
+  const ExperimentResult result = runExperiment(attackGridSpec(), {});
+  const std::size_t built = AttackStudy::constructionCount() - before;
+
+  // 2 spacings x 2 widths = 4 points, but the width axis has no StudyConfig
+  // setter, so the dedup cache must build exactly one study per spacing.
+  ASSERT_EQ(result.rows.size(), 4u);
+  EXPECT_EQ(built, 2u);
+  EXPECT_EQ(result.studiesConstructed, 2u);
+  for (const auto& row : result.rows) {
+    EXPECT_EQ(row[3].number, 1.0) << "point did not flip within budget";
+  }
+}
+
+TEST(ExperimentEngine, SerialAndParallelRunsAreBitIdentical) {
+  RunOptions serial;
+  serial.threads = 1;
+  RunOptions parallel;
+  parallel.threads = 4;
+  const ExperimentResult a = runExperiment(attackGridSpec(), serial);
+  const ExperimentResult b = runExperiment(attackGridSpec(), parallel);
+  ASSERT_EQ(a.rows.size(), b.rows.size());
+  EXPECT_EQ(a.rows, b.rows);  // ResultValue::operator== is exact
+  EXPECT_EQ(a.pointValues, b.pointValues);
+  EXPECT_EQ(a.configDigest, b.configDigest);
+}
+
+TEST(ExperimentEngine, ResultSinkEmitsConsistentAsciiCsvJson) {
+  const ExperimentResult result = runExperiment(echoSpec(), {});
+  const auto csv = toCsvTable(result);
+  EXPECT_EQ(csv.rowCount(), result.rows.size());
+  EXPECT_EQ(csv.columnCount(), result.columns.size());
+  EXPECT_EQ(csv.header()[0], "index");
+
+  const std::string ascii = toAsciiTable(result).render();
+  EXPECT_NE(ascii.find("outer"), std::string::npos);
+
+  const std::string json = toJson(result);
+  EXPECT_NE(json.find("\"experiment\":\"echo\""), std::string::npos);
+  EXPECT_NE(json.find("\"config_digest\":\"" + result.configDigest + "\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"rows\":[["), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nh::core

@@ -1,0 +1,122 @@
+#include "core/experiment_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <string>
+
+namespace nh::core {
+namespace {
+
+TEST(ExperimentRegistry, CatalogCoversThePaperEvaluation) {
+  const auto entries = registeredExperiments();
+  EXPECT_GE(entries.size(), 12u);
+
+  std::set<std::string> names;
+  for (const auto& e : entries) {
+    names.insert(e.name);
+    EXPECT_FALSE(e.summary.empty()) << e.name;
+  }
+  EXPECT_EQ(names.size(), entries.size()) << "duplicate registrations";
+
+  for (const char* required :
+       {"fig3a_pulse_length", "fig3b_electrode_spacing",
+        "fig3c_ambient_temperature", "fig3d_attack_patterns",
+        "ablation_alpha_truncation", "ablation_batching",
+        "ablation_hammer_amplitude", "ablation_scheme_defense",
+        "ablation_thermal_tau", "ablation_variability",
+        "scaling_victim_distance", "attack_energy", "sneak_path_margin",
+        "endurance_half_select"}) {
+    EXPECT_TRUE(names.count(required)) << "missing experiment: " << required;
+    EXPECT_TRUE(hasExperiment(required));
+  }
+}
+
+TEST(ExperimentRegistry, UnknownNameThrowsWithTheCatalog) {
+  EXPECT_FALSE(hasExperiment("no_such_experiment"));
+  try {
+    makeExperiment("no_such_experiment");
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    // The message lists the registered names to help CLI users.
+    EXPECT_NE(std::string(e.what()).find("fig3a_pulse_length"),
+              std::string::npos);
+  }
+}
+
+TEST(ExperimentRegistry, DuplicateRegistrationThrows) {
+  EXPECT_THROW(
+      registerExperiment("fig3a_pulse_length", "dup", [] {
+        return ExperimentSpec{};
+      }),
+      std::invalid_argument);
+}
+
+TEST(ExperimentRegistry, EverySpecIsWellFormed) {
+  for (const auto& entry : registeredExperiments()) {
+    const ExperimentSpec spec = makeExperiment(entry.name);
+    EXPECT_EQ(spec.name, entry.name);
+    EXPECT_FALSE(spec.title.empty()) << entry.name;
+    EXPECT_FALSE(spec.paperShape.empty()) << entry.name;
+    EXPECT_FALSE(spec.axes.empty()) << entry.name;
+    EXPECT_FALSE(spec.columns.empty()) << entry.name;
+    EXPECT_TRUE(static_cast<bool>(spec.run)) << entry.name;
+    EXPECT_GT(spec.maxPulses, 0u) << entry.name;
+  }
+}
+
+/// The acceptance smoke: every registered experiment runs end to end in
+/// fast mode and produces non-empty, header-consistent rows plus a valid
+/// CSV/JSON rendering. (Fast mode is the CI-smoke contract: the whole
+/// catalog completes in well under a minute on a few cores.)
+TEST(ExperimentRegistry, EveryExperimentRunsInFastMode) {
+  RunOptions options;
+  options.fast = true;
+  options.threads = 4;
+  for (const auto& entry : registeredExperiments()) {
+    SCOPED_TRACE(entry.name);
+    const ExperimentSpec spec = makeExperiment(entry.name);
+    const ExperimentResult result = runExperiment(spec, options);
+
+    ASSERT_FALSE(result.rows.empty());
+    std::size_t expected = 1;
+    for (const auto& axis : result.axes) expected *= axis.values.size();
+    EXPECT_EQ(result.rows.size(), expected);
+    for (const auto& row : result.rows) {
+      ASSERT_EQ(row.size(), result.columns.size());
+    }
+    EXPECT_EQ(result.name, entry.name);
+    EXPECT_EQ(result.configDigest.size(), 16u);
+
+    const auto csv = toCsvTable(result);
+    EXPECT_EQ(csv.rowCount(), result.rows.size());
+    EXPECT_EQ(csv.columnCount(), result.columns.size());
+
+    const std::string json = toJson(result);
+    EXPECT_NE(json.find("\"experiment\":\"" + entry.name + "\""),
+              std::string::npos);
+
+    // The ASCII render applies every column formatter at least once.
+    EXPECT_FALSE(toAsciiTable(result).render().empty());
+  }
+}
+
+/// Cross-product determinism through the registry path: a real two-axis
+/// grid (fig3b in fast mode) must be bit-identical for 1 vs N threads.
+TEST(ExperimentRegistry, Fig3bFastGridIsThreadCountInvariant) {
+  const ExperimentSpec spec = makeExperiment("fig3b_electrode_spacing");
+  RunOptions serial;
+  serial.fast = true;
+  serial.threads = 1;
+  RunOptions parallel;
+  parallel.fast = true;
+  parallel.threads = 4;
+  const ExperimentResult a = runExperiment(spec, serial);
+  const ExperimentResult b = runExperiment(spec, parallel);
+  EXPECT_EQ(a.rows, b.rows);
+  EXPECT_EQ(a.configDigest, b.configDigest);
+}
+
+}  // namespace
+}  // namespace nh::core

@@ -1,0 +1,90 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nh::util {
+namespace {
+
+TEST(JsonWriter, EmptyObjectAndArray) {
+  JsonWriter o;
+  o.beginObject().endObject();
+  EXPECT_EQ(o.str(), "{}");
+
+  JsonWriter a;
+  a.beginArray().endArray();
+  EXPECT_EQ(a.str(), "[]");
+}
+
+TEST(JsonWriter, ObjectWithMixedValues) {
+  JsonWriter w;
+  w.beginObject();
+  w.key("name").value("fig3a");
+  w.key("threads").value(std::size_t{4});
+  w.key("fast").value(true);
+  w.key("score").value(1.5);
+  w.key("missing").null();
+  w.endObject();
+  EXPECT_EQ(w.str(),
+            "{\"name\":\"fig3a\",\"threads\":4,\"fast\":true,"
+            "\"score\":1.5,\"missing\":null}");
+}
+
+TEST(JsonWriter, NestedArraysGetCommasRight) {
+  JsonWriter w;
+  w.beginObject();
+  w.key("rows").beginArray();
+  w.beginArray().value(1.0).value(2.0).endArray();
+  w.beginArray().value("a").value("b").endArray();
+  w.endArray();
+  w.endObject();
+  EXPECT_EQ(w.str(), "{\"rows\":[[1,2],[\"a\",\"b\"]]}");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  JsonWriter w;
+  w.beginObject();
+  w.key("text").value("a\"b\\c\nd\te");
+  w.endObject();
+  EXPECT_EQ(w.str(), "{\"text\":\"a\\\"b\\\\c\\nd\\te\"}");
+}
+
+TEST(JsonWriter, EscapesControlCharacters) {
+  EXPECT_EQ(jsonEscape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(jsonEscape("plain"), "plain");
+}
+
+TEST(JsonWriter, NumbersRoundTripAndNonFiniteIsNull) {
+  EXPECT_EQ(jsonNumber(1e-8), "1e-08");
+  EXPECT_EQ(jsonNumber(42.0), "42");
+  EXPECT_EQ(jsonNumber(std::nan("")), "null");
+  EXPECT_EQ(jsonNumber(INFINITY), "null");
+}
+
+TEST(JsonWriter, MisuseThrows) {
+  {
+    JsonWriter w;
+    w.beginObject();
+    EXPECT_THROW(w.str(), std::logic_error);  // still open
+  }
+  {
+    JsonWriter w;
+    w.beginArray();
+    EXPECT_THROW(w.key("k"), std::logic_error);  // key inside an array
+  }
+  {
+    JsonWriter w;
+    w.beginObject();
+    EXPECT_THROW(w.value(1.0), std::logic_error);  // value without a key
+  }
+  {
+    JsonWriter w;
+    w.beginObject();
+    EXPECT_THROW(w.endArray(), std::logic_error);  // mismatched close
+  }
+}
+
+}  // namespace
+}  // namespace nh::util
