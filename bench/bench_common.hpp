@@ -70,7 +70,8 @@ inline int runRegistered(const std::string& name) try {
   const nh::core::ExperimentResult result =
       nh::core::runExperiment(spec, options);
 
-  nh::core::toAsciiTable(result).print();
+  // Shaped results render as several tables (main + matrix grids + pivot).
+  for (const auto& table : nh::core::toAsciiTables(result)) table.print();
   const auto files = nh::core::writeResultFiles(result, resultsDir());
   std::printf("  series written to %s\n", files.csv.string().c_str());
   std::printf("  json written to %s (config digest %s)\n",

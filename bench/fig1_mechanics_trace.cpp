@@ -1,60 +1,10 @@
 /// Fig. 1 reproduction: the four-phase mechanics of NeuroHammer on one
 /// attack run -- (1) hammering pulses on the aggressor, (2) temperature
 /// increase of aggressor and victim filaments, (3) accelerated switching
-/// kinetics, (4) the bit-flip. Prints a decimated trace of the victim state
-/// and the per-pulse peak temperatures, plus the phase summary.
-
-#include <cstdio>
+/// kinetics, (4) the bit-flip. The trace is a registered experiment
+/// ("fig1_mechanics_trace") whose result row carries time-series (Trace)
+/// cells; this driver is banner + registry lookup + shared result emission.
 
 #include "bench_common.hpp"
-#include "core/study.hpp"
 
-int main() {
-  using namespace nh;
-  bench::banner("Fig. 1 -- working principle of NeuroHammer (trace)",
-                "single attack run, centre aggressor, word-line victim, "
-                "spacing 50 nm, 50 ns pulses",
-                "aggressor filament spikes to ~530 K per pulse; victim sits "
-                "~60 K above ambient and ratchets toward LRS until the flip");
-
-  core::StudyConfig cfg;
-  core::AttackStudy study(cfg);
-  core::AttackConfig attack;
-  attack.aggressors = {{2, 2}};
-  attack.victims = {{2, 1}};
-  attack.maxPulses = bench::fastMode() ? 100'000 : 200'000;
-  attack.traceSamples = 10'000;  // interval = maxPulses / samples = 20 pulses
-  const core::AttackResult r = study.attack(attack);
-
-  std::printf("flipped=%s at pulse %zu (stress time %.3e s, %zu pulses "
-              "fully simulated)\n\n",
-              r.flipped ? "yes" : "no", r.pulsesToFlip, r.stressTime,
-              r.pulsesSimulated);
-
-  util::AsciiTable table({"pulse", "victim x", "victim Tpeak [K]",
-                          "aggressor Tpeak [K]"});
-  table.setTitle("Victim state / peak filament temperatures along the attack");
-  util::CsvTable csv({"pulse", "victim_state", "victim_Tpeak_K",
-                      "aggressor_Tpeak_K"});
-  const std::size_t n = r.tracePulse.size();
-  const std::size_t every = n > 16 ? n / 16 : 1;
-  for (std::size_t i = 0; i < n; ++i) {
-    csv.addRow(std::vector<double>{r.tracePulse[i], r.traceVictimState[i],
-                                   r.traceVictimTemperature[i],
-                                   r.traceAggressorTemperature[i]});
-    if (i % every == 0 || i + 1 == n) {
-      table.addRow({util::AsciiTable::grouped(
-                        static_cast<long long>(r.tracePulse[i])),
-                    util::AsciiTable::fixed(r.traceVictimState[i], 4),
-                    util::AsciiTable::fixed(r.traceVictimTemperature[i], 1),
-                    util::AsciiTable::fixed(r.traceAggressorTemperature[i], 1)});
-    }
-  }
-  table.addNote("phase 1: V/2 scheme pulses (hammering)");
-  table.addNote("phase 2: aggressor self-heating + victim crosstalk heating");
-  table.addNote("phase 3: exponentially accelerated SET kinetics at V/2");
-  table.addNote("phase 4: victim crosses the read threshold -> bit-flip");
-  table.print();
-  bench::saveCsv(csv, "fig1_mechanics_trace.csv");
-  return 0;
-}
+int main() { return nh::bench::runRegistered("fig1_mechanics_trace"); }

@@ -1,72 +1,10 @@
 /// Fig. 2a reproduction: the temperature matrix of the 5x5 memristive
-/// crossbar while the centre cell is driven in LRS at V_SET. The paper's
-/// matrix (COMSOL) shows the hammered cell at 947.2 K with the same-word-
-/// line neighbours hottest (394/373/375/394 K row) and the far corners near
-/// 320 K. We solve the same PDEs on our FEM substrate and print the cell
-/// temperature matrix at the dissipated power that brings the centre cell
-/// to the paper's 947 K operating point.
-
-#include <cstdio>
+/// crossbar while the centre cell is driven in LRS at V_SET, plus the
+/// extracted alpha matrix (Eq. 4). The paper's matrix (COMSOL) shows the
+/// hammered cell at 947.2 K with the same-word-line neighbours hottest.
+/// Registered as "fig2a_thermal_matrix" with matrix-shaped result cells;
+/// this driver is banner + registry lookup + shared result emission.
 
 #include "bench_common.hpp"
-#include "fem/alpha.hpp"
 
-int main() {
-  using namespace nh;
-  bench::banner(
-      "Fig. 2a -- thermal coupling in a 5x5 memristive crossbar",
-      "FEM solve (Eq. 1/2 discretised), electrode spacing 50 nm, T0 = 300 K",
-      "centre cell ~947 K >> same-word-line neighbours > bit-line neighbours "
-      "> diagonal > far corners (~320 K)");
-
-  // Paper defaults: 5x5, 50 nm spacing. The 5 nm voxel is required to
-  // resolve the 5 nm filament, and the solve takes only a few seconds, so
-  // fast mode does not coarsen it.
-  fem::CrossbarLayout layout;
-  const auto model = fem::CrossbarModel3D::build(layout);
-  std::printf("grid: %zu x %zu x %zu voxels (%.0f nm resolution)\n",
-              model.grid().nx(), model.grid().ny(), model.grid().nz(),
-              layout.voxelSize * 1e9);
-
-  const auto extraction = fem::extractAlpha(
-      model, fem::MaterialTable::defaults(), 2, 2,
-      {0.05e-3, 0.10e-3, 0.15e-3}, 300.0);
-  std::printf("extracted R_th = %.3e K/W (R^2 = %.6f)\n", extraction.rTh,
-              extraction.rThRSquared);
-
-  // Paper operating point: centre cell at 947.2 K.
-  const double power = (947.2 - 300.0) / extraction.rTh;
-  std::printf("dissipated power for T_centre = 947.2 K: %.3e W\n\n", power);
-
-  util::AsciiTable table({"row\\col", "0", "1", "2", "3", "4"});
-  table.setTitle("Temperature values of the 5x5 crossbar [K] (measured)");
-  const auto temps = extraction.predictTemperatures(power);
-  util::CsvTable csv({"row", "col", "temperature_K", "alpha"});
-  for (std::size_t r = 0; r < 5; ++r) {
-    std::vector<std::string> row{std::to_string(r)};
-    for (std::size_t c = 0; c < 5; ++c) {
-      row.push_back(util::AsciiTable::fixed(temps(r, c), 1));
-      csv.addRow(std::vector<double>{static_cast<double>(r),
-                                     static_cast<double>(c), temps(r, c),
-                                     extraction.alpha(r, c)});
-    }
-    table.addRow(row);
-  }
-  table.addNote("paper (row containing the hammered cell): 394.4  373.0  947.2  375.6  393.8");
-  table.addNote("paper (far corners): 319.9 .. 321.0");
-  table.print();
-
-  util::AsciiTable alphaTable({"row\\col", "0", "1", "2", "3", "4"});
-  alphaTable.setTitle("\nExtracted alpha values (Eq. 4)");
-  for (std::size_t r = 0; r < 5; ++r) {
-    std::vector<std::string> row{std::to_string(r)};
-    for (std::size_t c = 0; c < 5; ++c) {
-      row.push_back(util::AsciiTable::fixed(extraction.alpha(r, c), 4));
-    }
-    alphaTable.addRow(row);
-  }
-  alphaTable.print();
-
-  bench::saveCsv(csv, "fig2a_thermal_matrix.csv");
-  return 0;
-}
+int main() { return nh::bench::runRegistered("fig2a_thermal_matrix"); }

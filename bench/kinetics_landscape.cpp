@@ -1,53 +1,9 @@
 /// Background table for Sec. III: the switching-time landscape t_SET(V, T)
 /// of the compact model -- the von Witzleben (temperature) and Menzel
-/// (voltage nonlinearity) dependencies the attack exploits. Rows are ambient
-/// temperatures, columns applied voltages; entries are times to SET a deep-
-/// HRS cell to the half-way state.
-
-#include <cstdio>
+/// (voltage nonlinearity) dependencies the attack exploits. Registered as
+/// "kinetics_landscape" (flat (T, V) cross-product rows + a pivoted 2-D
+/// ASCII table); this driver is banner + registry lookup + shared emission.
 
 #include "bench_common.hpp"
-#include "jart/kinetics.hpp"
 
-int main() {
-  using namespace nh;
-  bench::banner("Sec. III -- switching-kinetics landscape t_SET(V, T)",
-                "single JART-style cell, constant stress until x = 0.5",
-                "t_SET spans >10 decades: ~ns at full select vs ~s at V/2 and "
-                "300 K; each +50 K buys ~2 decades");
-
-  const std::vector<double> voltages = {0.40, 0.525, 0.65, 0.80, 1.05, 1.30};
-  const std::vector<double> temperatures =
-      bench::fastMode() ? std::vector<double>{300.0, 400.0}
-                        : std::vector<double>{273.0, 300.0, 325.0, 350.0,
-                                              400.0, 450.0, 500.0};
-  const auto points =
-      jart::kineticsLandscape(jart::Params::paperDefaults(), voltages,
-                              temperatures, /*maxTime=*/50.0);
-
-  std::vector<std::string> header{"T0 \\ V"};
-  for (const double v : voltages) {
-    header.push_back(nh::util::AsciiTable::fixed(v, 3) + " V");
-  }
-  util::AsciiTable table(header);
-  table.setTitle("t_SET to x = 0.5 [s]  ('>' = did not switch within 50 s)");
-  util::CsvTable csv({"temperature_K", "voltage_V", "t_set_s", "switched"});
-
-  std::size_t k = 0;
-  for (const double t0 : temperatures) {
-    std::vector<std::string> row{util::AsciiTable::fixed(t0, 0) + " K"};
-    for (std::size_t i = 0; i < voltages.size(); ++i, ++k) {
-      const auto& p = points[k];
-      row.push_back(p.switched ? util::AsciiTable::scientific(p.time, 2)
-                               : "> 5e+01");
-      csv.addRow(std::vector<double>{p.temperatureK, p.voltage, p.time,
-                                     p.switched ? 1.0 : 0.0});
-    }
-    table.addRow(row);
-  }
-  table.addNote("V/2 = 0.525 V column: harmless at 273-300 K, milliseconds at 350 K+ --");
-  table.addNote("exactly the window the thermal crosstalk pushes the victim into.");
-  table.print();
-  bench::saveCsv(csv, "kinetics_landscape.csv");
-  return 0;
-}
+int main() { return nh::bench::runRegistered("kinetics_landscape"); }

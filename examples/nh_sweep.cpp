@@ -1,32 +1,49 @@
 /// Generic experiment CLI: the command-line front end of the experiment
-/// registry, plus the original INI-driven sweep mode.
+/// registry and the tracked baseline store, plus the original INI-driven
+/// sweep mode.
 ///
 /// Usage:
 ///   nh_sweep list
 ///       List every registered experiment with its one-line summary.
-///   nh_sweep run <name> [--fast] [--threads N] [--max-pulses N]
-///                       [--set axis=v1,v2,...] [--out DIR]
-///       Run a registered experiment: prints the banner + ASCII table and
-///       writes <name>.csv and <name>.json into DIR (default: the bench
-///       results directory -- NH_RESULTS_DIR or ./bench_results). --fast
-///       (or NH_FAST_BENCH=1) selects the shrunk CI-smoke grids; --set
-///       replaces a named axis's value list (repeatable).
+///   nh_sweep run <name> | run-all [options]
+///       Run one registered experiment (banner + ASCII tables) or the whole
+///       catalog; writes <name>.csv and <name>.json into the output
+///       directory. run-all batches the catalog against the process-wide
+///       study cache, so experiments sharing a StudyConfig reuse one warm
+///       study set.
+///   nh_sweep check <name> | check --all [options]
+///       Run the experiment(s) and diff the result against the tracked
+///       baseline in baselines/ (per-column tolerances, digest-keyed).
+///       Non-zero exit and a machine-readable <out>/diffs/<name>.diff.json
+///       on any mismatch -- the CI figure-regression gate.
+///   nh_sweep record <name> | record --all [options]
+///       Run the experiment(s) and (re-)write baselines/<name>.json.
+///   nh_sweep describe [--markdown] [--out FILE]
+///       Render the self-documenting registry catalog (docs/experiments.md
+///       is this output checked in; CI fails when the two drift).
 ///   nh_sweep [sweep.ini]
 ///       Legacy INI mode: any of the four Fig. 3 sweeps (pulse-length,
 ///       spacing, ambient, patterns) with configurable grids; see the
-///       built-in default config printed when run without arguments. The
-///       CSV lands in the bench results directory unless [sweep] output
-///       gives an explicit path.
+///       built-in default config printed when run without arguments.
+///
+/// Shared options: --fast (or NH_FAST_BENCH=1) selects the shrunk CI-smoke
+/// grids; --threads N, --max-pulses N; --set axis=v1,v2,... replaces a
+/// named axis's value list (repeatable; unknown axis names are an error
+/// listing the valid axes); --out DIR (default NH_RESULTS_DIR or
+/// ./bench_results); --baselines DIR (default NH_BASELINE_DIR or
+/// ./baselines).
 
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "core/baseline.hpp"
 #include "core/configio.hpp"
 #include "core/experiment.hpp"
 #include "core/experiment_registry.hpp"
@@ -83,18 +100,21 @@ void parseAxisOverride(const std::string& arg, nh::core::RunOptions& options) {
   options.axisOverrides[axis] = std::move(values);
 }
 
-int runExperimentCommand(int argc, char** argv) {
-  if (argc < 3) {
-    std::fprintf(stderr,
-                 "nh_sweep run: missing experiment name "
-                 "(see 'nh_sweep list')\n");
-    return 2;
-  }
-  const std::string name = argv[2];
-  nh::core::RunOptions options;
-  options.fast = std::getenv("NH_FAST_BENCH") != nullptr;
+/// Options shared by run / run-all / check / record.
+struct CliOptions {
+  nh::core::RunOptions run;
   std::filesystem::path outDir = nh::core::defaultResultsDir();
-  for (int i = 3; i < argc; ++i) {
+  std::filesystem::path baselineDir = nh::core::defaultBaselineDir();
+  bool all = false;              ///< --all (check / record).
+  std::vector<std::string> names;
+};
+
+/// Parse everything after the subcommand: positional experiment names plus
+/// the shared option set.
+CliOptions parseCliOptions(int argc, char** argv, int start) {
+  CliOptions cli;
+  cli.run.fast = std::getenv("NH_FAST_BENCH") != nullptr;
+  for (int i = start; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&](const char* what) -> std::string {
       if (i + 1 >= argc) {
@@ -113,36 +133,195 @@ int runExperimentCommand(int argc, char** argv) {
       return static_cast<std::size_t>(v);
     };
     if (arg == "--fast") {
-      options.fast = true;
+      cli.run.fast = true;
     } else if (arg == "--threads") {
       // Same oversubscription guard the NH_THREADS path applies.
-      options.threads = nh::util::clampThreadCount(
+      cli.run.threads = nh::util::clampThreadCount(
           nextCount("--threads", 1e9), "nh_sweep: --threads ");
     } else if (arg == "--max-pulses") {
-      options.maxPulsesOverride = nextCount("--max-pulses", 1e15);
+      cli.run.maxPulsesOverride = nextCount("--max-pulses", 1e15);
     } else if (arg == "--set") {
-      parseAxisOverride(next("--set"), options);
+      parseAxisOverride(next("--set"), cli.run);
     } else if (arg == "--out") {
-      outDir = next("--out");
-    } else {
+      cli.outDir = next("--out");
+    } else if (arg == "--baselines") {
+      cli.baselineDir = next("--baselines");
+    } else if (arg == "--all") {
+      cli.all = true;
+    } else if (!arg.empty() && arg[0] == '-') {
       throw std::invalid_argument("unknown option '" + arg + "'");
+    } else {
+      cli.names.push_back(arg);
     }
   }
+  return cli;
+}
 
+/// Experiment names a subcommand operates on: the positional names, or the
+/// whole catalog under --all.
+std::vector<std::string> resolveNames(const CliOptions& cli,
+                                      const char* command) {
+  if (cli.all) {
+    if (!cli.names.empty()) {
+      throw std::invalid_argument(std::string("nh_sweep ") + command +
+                                  ": give experiment names or --all, not both");
+    }
+    std::vector<std::string> names;
+    for (const auto& entry : nh::core::registeredExperiments()) {
+      names.push_back(entry.name);
+    }
+    return names;
+  }
+  if (cli.names.empty()) {
+    throw std::invalid_argument(std::string("nh_sweep ") + command +
+                                ": missing experiment name "
+                                "(see 'nh_sweep list', or use --all)");
+  }
+  return cli.names;
+}
+
+nh::core::ExperimentResult runOne(const std::string& name,
+                                  const CliOptions& cli, bool printTables) {
   const nh::core::ExperimentSpec spec = nh::core::makeExperiment(name);
   nh::core::printBanner(spec);
+  nh::core::RunOptions options = cli.run;
   if (options.threads == 0) options.threads = nh::util::defaultThreadCount();
   std::printf("threads: %zu (override with --threads or NH_THREADS)%s\n",
               options.threads, options.fast ? "  [fast mode]" : "");
 
   const nh::core::ExperimentResult result =
       nh::core::runExperiment(spec, options);
-  nh::core::toAsciiTable(result).print();
-  const auto files = nh::core::writeResultFiles(result, outDir);
-  std::printf("nh_sweep: %zu row(s); series written to %s and %s "
-              "(config digest %s)\n",
+  if (printTables) {
+    for (const auto& table : nh::core::toAsciiTables(result)) table.print();
+  }
+  const auto files = nh::core::writeResultFiles(result, cli.outDir);
+  std::printf("nh_sweep: %zu row(s); series written to %s and %s\n"
+              "  config digest %s; %zu unique stud%s (%zu from the "
+              "process-wide cache)\n",
               result.rows.size(), files.csv.string().c_str(),
-              files.json.string().c_str(), result.configDigest.c_str());
+              files.json.string().c_str(), result.configDigest.c_str(),
+              result.studiesConstructed,
+              result.studiesConstructed == 1 ? "y" : "ies",
+              result.studiesReused);
+  return result;
+}
+
+int runCommand(int argc, char** argv, bool all) {
+  CliOptions cli = parseCliOptions(argc, argv, 2);
+  cli.all = cli.all || all;
+  const auto names = resolveNames(cli, all ? "run-all" : "run");
+  for (const auto& name : names) {
+    runOne(name, cli, /*printTables=*/true);
+    if (names.size() > 1) std::printf("\n");
+  }
+  if (names.size() > 1) {
+    std::printf("nh_sweep: ran %zu experiments; study cache holds %zu "
+                "studies\n",
+                names.size(), nh::core::studyCacheSize());
+  }
+  return 0;
+}
+
+int checkCommand(int argc, char** argv) {
+  const CliOptions cli = parseCliOptions(argc, argv, 2);
+  const auto names = resolveNames(cli, "check");
+  std::size_t failures = 0;
+  for (const auto& name : names) {
+    // One corrupt baseline file (or one throwing experiment) must not
+    // abort the gate: report it as a failure and keep checking the rest.
+    try {
+      const nh::core::ExperimentResult result =
+          runOne(name, cli, /*printTables=*/false);
+      const nh::core::BaselineCheck check =
+          nh::core::checkBaseline(result, cli.baselineDir);
+      if (check.passed()) {
+        std::printf("CHECK PASS  %-28s %s\n", name.c_str(),
+                    check.message.c_str());
+        continue;
+      }
+      ++failures;
+      std::printf("CHECK FAIL  %-28s [%s] %s\n", name.c_str(),
+                  nh::core::baselineStatusName(check.status),
+                  check.message.c_str());
+      for (std::size_t i = 0; i < check.diffs.size() && i < 10; ++i) {
+        const auto& d = check.diffs[i];
+        std::printf("  row %zu col %s[%zu]: expected %s, got %s (%s)\n",
+                    d.row, d.column.c_str(), d.element, d.expected.c_str(),
+                    d.actual.c_str(), d.what.c_str());
+      }
+      if (check.diffs.size() > 10) {
+        std::printf("  ... %zu more (see the diff document)\n",
+                    check.diffs.size() - 10);
+      }
+      // Machine-readable diff for CI artifacts.
+      const std::filesystem::path diffDir = cli.outDir / "diffs";
+      std::filesystem::create_directories(diffDir);
+      const std::filesystem::path diffPath = diffDir / (name + ".diff.json");
+      std::ofstream out(diffPath, std::ios::binary);
+      out << nh::core::diffJson(result, check) << "\n";
+      out.flush();
+      if (!out) {
+        std::fprintf(stderr, "nh_sweep check: cannot write %s\n",
+                     diffPath.string().c_str());
+      } else {
+        std::printf("  diff written to %s\n", diffPath.string().c_str());
+      }
+    } catch (const std::exception& e) {
+      ++failures;
+      std::printf("CHECK FAIL  %-28s [error] %s\n", name.c_str(), e.what());
+    }
+  }
+  std::printf("nh_sweep check: %zu/%zu experiment(s) match their baselines\n",
+              names.size() - failures, names.size());
+  return failures == 0 ? 0 : 1;
+}
+
+int recordCommand(int argc, char** argv) {
+  const CliOptions cli = parseCliOptions(argc, argv, 2);
+  const auto names = resolveNames(cli, "record");
+  for (const auto& name : names) {
+    const nh::core::ExperimentResult result =
+        runOne(name, cli, /*printTables=*/false);
+    const auto path = nh::core::writeBaseline(result, cli.baselineDir);
+    std::printf("baseline recorded: %s (digest %s)\n", path.string().c_str(),
+                result.configDigest.c_str());
+  }
+  return 0;
+}
+
+int describeCommand(int argc, char** argv) {
+  std::filesystem::path outFile;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--markdown") {
+      // The only (and default) format; accepted for self-documenting CLI
+      // lines in CI configs and docs.
+    } else if (arg == "--out") {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument("--out expects a file path");
+      }
+      outFile = argv[++i];
+    } else {
+      throw std::invalid_argument("nh_sweep describe: unknown option '" + arg +
+                                  "'");
+    }
+  }
+  const std::string markdown = nh::core::registryMarkdown();
+  if (outFile.empty()) {
+    std::fputs(markdown.c_str(), stdout);
+    return 0;
+  }
+  if (outFile.has_parent_path()) {
+    std::filesystem::create_directories(outFile.parent_path());
+  }
+  std::ofstream out(outFile, std::ios::binary);
+  out << markdown;
+  out.flush();
+  if (!out) {
+    throw std::runtime_error("nh_sweep describe: cannot write " +
+                             outFile.string());
+  }
+  std::printf("nh_sweep: catalog written to %s\n", outFile.string().c_str());
   return 0;
 }
 
@@ -256,7 +435,19 @@ int runIniMode(int argc, char** argv) {
 int main(int argc, char** argv) try {
   if (argc > 1 && std::strcmp(argv[1], "list") == 0) return listExperiments();
   if (argc > 1 && std::strcmp(argv[1], "run") == 0) {
-    return runExperimentCommand(argc, argv);
+    return runCommand(argc, argv, /*all=*/false);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "run-all") == 0) {
+    return runCommand(argc, argv, /*all=*/true);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "check") == 0) {
+    return checkCommand(argc, argv);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "record") == 0) {
+    return recordCommand(argc, argv);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "describe") == 0) {
+    return describeCommand(argc, argv);
   }
   if (argc > 1 && (std::strcmp(argv[1], "--help") == 0 ||
                    std::strcmp(argv[1], "-h") == 0 ||
@@ -265,15 +456,30 @@ int main(int argc, char** argv) try {
         "usage:\n"
         "  nh_sweep list                         list registered experiments\n"
         "  nh_sweep run <name> [options]         run a registered experiment\n"
+        "  nh_sweep run-all [options]            run the whole catalog "
+        "(batched against the study cache)\n"
+        "  nh_sweep check <name>|--all [options] run + diff against the "
+        "tracked baseline (exit 1 on mismatch;\n"
+        "                                        diff JSON lands in "
+        "<out>/diffs/)\n"
+        "  nh_sweep record <name>|--all [options]"
+        " run + (re-)write baselines/<name>.json\n"
+        "  nh_sweep describe [--markdown] [--out FILE]\n"
+        "                                        render the registry catalog "
+        "(docs/experiments.md)\n"
+        "  options:\n"
         "    --fast                              shrunk CI-smoke grids "
         "(also: NH_FAST_BENCH=1)\n"
         "    --threads N                         worker count (default "
         "NH_THREADS / hardware)\n"
         "    --max-pulses N                      override the pulse budget\n"
         "    --set axis=v1,v2,...                replace an axis's values "
-        "(repeatable)\n"
+        "(repeatable; unknown names error\n"
+        "                                        out listing the valid axes)\n"
         "    --out DIR                           output directory (default "
         "NH_RESULTS_DIR / bench_results)\n"
+        "    --baselines DIR                     baseline directory (default "
+        "NH_BASELINE_DIR / baselines)\n"
         "  nh_sweep [sweep.ini]                  legacy INI sweep mode\n");
     return 0;
   }

@@ -1,0 +1,339 @@
+#include "core/baseline.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/json.hpp"
+
+namespace nh::core {
+
+namespace {
+
+/// Mismatch-report cap: a shifted trace would otherwise flood the diff
+/// document with one entry per sample.
+constexpr std::size_t kMaxDiffs = 200;
+
+std::string readFile(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot read " + path.string());
+  }
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+ResultValue cellFromJson(const nh::util::JsonValue& v) {
+  using Type = nh::util::JsonValue::Type;
+  switch (v.type()) {
+    case Type::Number:
+      return ResultValue::num(v.asNumber());
+    case Type::String:
+      return ResultValue::str(v.asString());
+    case Type::Object: {
+      const std::string shape = v.at("shape").asString();
+      std::vector<double> values;
+      values.reserve(v.at("values").size());
+      for (const auto& e : v.at("values").items()) {
+        values.push_back(e.asNumber());
+      }
+      if (shape == "trace") return ResultValue::trace(std::move(values));
+      if (shape == "matrix") {
+        return ResultValue::matrix(
+            static_cast<std::size_t>(v.at("rows").asNumber()),
+            static_cast<std::size_t>(v.at("cols").asNumber()),
+            std::move(values));
+      }
+      throw std::runtime_error("baseline cell has unknown shape '" + shape +
+                               "'");
+    }
+    default:
+      throw std::runtime_error("baseline cell has an unsupported JSON type");
+  }
+}
+
+std::string renderScalar(const ResultValue& cell) {
+  return cell.kind == ResultValue::Kind::Text ? cell.text
+                                              : nh::util::formatDouble(cell.number);
+}
+
+/// Element-wise comparison of one cell pair; appends diffs (capped).
+void compareCells(const ResultValue& expected, const ResultValue& actual,
+                  const ColumnSpec& column, std::size_t row,
+                  BaselineCheck& check) {
+  const auto addDiff = [&](std::size_t element, std::string expectedText,
+                           std::string actualText, std::string what) {
+    if (check.diffs.size() >= kMaxDiffs) {
+      check.diffsTruncated = true;
+      return;
+    }
+    check.diffs.push_back({row, column.name, element, std::move(expectedText),
+                           std::move(actualText), std::move(what)});
+  };
+
+  if (column.tolerance.ignore) return;
+  if (expected.kind != actual.kind) {
+    addDiff(0, renderScalar(expected.isShaped() ? ResultValue::str("<shaped>")
+                                                : expected),
+            renderScalar(actual.isShaped() ? ResultValue::str("<shaped>")
+                                           : actual),
+            "cell kind changed");
+    return;
+  }
+  switch (expected.kind) {
+    case ResultValue::Kind::Text:
+      if (expected.text != actual.text) {
+        addDiff(0, expected.text, actual.text, "text differs");
+      }
+      return;
+    case ResultValue::Kind::Number:
+      if (!withinTolerance(expected.number, actual.number, column.tolerance)) {
+        addDiff(0, nh::util::formatDouble(expected.number),
+                nh::util::formatDouble(actual.number), "out of tolerance");
+      }
+      return;
+    case ResultValue::Kind::Trace:
+    case ResultValue::Kind::Matrix:
+      if (expected.series.size() != actual.series.size() ||
+          expected.matrixRows != actual.matrixRows ||
+          expected.matrixCols != actual.matrixCols) {
+        addDiff(0, std::to_string(expected.series.size()) + " elements",
+                std::to_string(actual.series.size()) + " elements",
+                "shaped cell dimensions changed");
+        return;
+      }
+      for (std::size_t k = 0; k < expected.series.size(); ++k) {
+        if (!withinTolerance(expected.series[k], actual.series[k],
+                             column.tolerance)) {
+          addDiff(k, nh::util::formatDouble(expected.series[k]),
+                  nh::util::formatDouble(actual.series[k]),
+                  "element out of tolerance");
+        }
+      }
+      return;
+  }
+}
+
+}  // namespace
+
+std::filesystem::path defaultBaselineDir() {
+  if (const char* env = std::getenv("NH_BASELINE_DIR")) {
+    return std::filesystem::path(env);
+  }
+  return std::filesystem::path("baselines");
+}
+
+std::filesystem::path baselinePath(const std::string& experiment,
+                                   const std::filesystem::path& dir) {
+  return dir / (experiment + ".json");
+}
+
+const char* baselineStatusName(BaselineCheck::Status status) {
+  switch (status) {
+    case BaselineCheck::Status::Match: return "match";
+    case BaselineCheck::Status::Missing: return "missing";
+    case BaselineCheck::Status::DigestMismatch: return "digest_mismatch";
+    case BaselineCheck::Status::ShapeMismatch: return "shape_mismatch";
+    case BaselineCheck::Status::ValueMismatch: return "value_mismatch";
+  }
+  return "unknown";
+}
+
+std::string baselineJson(const ExperimentResult& result) {
+  nh::util::JsonWriter w;
+  w.beginObject();
+  w.key("experiment").value(result.name);
+  w.key("config_digest").value(result.configDigest);
+  w.key("fast").value(result.fast);
+  w.key("max_pulses").value(result.maxPulses);
+  w.key("columns").beginArray();
+  for (const auto& col : result.columns) w.value(col.name);
+  w.endArray();
+  w.key("column_shapes").beginArray();
+  for (const auto& col : result.columns) w.value(shapeName(col.shape));
+  w.endArray();
+  // Informational: the comparison always uses the *current* spec's
+  // tolerances, so a tolerance change takes effect without re-recording.
+  w.key("tolerances").beginArray();
+  for (const auto& col : result.columns) {
+    w.beginObject();
+    w.key("rel").value(col.tolerance.rel);
+    w.key("abs").value(col.tolerance.abs);
+    w.key("ignore").value(col.tolerance.ignore);
+    w.endObject();
+  }
+  w.endArray();
+  w.key("axes").beginArray();
+  for (const auto& axis : result.axes) {
+    w.beginObject();
+    w.key("name").value(axis.name);
+    w.key("values").beginArray();
+    for (const double v : axis.values) w.value(v);
+    w.endArray();
+    w.endObject();
+  }
+  w.endArray();
+  w.key("rows").beginArray();
+  for (const auto& row : result.rows) {
+    w.beginArray();
+    for (const auto& cell : row) writeCellJson(w, cell);
+    w.endArray();
+  }
+  w.endArray();
+  w.endObject();
+  return w.str();
+}
+
+std::filesystem::path writeBaseline(const ExperimentResult& result,
+                                    const std::filesystem::path& dir) {
+  // Refuse to record non-finite cells: JsonWriter serialises NaN/Inf as
+  // null, which no later check could read back -- the baseline would be
+  // permanently poisoned. Failing here makes the bad run visible instead.
+  for (std::size_t r = 0; r < result.rows.size(); ++r) {
+    for (std::size_t c = 0; c < result.rows[r].size(); ++c) {
+      const ResultValue& cell = result.rows[r][c];
+      bool finite = true;
+      if (cell.kind == ResultValue::Kind::Number) {
+        finite = std::isfinite(cell.number);
+      } else if (cell.isShaped()) {
+        for (const double v : cell.series) finite = finite && std::isfinite(v);
+      }
+      if (!finite) {
+        throw std::runtime_error(
+            "writeBaseline: experiment '" + result.name + "' row " +
+            std::to_string(r) + " column '" + result.columns[c].name +
+            "' holds a non-finite value; refusing to record it");
+      }
+    }
+  }
+  std::filesystem::create_directories(dir);
+  const std::filesystem::path path = baselinePath(result.name, dir);
+  std::ofstream out(path, std::ios::binary);
+  out << baselineJson(result) << "\n";
+  out.flush();  // surface buffered-write failures (disk full) before the test
+  if (!out) {
+    throw std::runtime_error("writeBaseline: cannot write " + path.string());
+  }
+  return path;
+}
+
+BaselineCheck checkBaseline(const ExperimentResult& result,
+                            const std::filesystem::path& dir) {
+  BaselineCheck check;
+  check.actualDigest = result.configDigest;
+  const std::filesystem::path path = baselinePath(result.name, dir);
+  if (!std::filesystem::exists(path)) {
+    check.status = BaselineCheck::Status::Missing;
+    check.message = "no baseline recorded at " + path.string() +
+                    " (record one with: nh_sweep record " + result.name + ")";
+    return check;
+  }
+
+  const nh::util::JsonValue doc = nh::util::JsonValue::parse(readFile(path));
+  check.expectedDigest = doc.at("config_digest").asString();
+  if (doc.at("experiment").asString() != result.name) {
+    check.status = BaselineCheck::Status::ShapeMismatch;
+    check.message = path.string() + " records experiment '" +
+                    doc.at("experiment").asString() + "', not '" +
+                    result.name + "'";
+    return check;
+  }
+  if (check.expectedDigest != check.actualDigest) {
+    check.status = BaselineCheck::Status::DigestMismatch;
+    check.message = "config digest drifted (baseline " + check.expectedDigest +
+                    ", run " + check.actualDigest +
+                    "): the experiment's config or axes changed -- review and "
+                    "re-record with: nh_sweep record " +
+                    result.name;
+    if (const nh::util::JsonValue* fast = doc.find("fast")) {
+      if (fast->asBool() != result.fast) {
+        check.message += fast->asBool()
+                             ? " (the baseline was recorded in fast mode -- "
+                               "re-run the check with --fast?)"
+                             : " (the baseline was recorded in full mode -- "
+                               "re-run the check without --fast?)";
+      }
+    }
+    return check;
+  }
+
+  const auto& columns = doc.at("columns").items();
+  const auto& shapes = doc.at("column_shapes").items();
+  bool columnsMatch = columns.size() == result.columns.size() &&
+                      shapes.size() == result.columns.size();
+  for (std::size_t c = 0; columnsMatch && c < columns.size(); ++c) {
+    columnsMatch = columns[c].asString() == result.columns[c].name &&
+                   shapes[c].asString() == shapeName(result.columns[c].shape);
+  }
+  if (!columnsMatch) {
+    check.status = BaselineCheck::Status::ShapeMismatch;
+    check.message = "result columns/shapes differ from the recorded baseline "
+                    "(same digest -- was the column list changed without a "
+                    "config change? re-record with: nh_sweep record " +
+                    result.name + ")";
+    return check;
+  }
+
+  const auto& rows = doc.at("rows").items();
+  if (rows.size() != result.rows.size()) {
+    check.status = BaselineCheck::Status::ShapeMismatch;
+    check.message = "row count changed: baseline has " +
+                    std::to_string(rows.size()) + ", run produced " +
+                    std::to_string(result.rows.size());
+    return check;
+  }
+
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const auto& cells = rows[r].items();
+    if (cells.size() != result.rows[r].size()) {
+      check.status = BaselineCheck::Status::ShapeMismatch;
+      check.message = "row " + std::to_string(r) + " width changed";
+      return check;
+    }
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      compareCells(cellFromJson(cells[c]), result.rows[r][c],
+                   result.columns[c], r, check);
+    }
+  }
+
+  if (!check.diffs.empty()) {
+    check.status = BaselineCheck::Status::ValueMismatch;
+    check.message = std::to_string(check.diffs.size()) +
+                    (check.diffsTruncated ? "+ cells" : " cell(s)") +
+                    " out of tolerance vs " + path.string();
+  } else {
+    check.message = "matches " + path.string();
+  }
+  return check;
+}
+
+std::string diffJson(const ExperimentResult& result,
+                     const BaselineCheck& check) {
+  nh::util::JsonWriter w;
+  w.beginObject();
+  w.key("experiment").value(result.name);
+  w.key("status").value(baselineStatusName(check.status));
+  w.key("message").value(check.message);
+  w.key("expected_digest").value(check.expectedDigest);
+  w.key("actual_digest").value(check.actualDigest);
+  w.key("diffs_truncated").value(check.diffsTruncated);
+  w.key("diffs").beginArray();
+  for (const auto& diff : check.diffs) {
+    w.beginObject();
+    w.key("row").value(diff.row);
+    w.key("column").value(diff.column);
+    w.key("element").value(diff.element);
+    w.key("expected").value(diff.expected);
+    w.key("actual").value(diff.actual);
+    w.key("what").value(diff.what);
+    w.endObject();
+  }
+  w.endArray();
+  w.endObject();
+  return w.str();
+}
+
+}  // namespace nh::core

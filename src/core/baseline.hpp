@@ -1,0 +1,85 @@
+#pragma once
+/// \file baseline.hpp
+/// Tracked figure baselines: the expected result rows of every fast
+/// experiment live in `baselines/<experiment>.json`, keyed by the FNV-1a
+/// config digest and compared cell-by-cell (element-wise for trace/matrix
+/// cells) with the spec's per-column tolerances. `nh_sweep check` and the
+/// CI baseline job run experiments and diff them against this store, so a
+/// figure regression becomes CI-visible the same way a perf regression in
+/// BENCH_perf_solvers.json already is.
+///
+/// Staleness is explicit: when an experiment's config digest no longer
+/// matches the recorded one, the check fails with DigestMismatch -- the
+/// config drifted and the baseline must be consciously re-recorded
+/// (`nh_sweep record <name> --fast`), never silently accepted.
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace nh::core {
+
+/// Where tracked baselines live: NH_BASELINE_DIR when set, ./baselines
+/// otherwise (the repo-root convention; CI runs nh_sweep from the checkout
+/// root).
+std::filesystem::path defaultBaselineDir();
+
+/// `<dir>/<experiment>.json`.
+std::filesystem::path baselinePath(const std::string& experiment,
+                                   const std::filesystem::path& dir);
+
+/// One cell (or one element of a shaped cell) outside tolerance.
+struct BaselineDiff {
+  std::size_t row = 0;
+  std::string column;
+  std::size_t element = 0;  ///< Element index inside a shaped cell.
+  std::string expected;     ///< Rendered expected value.
+  std::string actual;
+  std::string what;         ///< Mismatch description.
+};
+
+/// Outcome of one baseline comparison.
+struct BaselineCheck {
+  enum class Status {
+    Match,           ///< Everything within tolerance.
+    Missing,         ///< No baseline recorded yet.
+    DigestMismatch,  ///< Config drifted; re-record deliberately.
+    ShapeMismatch,   ///< Columns / row count / cell shapes differ.
+    ValueMismatch,   ///< Cells out of tolerance (see diffs).
+  };
+  Status status = Status::Match;
+  std::string message;
+  std::string expectedDigest;  ///< Digest recorded in the baseline.
+  std::string actualDigest;    ///< Digest of the run that was checked.
+  std::vector<BaselineDiff> diffs;
+  bool diffsTruncated = false;  ///< More mismatches than the report cap.
+
+  bool passed() const { return status == Status::Match; }
+};
+
+const char* baselineStatusName(BaselineCheck::Status status);
+
+/// Serialise \p result as a baseline document: experiment name, config
+/// digest, fast flag, budget, columns + shapes + tolerances, axes, rows
+/// (shaped cells in the writeCellJson encoding).
+std::string baselineJson(const ExperimentResult& result);
+
+/// Write `<dir>/<name>.json` (parent directories created); returns the path.
+std::filesystem::path writeBaseline(const ExperimentResult& result,
+                                    const std::filesystem::path& dir);
+
+/// Compare \p result against the recorded baseline in \p dir. The current
+/// spec's per-column tolerances (carried in ExperimentResult::columns) are
+/// the comparison policy; the tolerances recorded in the file are
+/// informational only.
+BaselineCheck checkBaseline(const ExperimentResult& result,
+                            const std::filesystem::path& dir);
+
+/// Machine-readable diff document for CI artifacts: experiment, status,
+/// both digests, and one entry per out-of-tolerance cell.
+std::string diffJson(const ExperimentResult& result,
+                     const BaselineCheck& check);
+
+}  // namespace nh::core

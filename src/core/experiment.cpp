@@ -1,11 +1,14 @@
 #include "core/experiment.hpp"
 
+#include <algorithm>
 #include <cinttypes>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 
 #include "util/json.hpp"
@@ -30,8 +33,61 @@ ResultValue ResultValue::str(std::string s) {
   return out;
 }
 
+ResultValue ResultValue::trace(std::vector<double> samples) {
+  ResultValue out;
+  out.kind = Kind::Trace;
+  out.series = std::move(samples);
+  return out;
+}
+
+ResultValue ResultValue::matrix(std::size_t rows, std::size_t cols,
+                                std::vector<double> rowMajor) {
+  if (rowMajor.size() != rows * cols) {
+    throw std::invalid_argument(
+        "ResultValue::matrix: " + std::to_string(rowMajor.size()) +
+        " values for a " + std::to_string(rows) + "x" + std::to_string(cols) +
+        " matrix");
+  }
+  ResultValue out;
+  out.kind = Kind::Matrix;
+  out.series = std::move(rowMajor);
+  out.matrixRows = rows;
+  out.matrixCols = cols;
+  return out;
+}
+
+std::size_t ResultValue::elementCount() const {
+  return isShaped() ? series.size() : 1;
+}
+
+double ResultValue::element(std::size_t k) const {
+  if (isShaped()) return series.at(k);
+  if (k != 0) throw std::out_of_range("ResultValue::element on a scalar");
+  return number;
+}
+
 std::string ResultValue::render() const {
+  if (isShaped()) {
+    throw std::logic_error(
+        "ResultValue::render on a shaped cell (use the CSV/JSON expansion)");
+  }
   return kind == Kind::Number ? nh::util::formatDouble(number) : text;
+}
+
+bool withinTolerance(double expected, double actual,
+                     const ColumnSpec::Tolerance& tolerance) {
+  if (tolerance.ignore) return true;
+  return std::abs(actual - expected) <=
+         tolerance.abs + tolerance.rel * std::abs(expected);
+}
+
+const char* shapeName(ColumnSpec::Shape shape) {
+  switch (shape) {
+    case ColumnSpec::Shape::Trace: return "trace";
+    case ColumnSpec::Shape::Matrix: return "matrix";
+    case ColumnSpec::Shape::Scalar: break;
+  }
+  return "scalar";
 }
 
 namespace colfmt {
@@ -104,8 +160,14 @@ std::vector<ExperimentResult::Axis> resolveAxes(const ExperimentSpec& spec,
       }
     }
     if (!found) {
+      // List the valid axes: the CLI surfaces this message verbatim, and a
+      // bare "no axis 'ambient'" leaves the user guessing at the spelling.
+      std::string valid;
+      for (const auto& axis : axes) {
+        valid += (valid.empty() ? "" : ", ") + axis.name;
+      }
       throw std::out_of_range("experiment '" + spec.name + "' has no axis '" +
-                              name + "'");
+                              name + "' (valid axes: " + valid + ")");
     }
   }
   for (const auto& axis : axes) {
@@ -200,7 +262,51 @@ std::string digestOf(const ExperimentSpec& spec,
   return buf;
 }
 
+/// Process-wide study cache: configs compared by the same operator== the
+/// per-run dedup uses, entries owned by shared_ptr so a clear() cannot pull
+/// a study out from under a running experiment. Linear scan -- the catalog
+/// holds tens of unique configs, not thousands.
+struct StudyCache {
+  std::mutex mutex;
+  std::vector<std::pair<StudyConfig, std::shared_ptr<const AttackStudy>>>
+      entries;
+
+  std::shared_ptr<const AttackStudy> find(const StudyConfig& config) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    for (const auto& [cached, study] : entries) {
+      if (cached == config) return study;
+    }
+    return nullptr;
+  }
+
+  void insert(const StudyConfig& config,
+              std::shared_ptr<const AttackStudy> study) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    for (const auto& [cached, existing] : entries) {
+      if (cached == config) return;  // racing run-all: first insert wins
+    }
+    entries.emplace_back(config, std::move(study));
+  }
+};
+
+StudyCache& studyCache() {
+  static StudyCache instance;
+  return instance;
+}
+
 }  // namespace
+
+std::size_t studyCacheSize() {
+  StudyCache& cache = studyCache();
+  const std::lock_guard<std::mutex> lock(cache.mutex);
+  return cache.entries.size();
+}
+
+void clearStudyCache() {
+  StudyCache& cache = studyCache();
+  const std::lock_guard<std::mutex> lock(cache.mutex);
+  cache.entries.clear();
+}
 
 std::string configDigest(const ExperimentSpec& spec, const RunOptions& options) {
   return digestOf(spec, resolveAxes(spec, options), resolveBudget(spec, options));
@@ -248,16 +354,26 @@ ExperimentResult runExperiment(const ExperimentSpec& spec,
     studyIndex[i] = found;
   }
 
-  // Construct the unique studies on the pool (the FEM-alpha path makes
-  // construction expensive); each construction is internally serial, so the
+  // Resolve the unique studies through the process-wide cache; misses are
+  // constructed on the pool (the FEM-alpha path makes construction
+  // expensive) and then published for later runs -- `run-all` and
+  // `check --all` batch the whole catalog against one warm study set. Each
+  // construction is internally serial and cache hits are immutable, so the
   // parallel build stays bit-identical for every thread count.
-  std::vector<std::unique_ptr<AttackStudy>> studies;
+  std::vector<std::shared_ptr<const AttackStudy>> studies;
+  std::size_t studiesReused = 0;
   if (spec.buildStudies) {
     studies.resize(uniqueConfigs.size());
+    for (std::size_t u = 0; u < uniqueConfigs.size(); ++u) {
+      studies[u] = studyCache().find(*uniqueConfigs[u]);
+      if (studies[u]) ++studiesReused;
+    }
     nh::util::parallelFor(
         uniqueConfigs.size(),
         [&](std::size_t u) {
-          studies[u] = std::make_unique<AttackStudy>(*uniqueConfigs[u]);
+          if (studies[u]) return;
+          studies[u] = std::make_shared<const AttackStudy>(*uniqueConfigs[u]);
+          studyCache().insert(*uniqueConfigs[u], studies[u]);
         },
         options.threads);
   }
@@ -276,7 +392,9 @@ ExperimentResult runExperiment(const ExperimentSpec& spec,
   result.fast = options.fast;
   result.maxPulses = maxPulses;
   result.studiesConstructed = spec.buildStudies ? uniqueConfigs.size() : 0;
+  result.studiesReused = studiesReused;
   result.configDigest = digestOf(spec, axes, maxPulses);
+  result.pivot = spec.pivot;
   result.rows.resize(pointCount);
   result.pointValues.resize(pointCount);
 
@@ -301,6 +419,28 @@ ExperimentResult runExperiment(const ExperimentSpec& spec,
                                    std::to_string(row.size()) + " cells for " +
                                    std::to_string(spec.columns.size()) +
                                    " columns");
+        }
+        // Shape check: every cell must match its column's declared shape
+        // (text placeholders are allowed anywhere -- the "-" convention of
+        // the finalize hooks).
+        for (std::size_t c = 0; c < row.size(); ++c) {
+          const ColumnSpec::Shape declared = spec.columns[c].shape;
+          const ResultValue::Kind kind = row[c].kind;
+          const bool ok =
+              kind == ResultValue::Kind::Text ||
+              (declared == ColumnSpec::Shape::Scalar &&
+               kind == ResultValue::Kind::Number) ||
+              (declared == ColumnSpec::Shape::Trace &&
+               kind == ResultValue::Kind::Trace) ||
+              (declared == ColumnSpec::Shape::Matrix &&
+               kind == ResultValue::Kind::Matrix);
+          if (!ok) {
+            throw std::runtime_error(
+                "experiment '" + spec.name + "': point " + std::to_string(i) +
+                " put a mismatched cell into the " +
+                std::string(shapeName(declared)) + " column '" +
+                spec.columns[c].name + "'");
+          }
         }
         std::string where;
         for (std::size_t ai = 0; ai < axes.size(); ++ai) {
@@ -337,37 +477,283 @@ void printBanner(const std::string& title, const std::string& description,
       "=====================================================================\n");
 }
 
-nh::util::AsciiTable toAsciiTable(const ExperimentResult& result) {
-  std::vector<std::string> header;
-  header.reserve(result.columns.size());
-  for (const auto& col : result.columns) header.push_back(col.heading());
-  nh::util::AsciiTable table(std::move(header));
-  if (!result.tableTitle.empty()) table.setTitle(result.tableTitle);
-  for (const auto& row : result.rows) {
-    std::vector<std::string> cells;
-    cells.reserve(row.size());
-    for (std::size_t c = 0; c < row.size(); ++c) {
-      const auto& format = result.columns[c].format;
-      cells.push_back(format ? format(row[c]) : row[c].render());
-    }
-    table.addRow(std::move(cells));
+namespace {
+
+bool hasShape(const ExperimentResult& result, ColumnSpec::Shape shape) {
+  for (const auto& col : result.columns) {
+    if (col.shape == shape) return true;
   }
-  for (const auto& note : result.notes) table.addNote(note);
-  return table;
+  return false;
+}
+
+/// Format one scalar element through the column's ASCII formatter.
+std::string formatElement(const ColumnSpec& column, double v) {
+  const ResultValue cell = ResultValue::num(v);
+  return column.format ? column.format(cell) : cell.render();
+}
+
+std::string formatScalar(const ColumnSpec& column, const ResultValue& cell) {
+  return column.format ? column.format(cell) : cell.render();
+}
+
+/// Expansion width of one result row: the common element count of its
+/// shaped cells (text placeholders excluded). Validates that shaped cells
+/// agree in length, and matrices in dimensions; fills in the shared matrix
+/// dims when present. \p tracesOnly restricts the count to trace cells --
+/// the ASCII main table expands traces but renders matrices as separate
+/// grids, so matrix lengths must not drive its line count.
+std::size_t rowElementCount(const ExperimentResult& result,
+                            const std::vector<ResultValue>& row,
+                            bool tracesOnly, std::size_t* matrixRows,
+                            std::size_t* matrixCols) {
+  std::size_t count = 1;
+  bool seenShaped = false;
+  for (const auto& cell : row) {
+    if (!cell.isShaped()) continue;
+    if (tracesOnly && cell.kind != ResultValue::Kind::Trace) continue;
+    if (!seenShaped) {
+      seenShaped = true;
+      count = cell.elementCount();
+    } else if (cell.elementCount() != count) {
+      throw std::logic_error("experiment '" + result.name +
+                             "': shaped cells of one row disagree in length");
+    }
+    if (cell.kind == ResultValue::Kind::Matrix) {
+      if (matrixRows && *matrixRows == 0) {
+        *matrixRows = cell.matrixRows;
+        *matrixCols = cell.matrixCols;
+      } else if (matrixRows && (*matrixRows != cell.matrixRows ||
+                                *matrixCols != cell.matrixCols)) {
+        throw std::logic_error(
+            "experiment '" + result.name +
+            "': matrix cells of one row disagree in dimensions");
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+std::vector<nh::util::AsciiTable> toAsciiTables(const ExperimentResult& result) {
+  std::vector<nh::util::AsciiTable> tables;
+  const bool anyMatrix = hasShape(result, ColumnSpec::Shape::Matrix);
+  const bool anyTrace = hasShape(result, ColumnSpec::Shape::Trace);
+
+  // Main table: scalar columns plus trace columns (expanded to decimated
+  // sample lines); matrix columns get their own grids below.
+  std::vector<std::size_t> mainColumns;
+  for (std::size_t c = 0; c < result.columns.size(); ++c) {
+    if (result.columns[c].shape != ColumnSpec::Shape::Matrix) {
+      mainColumns.push_back(c);
+    }
+  }
+  if (!mainColumns.empty()) {
+    std::vector<std::string> header;
+    header.reserve(mainColumns.size());
+    for (const std::size_t c : mainColumns) {
+      header.push_back(result.columns[c].heading());
+    }
+    nh::util::AsciiTable table(std::move(header));
+    if (!result.tableTitle.empty()) table.setTitle(result.tableTitle);
+    for (const auto& row : result.rows) {
+      // Expansion is driven by the trace cells alone: matrix cells are not
+      // part of the main table (they get their own grids below). Same
+      // agreement rule (and error) the CSV expansion enforces.
+      const std::size_t count =
+          rowElementCount(result, row, /*tracesOnly=*/true, nullptr, nullptr);
+      // Decimate long traces the way the Fig. 1 bench always did: ~16
+      // evenly spaced lines plus the final sample.
+      const std::size_t every = (anyTrace && count > 16) ? count / 16 : 1;
+      for (std::size_t k = 0; k < count; ++k) {
+        if (k % every != 0 && k + 1 != count) continue;
+        std::vector<std::string> cells;
+        cells.reserve(mainColumns.size());
+        for (const std::size_t c : mainColumns) {
+          const ResultValue& cell = row[c];
+          if (cell.isShaped()) {
+            cells.push_back(formatElement(result.columns[c], cell.element(k)));
+          } else {
+            // Scalar cells print once per point, on its first line.
+            cells.push_back(k == 0 ? formatScalar(result.columns[c], cell)
+                                   : std::string());
+          }
+        }
+        table.addRow(std::move(cells));
+      }
+    }
+    tables.push_back(std::move(table));
+  }
+
+  // One grid per matrix cell, in row/column order.
+  if (anyMatrix) {
+    for (std::size_t r = 0; r < result.rows.size(); ++r) {
+      for (std::size_t c = 0; c < result.columns.size(); ++c) {
+        const ResultValue& cell = result.rows[r][c];
+        if (cell.kind != ResultValue::Kind::Matrix) continue;
+        std::vector<std::string> header{"row\\col"};
+        for (std::size_t j = 0; j < cell.matrixCols; ++j) {
+          header.push_back(std::to_string(j));
+        }
+        nh::util::AsciiTable grid(std::move(header));
+        std::string title = result.columns[c].heading();
+        if (result.rows.size() > 1) {
+          title += " (";
+          for (std::size_t ai = 0; ai < result.axes.size(); ++ai) {
+            title += (ai ? " " : "") + result.axes[ai].name + "=" +
+                     nh::util::formatDouble(result.pointValues[r][ai]);
+          }
+          title += ")";
+        }
+        grid.setTitle(title);
+        for (std::size_t i = 0; i < cell.matrixRows; ++i) {
+          std::vector<std::string> line{std::to_string(i)};
+          for (std::size_t j = 0; j < cell.matrixCols; ++j) {
+            line.push_back(formatElement(result.columns[c],
+                                         cell.element(i * cell.matrixCols + j)));
+          }
+          grid.addRow(std::move(line));
+        }
+        tables.push_back(std::move(grid));
+      }
+    }
+  }
+
+  // Pivoted grid: rows = rowAxis values, columns = colAxis values, cells =
+  // the value column of the matching grid point.
+  if (result.pivot.enabled()) {
+    const PivotSpec& pivot = result.pivot;
+    const ExperimentResult::Axis* rowAxis = nullptr;
+    const ExperimentResult::Axis* colAxis = nullptr;
+    std::size_t rowAxisIndex = 0;
+    std::size_t colAxisIndex = 0;
+    for (std::size_t ai = 0; ai < result.axes.size(); ++ai) {
+      if (result.axes[ai].name == pivot.rowAxis) {
+        rowAxis = &result.axes[ai];
+        rowAxisIndex = ai;
+      }
+      if (result.axes[ai].name == pivot.colAxis) {
+        colAxis = &result.axes[ai];
+        colAxisIndex = ai;
+      }
+    }
+    std::size_t valueColumn = result.columns.size();
+    for (std::size_t c = 0; c < result.columns.size(); ++c) {
+      if (result.columns[c].name == pivot.valueColumn) valueColumn = c;
+    }
+    if (!rowAxis || !colAxis || valueColumn == result.columns.size()) {
+      throw std::logic_error("experiment '" + result.name +
+                             "': pivot names an unknown axis or column");
+    }
+    std::vector<std::string> header{pivot.rowAxis + " \\ " + pivot.colAxis};
+    for (const double v : colAxis->values) {
+      header.push_back(pivot.colLabel ? pivot.colLabel(v)
+                                      : nh::util::formatDouble(v));
+    }
+    nh::util::AsciiTable grid(std::move(header));
+    if (!pivot.title.empty()) grid.setTitle(pivot.title);
+    for (const double rv : rowAxis->values) {
+      std::vector<std::string> line{pivot.rowLabel
+                                        ? pivot.rowLabel(rv)
+                                        : nh::util::formatDouble(rv)};
+      for (const double cv : colAxis->values) {
+        std::string cellText = "-";  // stays when --set dropped the point
+        for (std::size_t i = 0; i < result.rows.size(); ++i) {
+          if (result.pointValues[i][rowAxisIndex] == rv &&
+              result.pointValues[i][colAxisIndex] == cv) {
+            cellText = pivot.format
+                           ? pivot.format(result.rows[i])
+                           : formatScalar(result.columns[valueColumn],
+                                          result.rows[i][valueColumn]);
+            break;
+          }
+        }
+        line.push_back(std::move(cellText));
+      }
+      grid.addRow(std::move(line));
+    }
+    tables.push_back(std::move(grid));
+  }
+
+  if (tables.empty()) {
+    throw std::logic_error("experiment '" + result.name +
+                           "': nothing to render");
+  }
+  for (const auto& note : result.notes) tables.front().addNote(note);
+  return tables;
+}
+
+nh::util::AsciiTable toAsciiTable(const ExperimentResult& result) {
+  return toAsciiTables(result).front();
 }
 
 nh::util::CsvTable toCsvTable(const ExperimentResult& result) {
+  const bool anyTrace = hasShape(result, ColumnSpec::Shape::Trace);
+  const bool anyMatrix = hasShape(result, ColumnSpec::Shape::Matrix);
+  if (anyTrace && anyMatrix) {
+    throw std::logic_error("experiment '" + result.name +
+                           "': trace and matrix columns cannot mix");
+  }
   std::vector<std::string> header;
-  header.reserve(result.columns.size());
+  if (anyTrace) header.push_back("sample");
+  if (anyMatrix) {
+    header.push_back("row");
+    header.push_back("col");
+  }
   for (const auto& col : result.columns) header.push_back(col.name);
   nh::util::CsvTable csv(std::move(header));
   for (const auto& row : result.rows) {
-    std::vector<std::string> cells;
-    cells.reserve(row.size());
-    for (const auto& cell : row) cells.push_back(cell.render());
-    csv.addRow(cells);
+    std::size_t matrixRows = 0;
+    std::size_t matrixCols = 0;
+    const std::size_t count = rowElementCount(result, row, /*tracesOnly=*/false,
+                                              &matrixRows, &matrixCols);
+    for (std::size_t k = 0; k < count; ++k) {
+      std::vector<std::string> cells;
+      cells.reserve(csv.columnCount());
+      if (anyTrace) cells.push_back(std::to_string(k));
+      if (anyMatrix) {
+        if (matrixCols > 0) {
+          cells.push_back(std::to_string(k / matrixCols));
+          cells.push_back(std::to_string(k % matrixCols));
+        } else {  // every matrix cell of this row is a text placeholder
+          cells.push_back("-");
+          cells.push_back("-");
+        }
+      }
+      for (const auto& cell : row) {
+        cells.push_back(cell.isShaped()
+                            ? nh::util::formatDouble(cell.element(k))
+                            : cell.render());
+      }
+      csv.addRow(cells);
+    }
   }
   return csv;
+}
+
+void writeCellJson(nh::util::JsonWriter& w, const ResultValue& cell) {
+  switch (cell.kind) {
+    case ResultValue::Kind::Number:
+      w.value(cell.number);
+      return;
+    case ResultValue::Kind::Text:
+      w.value(cell.text);
+      return;
+    case ResultValue::Kind::Trace:
+      w.beginObject();
+      w.key("shape").value("trace");
+      break;
+    case ResultValue::Kind::Matrix:
+      w.beginObject();
+      w.key("shape").value("matrix");
+      w.key("rows").value(cell.matrixRows);
+      w.key("cols").value(cell.matrixCols);
+      break;
+  }
+  w.key("values").beginArray();
+  for (const double v : cell.series) w.value(v);
+  w.endArray();
+  w.endObject();
 }
 
 std::string toJson(const ExperimentResult& result) {
@@ -384,6 +770,7 @@ std::string toJson(const ExperimentResult& result) {
   w.key("threads").value(result.threads);
   w.key("max_pulses").value(result.maxPulses);
   w.key("studies_constructed").value(result.studiesConstructed);
+  w.key("studies_reused").value(result.studiesReused);
   w.key("axes").beginArray();
   for (const auto& axis : result.axes) {
     w.beginObject();
@@ -397,16 +784,13 @@ std::string toJson(const ExperimentResult& result) {
   w.key("columns").beginArray();
   for (const auto& col : result.columns) w.value(col.name);
   w.endArray();
+  w.key("column_shapes").beginArray();
+  for (const auto& col : result.columns) w.value(shapeName(col.shape));
+  w.endArray();
   w.key("rows").beginArray();
   for (const auto& row : result.rows) {
     w.beginArray();
-    for (const auto& cell : row) {
-      if (cell.kind == ResultValue::Kind::Number) {
-        w.value(cell.number);
-      } else {
-        w.value(cell.text);
-      }
-    }
+    for (const auto& cell : row) writeCellJson(w, cell);
     w.endArray();
   }
   w.endArray();
@@ -425,6 +809,7 @@ EmittedFiles writeResultFiles(const ExperimentResult& result,
   toCsvTable(result).save(files.csv);  // creates parent directories
   std::ofstream out(files.json);
   out << toJson(result) << "\n";
+  out.flush();  // surface buffered-write failures (disk full) before the test
   if (!out) {
     throw std::runtime_error("writeResultFiles: cannot write " +
                              files.json.string());

@@ -27,35 +27,94 @@
 #include "util/csv.hpp"
 #include "util/table.hpp"
 
+namespace nh::util {
+class JsonWriter;
+}
+
 namespace nh::core {
 
-/// One table cell: a number (CSV/JSON emit it as such) or a text label.
+/// One table cell. Cells are *shaped*: a scalar (number or text label), a
+/// time-series trace (one value per sample), or a 2-D matrix (row-major).
+/// Scalar rows cover the axis-cross-product experiments; traces carry the
+/// Fig. 1 mechanics time series; matrices carry the Fig. 2a temperature
+/// map. The ASCII/CSV/JSON sinks understand all three shapes.
 struct ResultValue {
-  enum class Kind { Number, Text };
+  enum class Kind { Number, Text, Trace, Matrix };
   Kind kind = Kind::Number;
   double number = 0.0;
   std::string text;
+  /// Trace samples, or the matrix payload in row-major order.
+  std::vector<double> series;
+  std::size_t matrixRows = 0;  ///< Valid for Kind::Matrix.
+  std::size_t matrixCols = 0;
 
   static ResultValue num(double v);
   static ResultValue boolean(bool v);  ///< Stored as 0/1.
   static ResultValue str(std::string s);
+  static ResultValue trace(std::vector<double> samples);
+  static ResultValue matrix(std::size_t rows, std::size_t cols,
+                            std::vector<double> rowMajor);
+
+  bool isShaped() const { return kind == Kind::Trace || kind == Kind::Matrix; }
+  /// Elements of a shaped cell (trace samples / matrix entries), 1 otherwise.
+  std::size_t elementCount() const;
+  /// k-th element of a shaped cell; the scalar number for k == 0 otherwise.
+  double element(std::size_t k) const;
 
   /// CSV cell: util::formatDouble for numbers, the text verbatim otherwise.
+  /// Shaped cells render element-wise through the CSV expansion, never
+  /// through render() (it throws for them).
   std::string render() const;
 
   bool operator==(const ResultValue&) const = default;
 };
 
+/// How `nh_sweep check` compares one result column against a tracked
+/// baseline: numbers match when |actual - expected| <= abs + rel *
+/// |expected| (element-wise for shaped cells), text cells compare exactly,
+/// and ignore == true skips the column entirely (wall-clock measurements).
+struct ColumnTolerance {
+  double rel = 0.0;
+  double abs = 0.0;
+  bool ignore = false;
+
+  bool operator==(const ColumnTolerance&) const = default;
+};
+
 /// One result column: machine-readable name (CSV header / JSON), optional
 /// display header for the ASCII table, optional ASCII cell formatter
-/// (numbers default to formatDouble, text passes through).
+/// (numbers default to formatDouble, text passes through), the declared
+/// cell shape, and the baseline comparison tolerance.
 struct ColumnSpec {
+  /// Declared cell shape. Every row must put a cell of this shape (or a
+  /// text placeholder) into the column; runExperiment enforces it.
+  enum class Shape { Scalar, Trace, Matrix };
+  using Tolerance = ColumnTolerance;
+
   std::string name;
   std::string display;
   std::function<std::string(const ResultValue&)> format;
+  Shape shape = Shape::Scalar;
+  Tolerance tolerance;
+
+  ColumnSpec() = default;
+  ColumnSpec(std::string name_, std::string display_ = "",
+             std::function<std::string(const ResultValue&)> format_ = {},
+             Shape shape_ = Shape::Scalar, Tolerance tolerance_ = Tolerance())
+      : name(std::move(name_)),
+        display(std::move(display_)),
+        format(std::move(format_)),
+        shape(shape_),
+        tolerance(tolerance_) {}
 
   const std::string& heading() const { return display.empty() ? name : display; }
 };
+
+/// Baseline-tolerance helper: |actual - expected| <= abs + rel*|expected|.
+bool withinTolerance(double expected, double actual,
+                     const ColumnSpec::Tolerance& tolerance);
+
+const char* shapeName(ColumnSpec::Shape shape);
 
 /// Canned ASCII formatters for ColumnSpec::format.
 namespace colfmt {
@@ -109,6 +168,28 @@ struct PointContext {
 
 struct ExperimentResult;
 
+/// Optional pivoted ASCII presentation of a two-axis scalar grid: rows are
+/// \p rowAxis values, columns are \p colAxis values, and each cell shows
+/// \p valueColumn of the grid point with those axis values -- the paper's
+/// "2-D table" look (the kinetics landscape) without giving up the flat,
+/// overridable axis cross-product underneath.
+struct PivotSpec {
+  std::string rowAxis;
+  std::string colAxis;
+  std::string valueColumn;
+  std::string title;
+  /// Optional row-aware cell renderer (sees the whole result row, e.g. to
+  /// print "> 50 s" when a companion flag column says not-switched);
+  /// default: the value column's formatter.
+  std::function<std::string(const std::vector<ResultValue>&)> format;
+  /// Optional axis-value label formatters for the grid's row/column
+  /// headings ("300 K", "0.525 V"); default: util::formatDouble.
+  std::function<std::string(double)> rowLabel;
+  std::function<std::string(double)> colLabel;
+
+  bool enabled() const { return !rowAxis.empty(); }
+};
+
 /// One declarative experiment: metadata + base config + axes + run function.
 struct ExperimentSpec {
   std::string name;         ///< Registry key, CSV/JSON stem ("fig3a_pulse_length").
@@ -146,6 +227,9 @@ struct ExperimentSpec {
 
   /// Static footnotes appended after finalize's.
   std::vector<std::string> notes;
+
+  /// Optional pivoted grid rendering (see PivotSpec).
+  PivotSpec pivot;
 };
 
 /// Execution controls.
@@ -154,7 +238,8 @@ struct RunOptions {
   bool fast = false;        ///< Use the fast-mode axis subsets / budget.
   std::size_t maxPulsesOverride = 0;  ///< 0 = spec budget.
   /// Replace named axes' value lists (the CLI's --set axis=v1,v2,...).
-  /// Unknown names throw std::out_of_range before anything runs.
+  /// Unknown names throw std::out_of_range before anything runs; the
+  /// message lists the experiment's valid axes.
   std::map<std::string, std::vector<double>> axisOverrides;
 };
 
@@ -174,8 +259,12 @@ struct ExperimentResult {
   std::size_t threads = 0;
   bool fast = false;
   std::size_t maxPulses = 0;
-  std::size_t studiesConstructed = 0;  ///< Unique studies the dedup cache built.
+  std::size_t studiesConstructed = 0;  ///< Unique configs this run referenced.
+  /// Of studiesConstructed, how many were served warm by the process-wide
+  /// study cache instead of being built (run-all batching).
+  std::size_t studiesReused = 0;
   std::string configDigest;            ///< FNV-1a over base config + axes.
+  PivotSpec pivot;                     ///< Copied from the spec.
 };
 
 /// Run the full cross product on the pool. Deterministic: rows land in
@@ -186,8 +275,23 @@ ExperimentResult runExperiment(const ExperimentSpec& spec,
                                const RunOptions& options = {});
 
 /// Digest of the study-relevant inputs (base config, axes, budget); stable
-/// across runs and thread counts, recorded in the JSON document.
+/// across runs and thread counts, recorded in the JSON document and keyed
+/// against by the tracked baseline store (core/baseline).
 std::string configDigest(const ExperimentSpec& spec, const RunOptions& options);
+
+/// ---- process-wide study cache --------------------------------------------
+
+/// The study-dedup cache is process-wide: AttackStudy instances built by any
+/// runExperiment() call are kept (keyed by StudyConfig::operator==) and
+/// shared with every later run in the process, so `nh_sweep run-all` and
+/// `check --all` batch related experiments against one warm study set
+/// instead of re-running the expensive FEM-alpha extraction per experiment.
+
+/// Number of studies currently cached.
+std::size_t studyCacheSize();
+
+/// Drop every cached study (tests; also frees memory after a run-all).
+void clearStudyCache();
 
 /// ---- result sink ---------------------------------------------------------
 
@@ -203,15 +307,32 @@ inline void printBanner(const ExperimentSpec& spec) {
   printBanner(spec.title, spec.description, spec.paperShape);
 }
 
-/// ASCII rendering (title, formatted columns, notes).
+/// ASCII rendering (title, formatted columns, notes). Shaped results render
+/// as several tables: the main table (scalar columns; trace columns expand
+/// to decimated sample lines), one grid per matrix cell, and the pivoted
+/// grid when the spec asks for one. The first table carries the notes.
+std::vector<nh::util::AsciiTable> toAsciiTables(const ExperimentResult& result);
+
+/// The main (first) table of toAsciiTables -- the whole rendering for
+/// scalar-only results.
 nh::util::AsciiTable toAsciiTable(const ExperimentResult& result);
 
-/// CSV series (machine column names, formatDouble numbers).
+/// CSV series (machine column names, formatDouble numbers). Shaped results
+/// emit long form: each point expands to one line per trace sample (with a
+/// leading "sample" index column) or per matrix entry (leading "row"/"col"
+/// columns), scalar cells repeated on every line. Trace and matrix columns
+/// cannot mix in one experiment.
 nh::util::CsvTable toCsvTable(const ExperimentResult& result);
 
 /// Machine-readable JSON document: experiment name, config digest, axes,
-/// columns, rows, notes, thread count, fast flag, build type.
+/// columns (+ shapes), rows, notes, thread count, fast flag, build type.
+/// Shaped cells are encoded as {"shape":"trace","values":[...]} /
+/// {"shape":"matrix","rows":R,"cols":C,"values":[...]}.
 std::string toJson(const ExperimentResult& result);
+
+/// Append one cell to \p w using the shaped-cell encoding shared by the
+/// result JSON and the baseline store (core/baseline reads it back).
+void writeCellJson(nh::util::JsonWriter& w, const ResultValue& cell);
 
 /// Write <name>.csv and <name>.json into \p dir (created when missing).
 struct EmittedFiles {

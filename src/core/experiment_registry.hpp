@@ -37,4 +37,12 @@ ExperimentSpec makeExperiment(const std::string& name);
 void registerExperiment(std::string name, std::string summary,
                         std::function<ExperimentSpec()> factory);
 
+/// Self-documenting registry: render the whole catalog as Markdown -- one
+/// section per experiment with its axes (values, fast subsets, whether they
+/// touch the study config), result columns (shape, baseline tolerance),
+/// budgets, and the fast-mode config digest. `nh_sweep describe --markdown`
+/// emits it; docs/experiments.md is this output checked in, and CI fails
+/// when the two drift apart.
+std::string registryMarkdown();
+
 }  // namespace nh::core

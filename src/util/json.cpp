@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 
 #include "util/csv.hpp"
@@ -153,6 +154,280 @@ void JsonWriter::pop(Scope scope, char close) {
   out_ += close;
   stack_.pop_back();
   hasItems_.pop_back();
+}
+
+// ---- reader ----------------------------------------------------------------
+
+bool JsonValue::asBool() const {
+  if (type_ != Type::Bool) throw std::runtime_error("JsonValue: not a bool");
+  return bool_;
+}
+
+double JsonValue::asNumber() const {
+  if (type_ != Type::Number) {
+    throw std::runtime_error("JsonValue: not a number");
+  }
+  return number_;
+}
+
+const std::string& JsonValue::asString() const {
+  if (type_ != Type::String) {
+    throw std::runtime_error("JsonValue: not a string");
+  }
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  if (type_ != Type::Array) throw std::runtime_error("JsonValue: not an array");
+  return items_;
+}
+
+const std::vector<JsonValue::Member>& JsonValue::members() const {
+  if (type_ != Type::Object) {
+    throw std::runtime_error("JsonValue: not an object");
+  }
+  return members_;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  for (const auto& [name, value] : members()) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  if (const JsonValue* value = find(key)) return *value;
+  throw std::runtime_error("JsonValue: missing key '" + key + "'");
+}
+
+std::size_t JsonValue::size() const {
+  if (type_ == Type::Array) return items_.size();
+  if (type_ == Type::Object) return members_.size();
+  return 0;
+}
+
+/// Strict recursive-descent parser over the input string.
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue run() {
+    JsonValue value = parseValue(0);
+    skipWhitespace();
+    if (pos_ != text_.size()) fail("trailing characters after the document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("JSON parse error at offset " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  void skipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consumeLiteral(const char* literal) {
+    const std::size_t n = std::char_traits<char>::length(literal);
+    if (text_.compare(pos_, n, literal) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  /// Appends the UTF-8 encoding of \p codepoint to \p out.
+  void appendUtf8(unsigned long codepoint, std::string& out) {
+    if (codepoint < 0x80) {
+      out += static_cast<char>(codepoint);
+    } else if (codepoint < 0x800) {
+      out += static_cast<char>(0xc0 | (codepoint >> 6));
+      out += static_cast<char>(0x80 | (codepoint & 0x3f));
+    } else if (codepoint < 0x10000) {
+      out += static_cast<char>(0xe0 | (codepoint >> 12));
+      out += static_cast<char>(0x80 | ((codepoint >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (codepoint & 0x3f));
+    } else {
+      out += static_cast<char>(0xf0 | (codepoint >> 18));
+      out += static_cast<char>(0x80 | ((codepoint >> 12) & 0x3f));
+      out += static_cast<char>(0x80 | ((codepoint >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (codepoint & 0x3f));
+    }
+  }
+
+  unsigned long parseHex4() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    unsigned long value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') value |= static_cast<unsigned long>(c - '0');
+      else if (c >= 'a' && c <= 'f') value |= static_cast<unsigned long>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') value |= static_cast<unsigned long>(c - 'A' + 10);
+      else fail("bad hex digit in \\u escape");
+    }
+    return value;
+  }
+
+  std::string parseString() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("truncated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned long codepoint = parseHex4();
+          if (codepoint >= 0xd800 && codepoint <= 0xdbff) {
+            // Surrogate pair: a second \uXXXX must follow.
+            if (!consumeLiteral("\\u")) fail("lone high surrogate");
+            const unsigned long low = parseHex4();
+            if (low < 0xdc00 || low > 0xdfff) fail("bad low surrogate");
+            codepoint = 0x10000 + ((codepoint - 0xd800) << 10) + (low - 0xdc00);
+          } else if (codepoint >= 0xdc00 && codepoint <= 0xdfff) {
+            fail("lone low surrogate");
+          }
+          appendUtf8(codepoint, out);
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue parseNumber() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+          c == '+' || c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double number = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || token.empty()) {
+      pos_ = start;
+      fail("malformed number");
+    }
+    JsonValue value;
+    value.type_ = JsonValue::Type::Number;
+    value.number_ = number;
+    return value;
+  }
+
+  JsonValue parseValue(int depth) {
+    if (depth > 128) fail("nesting too deep");
+    skipWhitespace();
+    const char c = peek();
+    JsonValue value;
+    if (c == '{') {
+      ++pos_;
+      value.type_ = JsonValue::Type::Object;
+      skipWhitespace();
+      if (peek() == '}') {
+        ++pos_;
+        return value;
+      }
+      while (true) {
+        skipWhitespace();
+        std::string key = parseString();
+        skipWhitespace();
+        expect(':');
+        JsonValue member = parseValue(depth + 1);
+        if (!value.find(key)) {
+          value.members_.emplace_back(std::move(key), std::move(member));
+        }
+        skipWhitespace();
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect('}');
+        return value;
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      value.type_ = JsonValue::Type::Array;
+      skipWhitespace();
+      if (peek() == ']') {
+        ++pos_;
+        return value;
+      }
+      while (true) {
+        value.items_.push_back(parseValue(depth + 1));
+        skipWhitespace();
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect(']');
+        return value;
+      }
+    }
+    if (c == '"') {
+      value.type_ = JsonValue::Type::String;
+      value.string_ = parseString();
+      return value;
+    }
+    if (consumeLiteral("null")) return value;
+    if (consumeLiteral("true")) {
+      value.type_ = JsonValue::Type::Bool;
+      value.bool_ = true;
+      return value;
+    }
+    if (consumeLiteral("false")) {
+      value.type_ = JsonValue::Type::Bool;
+      value.bool_ = false;
+      return value;
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) return parseNumber();
+    fail("unexpected character");
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+JsonValue JsonValue::parse(const std::string& text) {
+  return JsonParser(text).run();
 }
 
 }  // namespace nh::util

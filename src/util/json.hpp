@@ -1,12 +1,14 @@
 #pragma once
 /// \file json.hpp
-/// Minimal streaming JSON writer for the machine-readable experiment
-/// results (core/experiment). Emits a compact, valid document with correct
-/// string escaping and round-trippable numbers; no reader -- downstream
-/// tooling (Python, jq) parses the files.
+/// Minimal JSON layer for the machine-readable experiment results
+/// (core/experiment) and the tracked baseline store (core/baseline): a
+/// streaming writer with correct string escaping and round-trippable
+/// numbers, plus a small strict parser (JsonValue) so `nh_sweep check` can
+/// read baseline documents back without external dependencies.
 
 #include <cstddef>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace nh::util {
@@ -61,6 +63,47 @@ class JsonWriter {
   std::vector<Scope> stack_;
   std::vector<bool> hasItems_;
   bool keyPending_ = false;
+};
+
+/// Parsed JSON document (the reader side of JsonWriter). Strict recursive-
+/// descent parser: one top-level value, no trailing garbage, no comments;
+/// malformed input throws std::runtime_error naming the byte offset.
+/// Object members keep document order; duplicate keys keep the first.
+class JsonValue {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+  using Member = std::pair<std::string, JsonValue>;
+
+  JsonValue() = default;  ///< null
+
+  Type type() const { return type_; }
+  bool isNull() const { return type_ == Type::Null; }
+
+  /// Typed accessors; throw std::runtime_error on a type mismatch.
+  bool asBool() const;
+  double asNumber() const;
+  const std::string& asString() const;
+  const std::vector<JsonValue>& items() const;    ///< Array elements.
+  const std::vector<Member>& members() const;     ///< Object members.
+
+  /// Object member lookup: nullptr / throws std::runtime_error when absent.
+  const JsonValue* find(const std::string& key) const;
+  const JsonValue& at(const std::string& key) const;
+
+  /// Array element count / object member count; 0 for scalars.
+  std::size_t size() const;
+
+  static JsonValue parse(const std::string& text);
+
+ private:
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<Member> members_;
+
+  friend class JsonParser;
 };
 
 }  // namespace nh::util

@@ -1,0 +1,247 @@
+#include "core/baseline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace nh::core {
+namespace {
+
+using Shape = ColumnSpec::Shape;
+using Tol = ColumnSpec::Tolerance;
+
+std::filesystem::path testDir() {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "nh_baseline_test" /
+                   ::testing::UnitTest::GetInstance()->current_test_info()->name();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// Synthetic result exercising every cell shape and tolerance mode.
+ExperimentResult makeResult() {
+  ExperimentResult result;
+  result.name = "baseline_test";
+  result.configDigest = "00000000deadbeef";
+  result.fast = true;
+  result.maxPulses = 1000;
+  result.axes = {{"x", {1.0, 2.0}}};
+  result.columns = {
+      {"id", "", {}},                                    // exact
+      {"value", "", {}, Shape::Scalar, Tol{0.10, 0.0, false}},  // rel 10%
+      {"label", "", {}},                                 // text, exact
+      {"trace", "", {}, Shape::Trace, Tol{0.0, 0.5, false}},    // abs 0.5
+      {"mat", "", {}, Shape::Matrix, Tol{}},             // exact
+      {"wall", "", {}, Shape::Scalar, Tol{0.0, 0.0, true}},     // ignored
+  };
+  result.rows = {
+      {ResultValue::num(1.0), ResultValue::num(100.0), ResultValue::str("a"),
+       ResultValue::trace({1.0, 2.0, 3.0}),
+       ResultValue::matrix(2, 2, {1.0, 2.0, 3.0, 4.0}), ResultValue::num(0.5)},
+      {ResultValue::num(2.0), ResultValue::num(-50.0), ResultValue::str("b"),
+       ResultValue::trace({4.0, 5.0}),
+       ResultValue::matrix(2, 2, {5.0, 6.0, 7.0, 8.0}), ResultValue::num(0.7)},
+  };
+  result.pointValues = {{1.0}, {2.0}};
+  return result;
+}
+
+TEST(Baseline, RecordThenCheckMatchesIncludingShapedCells) {
+  const auto dir = testDir();
+  const ExperimentResult result = makeResult();
+  const auto path = writeBaseline(result, dir);
+  EXPECT_TRUE(std::filesystem::exists(path));
+
+  // The round trip through JsonWriter -> file -> JsonValue must reproduce
+  // every cell, traces and matrices included.
+  const BaselineCheck check = checkBaseline(result, dir);
+  EXPECT_TRUE(check.passed()) << check.message;
+  EXPECT_EQ(check.status, BaselineCheck::Status::Match);
+  EXPECT_TRUE(check.diffs.empty());
+}
+
+TEST(Baseline, MissingBaselineReportsMissing) {
+  const BaselineCheck check = checkBaseline(makeResult(), testDir());
+  EXPECT_EQ(check.status, BaselineCheck::Status::Missing);
+  EXPECT_NE(check.message.find("nh_sweep record"), std::string::npos);
+}
+
+TEST(Baseline, DigestDriftFailsBeforeAnyValueComparison) {
+  const auto dir = testDir();
+  writeBaseline(makeResult(), dir);
+  ExperimentResult drifted = makeResult();
+  drifted.configDigest = "ffffffffffffffff";
+  // Even bit-identical rows must not pass under a drifted digest: the
+  // config changed, so the baseline needs a conscious re-record.
+  const BaselineCheck check = checkBaseline(drifted, dir);
+  EXPECT_EQ(check.status, BaselineCheck::Status::DigestMismatch);
+  EXPECT_EQ(check.expectedDigest, "00000000deadbeef");
+  EXPECT_EQ(check.actualDigest, "ffffffffffffffff");
+}
+
+TEST(Baseline, ToleranceEdgesExactWithinAndBeyond) {
+  const auto dir = testDir();
+  writeBaseline(makeResult(), dir);
+
+  // Exactly equal: passes (trivially).
+  EXPECT_TRUE(checkBaseline(makeResult(), dir).passed());
+
+  // value has rel 0.10: 100 -> 110 sits exactly on the edge (<=), passes.
+  ExperimentResult onEdge = makeResult();
+  onEdge.rows[0][1] = ResultValue::num(110.0);
+  EXPECT_TRUE(checkBaseline(onEdge, dir).passed());
+
+  // 100 -> 110.5 is beyond the edge: ValueMismatch naming the cell.
+  ExperimentResult beyond = makeResult();
+  beyond.rows[0][1] = ResultValue::num(110.5);
+  const BaselineCheck check = checkBaseline(beyond, dir);
+  EXPECT_EQ(check.status, BaselineCheck::Status::ValueMismatch);
+  ASSERT_EQ(check.diffs.size(), 1u);
+  EXPECT_EQ(check.diffs[0].row, 0u);
+  EXPECT_EQ(check.diffs[0].column, "value");
+
+  // Negative expected values tolerate symmetrically: -50 -> -45 passes,
+  // -50 -> -44 fails.
+  ExperimentResult negative = makeResult();
+  negative.rows[1][1] = ResultValue::num(-45.0);
+  EXPECT_TRUE(checkBaseline(negative, dir).passed());
+  negative.rows[1][1] = ResultValue::num(-44.0);
+  EXPECT_FALSE(checkBaseline(negative, dir).passed());
+}
+
+TEST(Baseline, TraceElementsCompareElementWiseWithAbsTolerance) {
+  const auto dir = testDir();
+  writeBaseline(makeResult(), dir);
+
+  // trace has abs 0.5: +0.5 on one element passes, +0.51 fails and the
+  // diff names the element index.
+  ExperimentResult within = makeResult();
+  within.rows[0][3] = ResultValue::trace({1.0, 2.5, 3.0});
+  EXPECT_TRUE(checkBaseline(within, dir).passed());
+
+  ExperimentResult beyond = makeResult();
+  beyond.rows[0][3] = ResultValue::trace({1.0, 2.51, 3.0});
+  const BaselineCheck check = checkBaseline(beyond, dir);
+  EXPECT_EQ(check.status, BaselineCheck::Status::ValueMismatch);
+  ASSERT_EQ(check.diffs.size(), 1u);
+  EXPECT_EQ(check.diffs[0].column, "trace");
+  EXPECT_EQ(check.diffs[0].element, 1u);
+
+  // A length change is a dimension diff, not an element-wise flood.
+  ExperimentResult shorter = makeResult();
+  shorter.rows[0][3] = ResultValue::trace({1.0, 2.0});
+  const BaselineCheck dims = checkBaseline(shorter, dir);
+  EXPECT_EQ(dims.status, BaselineCheck::Status::ValueMismatch);
+  ASSERT_EQ(dims.diffs.size(), 1u);
+  EXPECT_NE(dims.diffs[0].what.find("dimensions"), std::string::npos);
+}
+
+TEST(Baseline, MatrixCellsCompareExactlyAndDimsAreChecked) {
+  const auto dir = testDir();
+  writeBaseline(makeResult(), dir);
+
+  ExperimentResult changed = makeResult();
+  changed.rows[1][4] = ResultValue::matrix(2, 2, {5.0, 6.0, 7.0, 8.5});
+  const BaselineCheck check = checkBaseline(changed, dir);
+  EXPECT_EQ(check.status, BaselineCheck::Status::ValueMismatch);
+  ASSERT_EQ(check.diffs.size(), 1u);
+  EXPECT_EQ(check.diffs[0].row, 1u);
+  EXPECT_EQ(check.diffs[0].element, 3u);
+
+  ExperimentResult reshaped = makeResult();
+  reshaped.rows[1][4] = ResultValue::matrix(4, 1, {5.0, 6.0, 7.0, 8.0});
+  EXPECT_FALSE(checkBaseline(reshaped, dir).passed());
+}
+
+TEST(Baseline, IgnoredColumnsAndTextChanges) {
+  const auto dir = testDir();
+  writeBaseline(makeResult(), dir);
+
+  // wall is ignore=true: any change passes (wall-clock is not reproducible).
+  ExperimentResult wall = makeResult();
+  wall.rows[0][5] = ResultValue::num(123.0);
+  EXPECT_TRUE(checkBaseline(wall, dir).passed());
+
+  // Text cells compare exactly.
+  ExperimentResult text = makeResult();
+  text.rows[0][2] = ResultValue::str("changed");
+  const BaselineCheck check = checkBaseline(text, dir);
+  EXPECT_EQ(check.status, BaselineCheck::Status::ValueMismatch);
+  ASSERT_EQ(check.diffs.size(), 1u);
+  EXPECT_EQ(check.diffs[0].expected, "a");
+  EXPECT_EQ(check.diffs[0].actual, "changed");
+
+  // A number replacing a text placeholder (or vice versa) is a kind change.
+  ExperimentResult kind = makeResult();
+  kind.rows[0][2] = ResultValue::num(1.0);
+  EXPECT_FALSE(checkBaseline(kind, dir).passed());
+}
+
+TEST(Baseline, RowCountAndColumnChangesAreShapeMismatches) {
+  const auto dir = testDir();
+  writeBaseline(makeResult(), dir);
+
+  ExperimentResult fewer = makeResult();
+  fewer.rows.pop_back();
+  EXPECT_EQ(checkBaseline(fewer, dir).status,
+            BaselineCheck::Status::ShapeMismatch);
+
+  ExperimentResult renamed = makeResult();
+  renamed.columns[1].name = "renamed";
+  EXPECT_EQ(checkBaseline(renamed, dir).status,
+            BaselineCheck::Status::ShapeMismatch);
+
+  ExperimentResult reshaped = makeResult();
+  reshaped.columns[3].shape = Shape::Matrix;
+  EXPECT_EQ(checkBaseline(reshaped, dir).status,
+            BaselineCheck::Status::ShapeMismatch);
+}
+
+TEST(Baseline, DiffJsonIsParseableAndNamesTheCells) {
+  const auto dir = testDir();
+  writeBaseline(makeResult(), dir);
+  ExperimentResult beyond = makeResult();
+  beyond.rows[0][1] = ResultValue::num(200.0);
+  const BaselineCheck check = checkBaseline(beyond, dir);
+  ASSERT_FALSE(check.passed());
+
+  const nh::util::JsonValue doc =
+      nh::util::JsonValue::parse(diffJson(beyond, check));
+  EXPECT_EQ(doc.at("experiment").asString(), "baseline_test");
+  EXPECT_EQ(doc.at("status").asString(), "value_mismatch");
+  ASSERT_EQ(doc.at("diffs").size(), 1u);
+  EXPECT_EQ(doc.at("diffs").items()[0].at("column").asString(), "value");
+  EXPECT_EQ(doc.at("diffs").items()[0].at("row").asNumber(), 0.0);
+}
+
+TEST(Baseline, RefusesToRecordNonFiniteCells) {
+  // JsonWriter emits NaN/Inf as null, which no later check could read
+  // back -- record must fail loudly instead of poisoning the store.
+  const auto dir = testDir();
+  ExperimentResult nan = makeResult();
+  nan.rows[0][1] = ResultValue::num(std::nan(""));
+  EXPECT_THROW(writeBaseline(nan, dir), std::runtime_error);
+
+  ExperimentResult inf = makeResult();
+  inf.rows[0][3] = ResultValue::trace({1.0, INFINITY, 3.0});
+  EXPECT_THROW(writeBaseline(inf, dir), std::runtime_error);
+}
+
+TEST(Baseline, WithinToleranceHelperEdges) {
+  EXPECT_TRUE(withinTolerance(100.0, 100.0, Tol{}));          // exact
+  EXPECT_FALSE(withinTolerance(100.0, 100.0001, Tol{}));      // exact means exact
+  EXPECT_TRUE(withinTolerance(100.0, 105.0, Tol{0.05, 0.0, false}));
+  EXPECT_FALSE(withinTolerance(100.0, 105.1, Tol{0.05, 0.0, false}));
+  EXPECT_TRUE(withinTolerance(0.0, 1.5, Tol{0.0, 1.5, false}));
+  EXPECT_FALSE(withinTolerance(0.0, 1.6, Tol{0.0, 1.5, false}));
+  EXPECT_TRUE(withinTolerance(1.0, 9999.0, Tol{0.0, 0.0, true}));  // ignored
+}
+
+}  // namespace
+}  // namespace nh::core

@@ -114,6 +114,23 @@ TEST(ExperimentEngine, AxisOverrideReplacesValuesAndUnknownAxisThrows) {
   EXPECT_THROW(runExperiment(echoSpec(), empty), std::invalid_argument);
 }
 
+/// The CLI surfaces this message verbatim: a mistyped --set axis must name
+/// every valid axis, not leave the user guessing (and must never be
+/// silently ignored).
+TEST(ExperimentEngine, UnknownAxisErrorListsTheValidAxes) {
+  RunOptions bad;
+  bad.axisOverrides["no_such_axis"] = {1.0};
+  try {
+    runExperiment(echoSpec(), bad);
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no_such_axis"), std::string::npos);
+    EXPECT_NE(what.find("outer"), std::string::npos);
+    EXPECT_NE(what.find("inner"), std::string::npos);
+  }
+}
+
 TEST(ExperimentEngine, FastModeUsesAxisSubsetsAndShrunkBudget) {
   ExperimentSpec spec = echoSpec();
   spec.axes[1].fastValues = {20.0};
@@ -191,6 +208,7 @@ ExperimentSpec attackGridSpec() {
 }
 
 TEST(ExperimentEngine, TwoAxisGridConstructsOneStudyPerUniqueConfig) {
+  clearStudyCache();  // cold start: earlier tests may have warmed the cache
   const std::size_t before = AttackStudy::constructionCount();
   const ExperimentResult result = runExperiment(attackGridSpec(), {});
   const std::size_t built = AttackStudy::constructionCount() - before;
@@ -200,9 +218,30 @@ TEST(ExperimentEngine, TwoAxisGridConstructsOneStudyPerUniqueConfig) {
   ASSERT_EQ(result.rows.size(), 4u);
   EXPECT_EQ(built, 2u);
   EXPECT_EQ(result.studiesConstructed, 2u);
+  EXPECT_EQ(result.studiesReused, 0u);
   for (const auto& row : result.rows) {
     EXPECT_EQ(row[3].number, 1.0) << "point did not flip within budget";
   }
+}
+
+/// The study cache is process-wide: a second run of the same grid (and any
+/// other experiment sharing a config) must construct zero new studies and
+/// still return bit-identical rows.
+TEST(ExperimentEngine, ProcessWideCacheServesRepeatRunsWarm) {
+  clearStudyCache();
+  const ExperimentResult cold = runExperiment(attackGridSpec(), {});
+  EXPECT_EQ(cold.studiesReused, 0u);
+  EXPECT_EQ(studyCacheSize(), 2u);
+
+  const std::size_t before = AttackStudy::constructionCount();
+  const ExperimentResult warm = runExperiment(attackGridSpec(), {});
+  EXPECT_EQ(AttackStudy::constructionCount(), before) << "cache missed";
+  EXPECT_EQ(warm.studiesConstructed, 2u);
+  EXPECT_EQ(warm.studiesReused, 2u);
+  EXPECT_EQ(warm.rows, cold.rows);
+
+  clearStudyCache();
+  EXPECT_EQ(studyCacheSize(), 0u);
 }
 
 TEST(ExperimentEngine, SerialAndParallelRunsAreBitIdentical) {
@@ -216,6 +255,132 @@ TEST(ExperimentEngine, SerialAndParallelRunsAreBitIdentical) {
   EXPECT_EQ(a.rows, b.rows);  // ResultValue::operator== is exact
   EXPECT_EQ(a.pointValues, b.pointValues);
   EXPECT_EQ(a.configDigest, b.configDigest);
+}
+
+/// ---- shaped results (trace / matrix / pivot) -----------------------------
+
+/// One-axis spec whose rows carry a scalar, a trace, and nothing else.
+ExperimentSpec traceSpec() {
+  ExperimentSpec spec;
+  spec.name = "trace_echo";
+  spec.buildStudies = false;
+  spec.axes = {{"x", {1.0, 2.0}, {}, {}}};
+  spec.columns = {{"x", "", {}},
+                  {"series", "", {}, ColumnSpec::Shape::Trace}};
+  spec.run = [](const PointContext& ctx) {
+    const double x = ctx.value("x");
+    return std::vector<ResultValue>{
+        ResultValue::num(x), ResultValue::trace({x, 10.0 * x, 100.0 * x})};
+  };
+  return spec;
+}
+
+ExperimentSpec matrixSpec() {
+  ExperimentSpec spec;
+  spec.name = "matrix_echo";
+  spec.buildStudies = false;
+  spec.axes = {{"x", {3.0}, {}, {}}};
+  spec.columns = {{"x", "", {}},
+                  {"grid", "", {}, ColumnSpec::Shape::Matrix}};
+  spec.run = [](const PointContext& ctx) {
+    const double x = ctx.value("x");
+    return std::vector<ResultValue>{
+        ResultValue::num(x),
+        ResultValue::matrix(2, 3, {x, x + 1, x + 2, x + 3, x + 4, x + 5})};
+  };
+  return spec;
+}
+
+TEST(ShapedResults, TraceRowsExpandToLongFormCsv) {
+  const ExperimentResult result = runExperiment(traceSpec(), {});
+  const auto csv = toCsvTable(result);
+  // 2 points x 3 samples, with a leading sample index column; the scalar
+  // cell repeats on every expanded line.
+  ASSERT_EQ(csv.rowCount(), 6u);
+  EXPECT_EQ(csv.header()[0], "sample");
+  EXPECT_EQ(csv.header()[2], "series");
+  EXPECT_EQ(csv.cellAsDouble(0, 0), 0.0);
+  EXPECT_EQ(csv.cellAsDouble(2, 0), 2.0);
+  EXPECT_EQ(csv.cellAsDouble(2, 1), 1.0);   // scalar repeated
+  EXPECT_EQ(csv.cellAsDouble(2, 2), 100.0); // third sample of the first point
+  EXPECT_EQ(csv.cellAsDouble(5, 2), 200.0);
+}
+
+TEST(ShapedResults, MatrixRowsExpandWithRowColIndexColumns) {
+  const ExperimentResult result = runExperiment(matrixSpec(), {});
+  const auto csv = toCsvTable(result);
+  ASSERT_EQ(csv.rowCount(), 6u);  // one 2x3 matrix
+  EXPECT_EQ(csv.header()[0], "row");
+  EXPECT_EQ(csv.header()[1], "col");
+  EXPECT_EQ(csv.cellAsDouble(4, 0), 1.0);  // element 4 -> (1, 1)
+  EXPECT_EQ(csv.cellAsDouble(4, 1), 1.0);
+  EXPECT_EQ(csv.cellAsDouble(4, 3), 7.0);  // 3 + 4
+}
+
+TEST(ShapedResults, JsonEncodesShapedCellsAndShapes) {
+  const std::string traceJson = toJson(runExperiment(traceSpec(), {}));
+  EXPECT_NE(traceJson.find("\"column_shapes\":[\"scalar\",\"trace\"]"),
+            std::string::npos);
+  EXPECT_NE(traceJson.find("{\"shape\":\"trace\",\"values\":[1,10,100]}"),
+            std::string::npos);
+
+  const std::string matrixJson = toJson(runExperiment(matrixSpec(), {}));
+  EXPECT_NE(matrixJson.find("{\"shape\":\"matrix\",\"rows\":2,\"cols\":3,"
+                            "\"values\":[3,4,5,6,7,8]}"),
+            std::string::npos);
+}
+
+TEST(ShapedResults, AsciiRendersTraceLinesAndMatrixGrids) {
+  const auto traceTables = toAsciiTables(runExperiment(traceSpec(), {}));
+  ASSERT_EQ(traceTables.size(), 1u);
+  const std::string traceAscii = traceTables[0].render();
+  EXPECT_NE(traceAscii.find("100"), std::string::npos);
+
+  const auto matrixTables = toAsciiTables(runExperiment(matrixSpec(), {}));
+  // Main table (scalar column) + one grid per matrix cell.
+  ASSERT_EQ(matrixTables.size(), 2u);
+  const std::string grid = matrixTables[1].render();
+  EXPECT_NE(grid.find("row\\col"), std::string::npos);
+  EXPECT_NE(grid.find("8"), std::string::npos);
+}
+
+TEST(ShapedResults, ShapeMismatchedCellThrows) {
+  ExperimentSpec spec = traceSpec();
+  spec.run = [](const PointContext& ctx) {
+    // Scalar where the column declares Trace.
+    return std::vector<ResultValue>{ResultValue::num(ctx.value("x")),
+                                    ResultValue::num(0.0)};
+  };
+  RunOptions options;
+  options.threads = 1;
+  EXPECT_THROW(runExperiment(spec, options), std::runtime_error);
+
+  // Text placeholders are allowed in shaped columns ("-" convention).
+  ExperimentSpec placeholder = traceSpec();
+  placeholder.run = [](const PointContext& ctx) {
+    return std::vector<ResultValue>{ResultValue::num(ctx.value("x")),
+                                    ResultValue::str("-")};
+  };
+  EXPECT_EQ(runExperiment(placeholder, options).rows.size(), 2u);
+}
+
+TEST(ShapedResults, PivotRendersARowByColumnGrid) {
+  ExperimentSpec spec = echoSpec();
+  spec.pivot.rowAxis = "outer";
+  spec.pivot.colAxis = "inner";
+  spec.pivot.valueColumn = "index";
+  spec.pivot.title = "pivoted";
+  const auto tables = toAsciiTables(runExperiment(spec, {}));
+  ASSERT_EQ(tables.size(), 2u);  // main + pivot
+  const std::string pivot = tables[1].render();
+  EXPECT_NE(pivot.find("outer \\ inner"), std::string::npos);
+  EXPECT_NE(pivot.find("pivoted"), std::string::npos);
+
+  ExperimentSpec bad = echoSpec();
+  bad.pivot.rowAxis = "outer";
+  bad.pivot.colAxis = "no_such_axis";
+  bad.pivot.valueColumn = "index";
+  EXPECT_THROW(toAsciiTables(runExperiment(bad, {})), std::logic_error);
 }
 
 TEST(ExperimentEngine, ResultSinkEmitsConsistentAsciiCsvJson) {

@@ -2,16 +2,19 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <set>
 #include <stdexcept>
 #include <string>
+
+#include "core/baseline.hpp"
 
 namespace nh::core {
 namespace {
 
 TEST(ExperimentRegistry, CatalogCoversThePaperEvaluation) {
   const auto entries = registeredExperiments();
-  EXPECT_GE(entries.size(), 12u);
+  EXPECT_GE(entries.size(), 17u);
 
   std::set<std::string> names;
   for (const auto& e : entries) {
@@ -21,8 +24,9 @@ TEST(ExperimentRegistry, CatalogCoversThePaperEvaluation) {
   EXPECT_EQ(names.size(), entries.size()) << "duplicate registrations";
 
   for (const char* required :
-       {"fig3a_pulse_length", "fig3b_electrode_spacing",
-        "fig3c_ambient_temperature", "fig3d_attack_patterns",
+       {"fig1_mechanics_trace", "fig2a_thermal_matrix", "fig3a_pulse_length",
+        "fig3b_electrode_spacing", "fig3c_ambient_temperature",
+        "fig3d_attack_patterns", "kinetics_landscape",
         "ablation_alpha_truncation", "ablation_batching",
         "ablation_hammer_amplitude", "ablation_scheme_defense",
         "ablation_thermal_tau", "ablation_variability",
@@ -63,7 +67,51 @@ TEST(ExperimentRegistry, EverySpecIsWellFormed) {
     EXPECT_FALSE(spec.columns.empty()) << entry.name;
     EXPECT_TRUE(static_cast<bool>(spec.run)) << entry.name;
     EXPECT_GT(spec.maxPulses, 0u) << entry.name;
+    // Trace and matrix columns cannot mix in one spec (the CSV long-form
+    // expansion has no joint encoding for them).
+    bool anyTrace = false;
+    bool anyMatrix = false;
+    for (const auto& col : spec.columns) {
+      anyTrace = anyTrace || col.shape == ColumnSpec::Shape::Trace;
+      anyMatrix = anyMatrix || col.shape == ColumnSpec::Shape::Matrix;
+    }
+    EXPECT_FALSE(anyTrace && anyMatrix) << entry.name;
+    // A pivot must name real axes and a real scalar column.
+    if (spec.pivot.enabled()) {
+      const auto axisExists = [&](const std::string& name) {
+        for (const auto& axis : spec.axes) {
+          if (axis.name == name) return true;
+        }
+        return false;
+      };
+      EXPECT_TRUE(axisExists(spec.pivot.rowAxis)) << entry.name;
+      EXPECT_TRUE(axisExists(spec.pivot.colAxis)) << entry.name;
+      bool columnExists = false;
+      for (const auto& col : spec.columns) {
+        columnExists = columnExists || col.name == spec.pivot.valueColumn;
+      }
+      EXPECT_TRUE(columnExists) << entry.name;
+    }
   }
+}
+
+/// The self-documenting catalog must cover every registered experiment and
+/// stay regenerable: docs/experiments.md is this string checked in, and CI
+/// diffs the two.
+TEST(ExperimentRegistry, MarkdownCatalogCoversEveryExperiment) {
+  const std::string md = registryMarkdown();
+  EXPECT_NE(md.find("AUTO-GENERATED"), std::string::npos);
+  for (const auto& entry : registeredExperiments()) {
+    EXPECT_NE(md.find("\n## " + entry.name + "\n"), std::string::npos)
+        << entry.name;
+  }
+  // Deterministic: two renderings are byte-identical (the CI diff relies
+  // on it).
+  EXPECT_EQ(md, registryMarkdown());
+  // Shape and tolerance vocabulary shows up (self-documenting columns).
+  EXPECT_NE(md.find("| trace |"), std::string::npos);
+  EXPECT_NE(md.find("| matrix |"), std::string::npos);
+  EXPECT_NE(md.find("Fast config digest"), std::string::npos);
 }
 
 /// The acceptance smoke: every registered experiment runs end to end in
@@ -90,16 +138,55 @@ TEST(ExperimentRegistry, EveryExperimentRunsInFastMode) {
     EXPECT_EQ(result.configDigest.size(), 16u);
 
     const auto csv = toCsvTable(result);
-    EXPECT_EQ(csv.rowCount(), result.rows.size());
-    EXPECT_EQ(csv.columnCount(), result.columns.size());
+    bool shaped = false;
+    for (const auto& col : result.columns) {
+      shaped = shaped || col.shape != ColumnSpec::Shape::Scalar;
+    }
+    if (shaped) {
+      // Long-form expansion: index columns in front, one line per element.
+      EXPECT_GE(csv.rowCount(), result.rows.size());
+      EXPECT_GT(csv.columnCount(), result.columns.size());
+    } else {
+      EXPECT_EQ(csv.rowCount(), result.rows.size());
+      EXPECT_EQ(csv.columnCount(), result.columns.size());
+    }
 
     const std::string json = toJson(result);
     EXPECT_NE(json.find("\"experiment\":\"" + entry.name + "\""),
               std::string::npos);
 
     // The ASCII render applies every column formatter at least once.
-    EXPECT_FALSE(toAsciiTable(result).render().empty());
+    for (const auto& table : toAsciiTables(result)) {
+      EXPECT_FALSE(table.render().empty());
+    }
   }
+}
+
+/// End-to-end baseline round trip through a real registered experiment:
+/// record in a temp dir, re-run, check -- must match.
+TEST(ExperimentRegistry, KineticsLandscapeBaselineRoundTrips) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "nh_registry_baseline_test";
+  std::filesystem::remove_all(dir);
+  RunOptions options;
+  options.fast = true;
+  options.threads = 2;
+  const ExperimentSpec spec = makeExperiment("kinetics_landscape");
+  const ExperimentResult first = runExperiment(spec, options);
+  writeBaseline(first, dir);
+
+  const ExperimentResult second = runExperiment(spec, options);
+  const BaselineCheck check = checkBaseline(second, dir);
+  EXPECT_TRUE(check.passed()) << check.message;
+
+  // A perturbed result must fail with a named cell.
+  ExperimentResult broken = second;
+  broken.rows[0][2].number *= 2.0;  // t_set well past the 15% tolerance
+  const BaselineCheck fail = checkBaseline(broken, dir);
+  EXPECT_EQ(fail.status, BaselineCheck::Status::ValueMismatch);
+  ASSERT_FALSE(fail.diffs.empty());
+  EXPECT_EQ(fail.diffs[0].column, "t_set_s");
+  std::filesystem::remove_all(dir);
 }
 
 /// Cross-product determinism through the registry path: a real two-axis

@@ -63,6 +63,68 @@ TEST(JsonWriter, NumbersRoundTripAndNonFiniteIsNull) {
   EXPECT_EQ(jsonNumber(INFINITY), "null");
 }
 
+TEST(JsonReader, ParsesScalarsAndContainers) {
+  const JsonValue doc = JsonValue::parse(
+      R"({"name":"fig1","fast":true,"n":3,"x":1e-08,"none":null,)"
+      R"("list":[1,-2.5,"s"],"nested":{"k":[{}]}})");
+  EXPECT_EQ(doc.type(), JsonValue::Type::Object);
+  EXPECT_EQ(doc.at("name").asString(), "fig1");
+  EXPECT_TRUE(doc.at("fast").asBool());
+  EXPECT_EQ(doc.at("n").asNumber(), 3.0);
+  EXPECT_EQ(doc.at("x").asNumber(), 1e-8);
+  EXPECT_TRUE(doc.at("none").isNull());
+  ASSERT_EQ(doc.at("list").size(), 3u);
+  EXPECT_EQ(doc.at("list").items()[1].asNumber(), -2.5);
+  EXPECT_EQ(doc.at("list").items()[2].asString(), "s");
+  EXPECT_EQ(doc.at("nested").at("k").items()[0].size(), 0u);
+  EXPECT_EQ(doc.find("absent"), nullptr);
+  EXPECT_THROW(doc.at("absent"), std::runtime_error);
+}
+
+TEST(JsonReader, DecodesStringEscapes) {
+  const JsonValue doc =
+      JsonValue::parse(R"(["a\"b\\c\nd\te", "Aé€"])");
+  EXPECT_EQ(doc.items()[0].asString(), "a\"b\\c\nd\te");
+  EXPECT_EQ(doc.items()[1].asString(), "A\xc3\xa9\xe2\x82\xac");
+}
+
+TEST(JsonReader, RejectsMalformedInput) {
+  EXPECT_THROW(JsonValue::parse(""), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("{"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("{\"a\":1} x"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("{'a':1}"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("[1 2]"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("nul"), std::runtime_error);
+}
+
+TEST(JsonReader, TypeMismatchThrows) {
+  const JsonValue doc = JsonValue::parse("[1]");
+  EXPECT_THROW(doc.asNumber(), std::runtime_error);
+  EXPECT_THROW(doc.members(), std::runtime_error);
+  EXPECT_THROW(doc.items()[0].asString(), std::runtime_error);
+}
+
+/// Writer output must parse back to the same values -- the contract the
+/// baseline store depends on (it writes with JsonWriter, reads with
+/// JsonValue).
+TEST(JsonReader, RoundTripsWriterOutput) {
+  JsonWriter w;
+  w.beginObject();
+  w.key("text").value("a\"b\\c\nd");
+  w.key("values").beginArray();
+  for (const double v : {1.0, -2.5e-7, 3.0000000000000004}) w.value(v);
+  w.endArray();
+  w.endObject();
+  const JsonValue doc = JsonValue::parse(w.str());
+  EXPECT_EQ(doc.at("text").asString(), "a\"b\\c\nd");
+  EXPECT_EQ(doc.at("values").items()[0].asNumber(), 1.0);
+  EXPECT_EQ(doc.at("values").items()[1].asNumber(), -2.5e-7);
+  // formatDouble precision 17 means even the last ulp survives the trip.
+  EXPECT_EQ(doc.at("values").items()[2].asNumber(), 3.0000000000000004);
+}
+
 TEST(JsonWriter, MisuseThrows) {
   {
     JsonWriter w;
