@@ -12,6 +12,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <cstdlib>
 #include <memory>
 #include <string>
@@ -462,6 +463,130 @@ BENCHMARK(BM_LineNetworkSolve)
     ->Args({64, 0})
     ->Args({64, 1})
     ->Unit(benchmark::kMicrosecond);
+
+/// The Schur backends head to head at real part sizes (arg0: array edge,
+/// arg1: 0 = seed dense complement, 1 = banded Thomas + dense complement,
+/// 2 = matrix-free Jacobi-CG). The dense complement is O(m^3) assembly +
+/// factorisation per Newton update; the CG path is O(m^2) per iteration
+/// with an iteration count that stays in the tens for these diagonally
+/// dominant networks -- the crossover is what makes the 1024x1024
+/// scaling_array_size row tractable, and the win is already decisive at
+/// 256x256.
+void BM_SchurLineSolveLarge(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  const int mode = static_cast<int>(state.range(1));
+  nh::util::Rng rng(7);
+  nh::util::Matrix g(m, m);
+  nh::util::Vector d1(m, 0.02), d2(m, 0.02);
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t c = 0; c < m; ++c) {
+      const double gc = std::pow(10.0, rng.uniform(-6.0, -3.0));
+      g(r, c) = gc;
+      d1[r] += gc;
+      d2[c] += gc;
+    }
+  }
+  nh::util::Vector residual(2 * m);
+  for (auto& v : residual) v = rng.uniform(-1e-3, 1e-3);
+
+  nh::util::SchurComplementSolver solver;
+  solver.options().mode = mode == 2 ? nh::util::SchurOptions::Mode::Iterative
+                                    : nh::util::SchurOptions::Mode::Dense;
+  const auto a1 = nh::util::TridiagonalView::diagonal(d1);
+  const auto a2 = nh::util::TridiagonalView::diagonal(d2);
+  nh::util::Vector x;
+  for (auto _ : state) {
+    const bool ok = mode == 0 ? solver.solve(d1, d2, g, residual, x)
+                              : solver.solveBanded(a1, a2, g, residual, x);
+    benchmark::DoNotOptimize(ok);
+    benchmark::DoNotOptimize(x);
+  }
+  if (mode == 2) {
+    state.counters["cg_iterations"] =
+        static_cast<double>(solver.lastIterative().iterations);
+  }
+  state.counters["rows"] = static_cast<double>(2 * m);
+}
+BENCHMARK(BM_SchurLineSolveLarge)
+    ->Args({64, 0})
+    ->Args({64, 2})
+    ->Args({256, 0})
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({512, 0})
+    ->Args({512, 2})
+    ->Unit(benchmark::kMillisecond);
+
+/// Full-array distributed-line MNA DC solve, dense vs sparse stamping
+/// (arg0: array edge m, arg1: 0 = dense jacobian + dense LU, 1 = triplet
+/// stamping + cached CSR + Gilbert-Peierls LU). The netlist mirrors
+/// xbar::SpiceCrossbar: every line is a chain of per-cell segments, the
+/// device at (r, c) bridges word segment (r, c) and bit segment (c, r) --
+/// ~2 m^2 unknowns with node degree <= 4, the genuinely sparse shape
+/// NewtonOptions::sparseMinUnknowns routes to the sparse backend. The dense
+/// arm's O(n^2) re-stamp + O(n^3) factorisation is the seed scaling wall:
+/// already at m = 32 (~2.2k unknowns) it loses by orders of magnitude, and
+/// a 256x256 netlist (~132k unknowns) would need a ~140 GB dense jacobian
+/// -- representable only by the sparse arm, which is the point.
+void BM_CrossbarDcMna(benchmark::State& state) {
+  using namespace nh::spice;
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  const bool sparse = state.range(1) == 1;
+  Circuit ckt;
+  std::vector<BenchMemristor> models(m * m);
+  const auto wl = [m](std::size_t r, std::size_t c) {
+    return "wl" + std::to_string(r) + "_" + std::to_string(c);
+  };
+  const auto bl = [m](std::size_t c, std::size_t r) {
+    return "bl" + std::to_string(c) + "_" + std::to_string(r);
+  };
+  for (std::size_t r = 0; r < m; ++r) {
+    const NodeId src = ckt.node("vw" + std::to_string(r));
+    ckt.emplace<VoltageSource>("Vw" + std::to_string(r), src, ckt.ground(),
+                               std::make_unique<DcWaveform>(0.2));
+    ckt.emplace<Resistor>("Rwdrv" + std::to_string(r), src,
+                          ckt.node(wl(r, 0)), 50.0);
+    for (std::size_t c = 0; c + 1 < m; ++c) {
+      ckt.emplace<Resistor>("Rw" + std::to_string(r * m + c),
+                            ckt.node(wl(r, c)), ckt.node(wl(r, c + 1)), 2.5);
+    }
+  }
+  for (std::size_t c = 0; c < m; ++c) {
+    ckt.emplace<Resistor>("Rbdrv" + std::to_string(c), ckt.node(bl(c, 0)),
+                          ckt.ground(), 50.0);
+    for (std::size_t r = 0; r + 1 < m; ++r) {
+      ckt.emplace<Resistor>("Rb" + std::to_string(c * m + r),
+                            ckt.node(bl(c, r)), ckt.node(bl(c, r + 1)), 2.5);
+    }
+  }
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t c = 0; c < m; ++c) {
+      ckt.emplace<Memristor>("M" + std::to_string(r * m + c),
+                             ckt.node(wl(r, c)), ckt.node(bl(c, r)),
+                             &models[r * m + c]);
+    }
+  }
+  NewtonOptions opt;
+  opt.sparseMinUnknowns = sparse ? 0 : SIZE_MAX;
+  std::size_t iterations = 0;
+  std::size_t unknowns = 0;
+  for (auto _ : state) {
+    const SolveResult result = solveDc(ckt, opt);
+    iterations = result.iterations;
+    unknowns = result.x.size();
+    benchmark::DoNotOptimize(result.x);
+  }
+  state.counters["newton_iterations"] = static_cast<double>(iterations);
+  state.counters["rows"] = static_cast<double>(unknowns);
+}
+BENCHMARK(BM_CrossbarDcMna)
+    ->Args({16, 0})
+    ->Args({16, 1})
+    ->Args({32, 0})
+    ->Args({32, 1})
+    ->Args({64, 1})
+    ->Args({128, 1})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_AlphaTableHub(benchmark::State& state) {
   nh::xbar::CrosstalkHub hub(5, 5, nh::xbar::AlphaTable::analytic(50e-9));

@@ -15,7 +15,9 @@
 ///       Run the experiment(s) and diff the result against the tracked
 ///       baseline in baselines/ (per-column tolerances, digest-keyed).
 ///       Non-zero exit and a machine-readable <out>/diffs/<name>.diff.json
-///       on any mismatch -- the CI figure-regression gate.
+///       on any mismatch -- the CI figure-regression gate. With --update,
+///       only the out-of-tolerance baselines are re-recorded (in-tolerance
+///       files stay byte-identical) and the changes are summarised.
 ///   nh_sweep record <name> | record --all [options]
 ///       Run the experiment(s) and (re-)write baselines/<name>.json.
 ///   nh_sweep describe [--markdown] [--out FILE]
@@ -106,6 +108,7 @@ struct CliOptions {
   std::filesystem::path outDir = nh::core::defaultResultsDir();
   std::filesystem::path baselineDir = nh::core::defaultBaselineDir();
   bool all = false;              ///< --all (check / record).
+  bool update = false;           ///< --update (check): re-record mismatches.
   std::vector<std::string> names;
 };
 
@@ -148,6 +151,8 @@ CliOptions parseCliOptions(int argc, char** argv, int start) {
       cli.baselineDir = next("--baselines");
     } else if (arg == "--all") {
       cli.all = true;
+    } else if (arg == "--update") {
+      cli.update = true;
     } else if (!arg.empty() && arg[0] == '-') {
       throw std::invalid_argument("unknown option '" + arg + "'");
     } else {
@@ -226,6 +231,9 @@ int checkCommand(int argc, char** argv) {
   const CliOptions cli = parseCliOptions(argc, argv, 2);
   const auto names = resolveNames(cli, "check");
   std::size_t failures = 0;
+  // --update: names whose baseline was re-recorded, with the mismatch kind
+  // that triggered it (the end-of-run summary).
+  std::vector<std::pair<std::string, std::string>> updated;
   for (const auto& name : names) {
     // One corrupt baseline file (or one throwing experiment) must not
     // abort the gate: report it as a failure and keep checking the rest.
@@ -237,6 +245,16 @@ int checkCommand(int argc, char** argv) {
       if (check.passed()) {
         std::printf("CHECK PASS  %-28s %s\n", name.c_str(),
                     check.message.c_str());
+        continue;
+      }
+      if (cli.update) {
+        // Re-record only the out-of-tolerance baseline; in-tolerance ones
+        // above were left byte-identical.
+        const auto path = nh::core::writeBaseline(result, cli.baselineDir);
+        updated.emplace_back(name, nh::core::baselineStatusName(check.status));
+        std::printf("CHECK UPDATE %-27s [%s] re-recorded %s\n", name.c_str(),
+                    nh::core::baselineStatusName(check.status),
+                    path.string().c_str());
         continue;
       }
       ++failures;
@@ -269,6 +287,18 @@ int checkCommand(int argc, char** argv) {
     } catch (const std::exception& e) {
       ++failures;
       std::printf("CHECK FAIL  %-28s [error] %s\n", name.c_str(), e.what());
+    }
+  }
+  if (cli.update) {
+    if (updated.empty()) {
+      std::printf("nh_sweep check --update: every baseline already in "
+                  "tolerance; nothing re-recorded\n");
+    } else {
+      std::printf("nh_sweep check --update: re-recorded %zu baseline(s):\n",
+                  updated.size());
+      for (const auto& [name, reason] : updated) {
+        std::printf("  %-28s (%s)\n", name.c_str(), reason.c_str());
+      }
     }
   }
   std::printf("nh_sweep check: %zu/%zu experiment(s) match their baselines\n",
@@ -461,7 +491,9 @@ int main(int argc, char** argv) try {
         "  nh_sweep check <name>|--all [options] run + diff against the "
         "tracked baseline (exit 1 on mismatch;\n"
         "                                        diff JSON lands in "
-        "<out>/diffs/)\n"
+        "<out>/diffs/; --update re-records only\n"
+        "                                        the out-of-tolerance "
+        "baselines and summarises the changes)\n"
         "  nh_sweep record <name>|--all [options]"
         " run + (re-)write baselines/<name>.json\n"
         "  nh_sweep describe [--markdown] [--out FILE]\n"

@@ -240,6 +240,8 @@ std::uint64_t hashStudyConfig(std::uint64_t h, const StudyConfig& c) {
       e.relaxBetweenPulses ? 1.0 : 0.0, e.enableBatching ? 1.0 : 0.0,
       e.batchDriftLimit, static_cast<double>(e.maxBatch), e.newtonTol,
       static_cast<double>(e.maxNewtonIterations), e.useSchurSolve ? 1.0 : 0.0,
+      static_cast<double>(e.schurMode),
+      static_cast<double>(e.schurIterativeMinCols),
       // DetectorConfig
       d.readVoltage, d.rLrsMax, d.rHrsMin};
   for (const double v : fields) h = fnv1a(h, nh::util::formatDouble(v));
@@ -263,18 +265,26 @@ std::string digestOf(const ExperimentSpec& spec,
 }
 
 /// Process-wide study cache: configs compared by the same operator== the
-/// per-run dedup uses, entries owned by shared_ptr so a clear() cannot pull
-/// a study out from under a running experiment. Linear scan -- the catalog
-/// holds tens of unique configs, not thousands.
+/// per-run dedup uses, entries owned by shared_ptr so an eviction cannot
+/// pull a study out from under a running experiment. Linear scan -- the
+/// catalog holds tens of unique configs, not thousands. LRU-bounded:
+/// entries are kept least-recently-used first, a hit moves the entry to the
+/// back, and an insert past capacity evicts the front. Megabit-array
+/// studies pin per-cell state for 10^6 devices each, so the bound is what
+/// keeps a run-all's resident memory flat.
 struct StudyCache {
   std::mutex mutex;
   std::vector<std::pair<StudyConfig, std::shared_ptr<const AttackStudy>>>
-      entries;
+      entries;  ///< LRU order: front = next eviction victim.
+  std::size_t capacity = 32;  ///< Holds the whole seed catalog warm.
 
   std::shared_ptr<const AttackStudy> find(const StudyConfig& config) {
     const std::lock_guard<std::mutex> lock(mutex);
-    for (const auto& [cached, study] : entries) {
-      if (cached == config) return study;
+    for (auto it = entries.begin(); it != entries.end(); ++it) {
+      if (it->first == config) {
+        std::rotate(it, it + 1, entries.end());  // refresh: move to back
+        return entries.back().second;
+      }
     }
     return nullptr;
   }
@@ -284,6 +294,9 @@ struct StudyCache {
     const std::lock_guard<std::mutex> lock(mutex);
     for (const auto& [cached, existing] : entries) {
       if (cached == config) return;  // racing run-all: first insert wins
+    }
+    while (entries.size() >= capacity && !entries.empty()) {
+      entries.erase(entries.begin());
     }
     entries.emplace_back(config, std::move(study));
   }
@@ -306,6 +319,21 @@ void clearStudyCache() {
   StudyCache& cache = studyCache();
   const std::lock_guard<std::mutex> lock(cache.mutex);
   cache.entries.clear();
+}
+
+std::size_t studyCacheCapacity() {
+  StudyCache& cache = studyCache();
+  const std::lock_guard<std::mutex> lock(cache.mutex);
+  return cache.capacity;
+}
+
+void setStudyCacheCapacity(std::size_t capacity) {
+  StudyCache& cache = studyCache();
+  const std::lock_guard<std::mutex> lock(cache.mutex);
+  cache.capacity = std::max<std::size_t>(1, capacity);
+  while (cache.entries.size() > cache.capacity) {
+    cache.entries.erase(cache.entries.begin());
+  }
 }
 
 std::string configDigest(const ExperimentSpec& spec, const RunOptions& options) {

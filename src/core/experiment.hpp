@@ -293,6 +293,19 @@ std::size_t studyCacheSize();
 /// Drop every cached study (tests; also frees memory after a run-all).
 void clearStudyCache();
 
+/// The cache is LRU-bounded: find() refreshes an entry, insert() evicts the
+/// least-recently-used entry once the capacity is reached. Megabit-array
+/// studies hold per-cell state for 10^6 devices each, so an unbounded cache
+/// would pin gigabytes across a run-all; the default keeps the whole seed
+/// catalog warm while bounding resident memory.
+std::size_t studyCacheCapacity();
+
+/// Set the capacity (minimum 1). Shrinking below the current size evicts
+/// the least-recently-used entries immediately. Running experiments keep
+/// their studies alive through their own shared_ptr references, so eviction
+/// never invalidates in-flight work.
+void setStudyCacheCapacity(std::size_t capacity);
+
 /// ---- result sink ---------------------------------------------------------
 
 /// Where experiment series land by default: NH_RESULTS_DIR when set,

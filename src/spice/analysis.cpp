@@ -7,6 +7,7 @@
 
 #include "util/linsolve.hpp"
 #include "util/log.hpp"
+#include "util/sparse.hpp"
 
 namespace nh::spice {
 
@@ -37,10 +38,23 @@ class NewtonEngine {
     SolveResult result;
     result.x = initialGuess.size() == n ? initialGuess : Vector(n, 0.0);
 
-    if (jacobian_.rows() != n || jacobian_.cols() != n) {
-      jacobian_.resize(n, n, 0.0);
+    // Storage-mode selection. Crossbar netlists grow past the point where a
+    // dense n x n Jacobian is even allocatable (1024x1024 arrays -> n ~ 10^6),
+    // so large systems stamp triplets and factor sparsely; small systems keep
+    // the seed's dense path bit-for-bit.
+    const bool wantSparse = n >= options.sparseMinUnknowns;
+    if (n != sysN_ || wantSparse != useSparse_) {
+      sysN_ = n;
+      useSparse_ = wantSparse;
       rhs_.assign(n, 0.0);
       luValid_ = false;
+      if (useSparse_) {
+        jacobian_.resize(0, 0, 0.0);  // release the dense storage
+        triplets_ = nh::util::TripletBuilder(n, n);
+        patternValid_ = false;
+      } else {
+        jacobian_.resize(n, n, 0.0);
+      }
     }
     const bool frozenLuUsable = options.reuseFactorization && luValid_ &&
                                 dt == luDt_ && transient == luTransient_;
@@ -73,22 +87,23 @@ class NewtonEngine {
   SolveResult solveLinear(Circuit& circuit, double time, double dt,
                           bool transient, const Vector& xPrev, bool reuseLu,
                           SolveResult result, std::size_t nodeUnknowns) {
-    const std::size_t n = jacobian_.rows();
+    const std::size_t n = sysN_;
     std::fill(rhs_.begin(), rhs_.end(), 0.0);
-    if (!reuseLu) jacobian_.fill(0.0);
+    if (!reuseLu) clearMatrixTarget();
     // With a frozen LU the conductance stamps are no-ops (stampMatrix
     // false): only the rhs is rebuilt, and the previous factorisation is
     // solved against it -- bit-identical to re-stamping and re-factoring
     // the identical matrix.
-    StampContext ctx{jacobian_, rhs_,     result.x, xPrev,
+    StampContext ctx{useSparse_ ? nullptr : &jacobian_,
+                     useSparse_ ? &triplets_ : nullptr,
+                     rhs_,      result.x, xPrev,
                      time,      dt,       transient, /*stampMatrix=*/!reuseLu};
     for (const auto& e : circuit.elements()) e->stamp(ctx);
     if (!reuseLu) {
       // gmin from every node to ground keeps otherwise-floating nodes defined.
-      for (std::size_t i = 0; i < nodeUnknowns; ++i) {
-        jacobian_(i, i) += circuit.gmin();
-      }
-      if (!lu_.refactor(jacobian_)) {
+      stampGmin(circuit.gmin(), nodeUnknowns);
+      if (useSparse_) assembleSparse();
+      if (!factorSystem()) {
         luValid_ = false;
         result.converged = false;
         return result;
@@ -100,7 +115,7 @@ class NewtonEngine {
     // solveInPlace into the persistent scratch: the same substitution
     // sequence as solve(), without the per-step allocation.
     xNew_.assign(rhs_.begin(), rhs_.end());
-    lu_.solveInPlace(xNew_);
+    solveSystem(xNew_);
     double maxUpdate = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
       const double delta = xNew_[i] - result.x[i];
@@ -117,20 +132,23 @@ class NewtonEngine {
                           bool transient, const Vector& xPrev,
                           const NewtonOptions& options, bool frozenLuUsable,
                           SolveResult result, std::size_t nodeUnknowns) {
-    const std::size_t n = jacobian_.rows();
+    const std::size_t n = sysN_;
     bool refactor = !frozenLuUsable;
     bool refactoredThisSolve = !frozenLuUsable;
 
     for (std::size_t iter = 0; iter < options.maxIterations; ++iter) {
-      jacobian_.fill(0.0);
+      clearMatrixTarget();
       std::fill(rhs_.begin(), rhs_.end(), 0.0);
 
-      StampContext ctx{jacobian_, rhs_, result.x, xPrev, time, dt, transient};
+      StampContext ctx{useSparse_ ? nullptr : &jacobian_,
+                       useSparse_ ? &triplets_ : nullptr,
+                       rhs_, result.x, xPrev, time, dt, transient};
       for (const auto& e : circuit.elements()) e->stamp(ctx);
       // gmin from every node to ground keeps otherwise-floating nodes defined.
-      for (std::size_t i = 0; i < nodeUnknowns; ++i) {
-        jacobian_(i, i) += circuit.gmin();
-      }
+      stampGmin(circuit.gmin(), nodeUnknowns);
+      // The chord residual needs J(x) even on iterations that keep a stale
+      // factorisation, so the CSR is refreshed every pass.
+      if (useSparse_) assembleSparse();
 
       double maxUpdate = 0.0;
       if (options.reuseFactorization) {
@@ -138,7 +156,7 @@ class NewtonEngine {
         // The companion-model linearisation makes b - J x the true KCL
         // residual at x, so any nonsingular LU yields the same fixed point.
         if (refactor) {
-          if (!lu_.refactor(jacobian_)) {
+          if (!factorSystem()) {
             luValid_ = false;
             result.converged = false;
             return result;
@@ -150,14 +168,19 @@ class NewtonEngine {
           refactoredThisSolve = true;
         }
         delta_.resize(n);
-        const double* j = jacobian_.data();
-        for (std::size_t r = 0; r < n; ++r) {
-          double acc = rhs_[r];
-          const double* row = j + r * n;
-          for (std::size_t c = 0; c < n; ++c) acc -= row[c] * result.x[c];
-          delta_[r] = acc;
+        if (useSparse_) {
+          aCsr_.multiplyInto(result.x, delta_);  // delta = J x ...
+          for (std::size_t r = 0; r < n; ++r) delta_[r] = rhs_[r] - delta_[r];
+        } else {
+          const double* j = jacobian_.data();
+          for (std::size_t r = 0; r < n; ++r) {
+            double acc = rhs_[r];
+            const double* row = j + r * n;
+            for (std::size_t c = 0; c < n; ++c) acc -= row[c] * result.x[c];
+            delta_[r] = acc;
+          }
         }
-        lu_.solveInPlace(delta_);
+        solveSystem(delta_);
         for (std::size_t i = 0; i < n; ++i) {
           double delta = delta_[i];
           if (i < nodeUnknowns) {
@@ -173,7 +196,7 @@ class NewtonEngine {
         // persistent lu_/xNew_ replace the seed's per-iteration allocations;
         // refactor()+solveInPlace() run the identical elimination and
         // substitution sequences, so the results are bit-identical.
-        if (!lu_.refactor(jacobian_)) {
+        if (!factorSystem()) {
           luValid_ = false;
           result.converged = false;
           return result;
@@ -182,7 +205,7 @@ class NewtonEngine {
         luDt_ = dt;
         luTransient_ = transient;
         xNew_.assign(rhs_.begin(), rhs_.end());
-        lu_.solveInPlace(xNew_);
+        solveSystem(xNew_);
         // Voltage limiting: clamp node-voltage updates to keep the
         // exponential devices inside a trust region (standard SPICE
         // practice).
@@ -228,6 +251,51 @@ class NewtonEngine {
     return result;
   }
 
+  /// Zero the active matrix target before a (re-)stamp.
+  void clearMatrixTarget() {
+    if (useSparse_) {
+      triplets_.clear();
+    } else {
+      jacobian_.fill(0.0);
+    }
+  }
+
+  /// gmin from every node to ground, appended after the element stamps so
+  /// the triplet sequence stays fixed per netlist (pattern-refill contract).
+  void stampGmin(double gmin, std::size_t nodeUnknowns) {
+    if (useSparse_) {
+      for (std::size_t i = 0; i < nodeUnknowns; ++i) triplets_.add(i, i, gmin);
+    } else {
+      for (std::size_t i = 0; i < nodeUnknowns; ++i) jacobian_(i, i) += gmin;
+    }
+  }
+
+  /// Rebuild the CSR from the freshly-stamped triplets. A fixed netlist
+  /// issues the same stamp sequence every pass, so after the first symbolic
+  /// analysis this is an O(nnz) value refill; a changed entry count (edited
+  /// netlist between solves) re-runs the symbolic phase.
+  void assembleSparse() {
+    if (!patternValid_ || pattern_.entryCount() != triplets_.entryCount()) {
+      pattern_ = nh::util::SparsityPattern::fromTriplets(triplets_);
+      patternValid_ = true;
+    }
+    pattern_.assemble(triplets_, aCsr_);
+  }
+
+  /// Factor the freshly-assembled system with the active backend.
+  bool factorSystem() {
+    return useSparse_ ? sparseLu_.refactor(aCsr_) : lu_.refactor(jacobian_);
+  }
+
+  /// Substitute against the last successful factorisation.
+  void solveSystem(Vector& v) {
+    if (useSparse_) {
+      sparseLu_.solveInPlace(v);
+    } else {
+      lu_.solveInPlace(v);
+    }
+  }
+
   /// Steps between stale-LU probes once the chord has been distrusted.
   static constexpr std::size_t kChordProbeInterval = 8;
 
@@ -236,6 +304,17 @@ class NewtonEngine {
   Vector delta_;
   Vector xNew_;
   nh::util::LuFactorization lu_;
+  // Sparse backend (n >= NewtonOptions::sparseMinUnknowns): elements stamp a
+  // triplet stream, a cached SparsityPattern refills the CSR without
+  // allocation, and the Gilbert-Peierls SparseLu replaces the dense
+  // factorisation. The Newton/chord logic above is shared between backends.
+  bool useSparse_ = false;
+  std::size_t sysN_ = 0;
+  nh::util::TripletBuilder triplets_{0, 0};
+  nh::util::SparsityPattern pattern_;
+  bool patternValid_ = false;
+  nh::util::SparseMatrix aCsr_;
+  nh::util::SparseLu sparseLu_;
   bool luValid_ = false;
   double luDt_ = 0.0;
   bool luTransient_ = false;

@@ -9,6 +9,11 @@
 
 namespace nh::util {
 
+namespace {
+/// Sentinel for SparseLu's row -> pivot-position map.
+constexpr std::size_t kUnpivoted = static_cast<std::size_t>(-1);
+}  // namespace
+
 CgWorkspace::CgWorkspace() = default;
 CgWorkspace::~CgWorkspace() = default;
 CgWorkspace::CgWorkspace(CgWorkspace&&) noexcept = default;
@@ -152,6 +157,250 @@ bool SchurComplementSolver::solve(const Vector& d1, const Vector& d2,
     x[i] = acc / d1[i];
   }
   for (std::size_t c = 0; c < n2; ++c) x[n1 + c] = rhs_[c];
+  return true;
+}
+
+SchurComplementSolver::SchurComplementSolver() = default;
+SchurComplementSolver::SchurComplementSolver(SchurOptions options)
+    : options_(options) {}
+SchurComplementSolver::~SchurComplementSolver() = default;
+SchurComplementSolver::SchurComplementSolver(SchurComplementSolver&&) noexcept =
+    default;
+SchurComplementSolver& SchurComplementSolver::operator=(
+    SchurComplementSolver&&) noexcept = default;
+
+bool TridiagonalFactor::factor(const TridiagonalView& a) {
+  valid_ = false;
+  const std::size_t n = a.n;
+  if (n == 0 || a.diag == nullptr) return false;
+  m_.resize(n);
+  c_.resize(n - 1);
+  lower_.resize(n - 1);
+  if (a.lower != nullptr) {
+    std::copy(a.lower, a.lower + (n - 1), lower_.begin());
+  } else {
+    std::fill(lower_.begin(), lower_.end(), 0.0);
+  }
+
+  // Thomas elimination, same recurrences as solveTridiagonal: the scaled
+  // upper diagonal c and the pivots m are all a solve needs.
+  double m = a.diag[0];
+  if (!(std::fabs(m) > 1e-300) || !std::isfinite(m)) return false;
+  m_[0] = m;
+  for (std::size_t i = 1; i < n; ++i) {
+    const double u = a.upper != nullptr ? a.upper[i - 1] : 0.0;
+    c_[i - 1] = u / m_[i - 1];
+    m = a.diag[i] - lower_[i - 1] * c_[i - 1];
+    if (!(std::fabs(m) > 1e-300) || !std::isfinite(m)) return false;
+    m_[i] = m;
+  }
+  valid_ = true;
+  return true;
+}
+
+void TridiagonalFactor::solveInPlace(Vector& b) const {
+  assert(b.size() == m_.size());
+  solveInPlace(b.data());
+}
+
+void TridiagonalFactor::solveInPlace(double* b) const {
+  assert(valid_);
+  const std::size_t n = m_.size();
+  b[0] /= m_[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    b[i] = (b[i] - lower_[i - 1] * b[i - 1]) / m_[i];
+  }
+  for (std::size_t ii = n - 1; ii-- > 0;) b[ii] -= c_[ii] * b[ii + 1];
+}
+
+void TridiagonalFactor::solveRowsInPlace(Matrix& b) const {
+  assert(valid_);
+  assert(b.rows() == m_.size());
+  const std::size_t n = m_.size();
+  const std::size_t m = b.cols();
+  double* row0 = b.data();
+  const double inv0 = 1.0 / m_[0];
+  for (std::size_t c = 0; c < m; ++c) row0[c] *= inv0;
+  for (std::size_t i = 1; i < n; ++i) {
+    double* row = b.data() + i * m;
+    const double* prev = row - m;
+    const double l = lower_[i - 1];
+    const double inv = 1.0 / m_[i];
+    for (std::size_t c = 0; c < m; ++c) row[c] = (row[c] - l * prev[c]) * inv;
+  }
+  for (std::size_t ii = n - 1; ii-- > 0;) {
+    double* row = b.data() + ii * m;
+    const double* next = row + m;
+    const double ci = c_[ii];
+    for (std::size_t c = 0; c < m; ++c) row[c] -= ci * next[c];
+  }
+}
+
+namespace {
+
+/// y = A v for a tridiagonal view.
+void tridiagonalMultiply(const TridiagonalView& a, const Vector& v, Vector& y) {
+  const std::size_t n = a.n;
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = a.diag[i] * v[i];
+    if (a.lower != nullptr && i > 0) acc += a.lower[i - 1] * v[i - 1];
+    if (a.upper != nullptr && i + 1 < n) acc += a.upper[i] * v[i + 1];
+    y[i] = acc;
+  }
+}
+
+}  // namespace
+
+bool SchurComplementSolver::solveBanded(const TridiagonalView& a1,
+                                        const TridiagonalView& a2,
+                                        const Matrix& g, const Vector& r,
+                                        Vector& x) {
+  if (g.rows() != a1.n || g.cols() != a2.n || r.size() != a1.n + a2.n) {
+    throw std::invalid_argument("SchurComplementSolver::solveBanded: shape mismatch");
+  }
+  lastIterative_ = {};
+  bool iterative = false;
+  switch (options_.mode) {
+    case SchurOptions::Mode::Dense:
+      break;
+    case SchurOptions::Mode::Iterative:
+      iterative = true;
+      break;
+    case SchurOptions::Mode::Auto:
+      iterative = a2.n >= options_.iterativeMinCols;
+      break;
+  }
+  return iterative ? solveBandedIterative(a1, a2, g, r, x)
+                   : solveBandedDense(a1, a2, g, r, x);
+}
+
+bool SchurComplementSolver::solveBandedDense(const TridiagonalView& a1,
+                                             const TridiagonalView& a2,
+                                             const Matrix& g, const Vector& r,
+                                             Vector& x) {
+  const std::size_t n1 = a1.n;
+  const std::size_t n2 = a2.n;
+  if (!a1Factor_.factor(a1)) return false;
+
+  // W = A1^-1 G, all columns at once: the Thomas recurrences are per
+  // column, but sweeping whole rows keeps the row-major accesses streaming.
+  if (w_.rows() != n1 || w_.cols() != n2) w_.resize(n1, n2, 0.0);
+  std::copy(g.data(), g.data() + n1 * n2, w_.data());
+  a1Factor_.solveRowsInPlace(w_);
+
+  // S = A2 - G^T W and rhs2 = r2 + G^T (A1^-1 r1).
+  t1_.assign(r.begin(), r.begin() + n1);
+  a1Factor_.solveInPlace(t1_);
+  if (schur_.rows() != n2 || schur_.cols() != n2) schur_.resize(n2, n2, 0.0);
+  schur_.fill(0.0);
+  rhs_.resize(n2);
+  for (std::size_t c = 0; c < n2; ++c) rhs_[c] = r[n1 + c];
+  for (std::size_t i = 0; i < n1; ++i) {
+    const double* gRow = g.data() + i * n2;
+    const double* wRow = w_.data() + i * n2;
+    const double t1i = t1_[i];
+    for (std::size_t c1 = 0; c1 < n2; ++c1) {
+      const double gv = gRow[c1];
+      rhs_[c1] += gv * t1i;
+      if (gv == 0.0) continue;
+      double* s = schur_.data() + c1 * n2;
+      for (std::size_t c2 = 0; c2 < n2; ++c2) s[c2] -= gv * wRow[c2];
+    }
+  }
+  for (std::size_t c = 0; c < n2; ++c) {
+    schur_(c, c) += a2.diag[c];
+    if (a2.lower != nullptr && c > 0) schur_(c, c - 1) += a2.lower[c - 1];
+    if (a2.upper != nullptr && c + 1 < n2) schur_(c, c + 1) += a2.upper[c];
+  }
+
+  if (!lu_.refactor(schur_)) return false;
+  lu_.solveInPlace(rhs_);  // now x2
+
+  x.resize(n1 + n2);
+  for (std::size_t i = 0; i < n1; ++i) {
+    double acc = r[i];
+    const double* gRow = g.data() + i * n2;
+    for (std::size_t c = 0; c < n2; ++c) acc += gRow[c] * rhs_[c];
+    x[i] = acc;
+  }
+  a1Factor_.solveInPlace(x.data());
+  for (std::size_t c = 0; c < n2; ++c) x[n1 + c] = rhs_[c];
+  return true;
+}
+
+bool SchurComplementSolver::solveBandedIterative(const TridiagonalView& a1,
+                                                 const TridiagonalView& a2,
+                                                 const Matrix& g,
+                                                 const Vector& r, Vector& x) {
+  const std::size_t n1 = a1.n;
+  const std::size_t n2 = a2.n;
+  if (!a1Factor_.factor(a1)) return false;
+
+  // rhs2 = r2 + G^T (A1^-1 r1).
+  t1_.assign(r.begin(), r.begin() + n1);
+  a1Factor_.solveInPlace(t1_);
+  rhs_.resize(n2);
+  for (std::size_t c = 0; c < n2; ++c) rhs_[c] = r[n1 + c];
+  for (std::size_t i = 0; i < n1; ++i) {
+    const double* gRow = g.data() + i * n2;
+    const double t1i = t1_[i];
+    if (t1i == 0.0) continue;
+    for (std::size_t c = 0; c < n2; ++c) rhs_[c] += gRow[c] * t1i;
+  }
+
+  // Jacobi preconditioner on diag(S) = diag(A2) - sum_i g(i,c)^2 / a1(i,i)
+  // -- exact for a diagonal A1 (the lumped line network), a close
+  // approximation for the diagonally dominant tridiagonal case.
+  invDiag_.assign(n2, 0.0);
+  for (std::size_t i = 0; i < n1; ++i) {
+    const double* gRow = g.data() + i * n2;
+    const double invA1 = 1.0 / a1.diag[i];
+    for (std::size_t c = 0; c < n2; ++c) {
+      invDiag_[c] += gRow[c] * gRow[c] * invA1;
+    }
+  }
+  for (std::size_t c = 0; c < n2; ++c) {
+    const double d = a2.diag[c] - invDiag_[c];
+    invDiag_[c] = std::fabs(d) > 1e-300 ? 1.0 / d : 1.0;
+  }
+
+  // Matrix-free S x = A2 x - G^T (A1^-1 (G x)): O(n1 n2) per application,
+  // never materialising the (fully dense) complement.
+  const auto applyS = [&](const Vector& v, Vector& y) {
+    t1_.resize(n1);
+    for (std::size_t i = 0; i < n1; ++i) {
+      const double* gRow = g.data() + i * n2;
+      double acc = 0.0;
+      for (std::size_t c = 0; c < n2; ++c) acc += gRow[c] * v[c];
+      t1_[i] = acc;
+    }
+    a1Factor_.solveInPlace(t1_);
+    tridiagonalMultiply(a2, v, y);
+    for (std::size_t i = 0; i < n1; ++i) {
+      const double* gRow = g.data() + i * n2;
+      const double t1i = t1_[i];
+      if (t1i == 0.0) continue;
+      for (std::size_t c = 0; c < n2; ++c) y[c] -= gRow[c] * t1i;
+    }
+  };
+
+  if (!cgWs_) cgWs_ = std::make_unique<CgWorkspace>();
+  x2_.assign(n2, 0.0);
+  lastIterative_ =
+      solveConjugateGradientOperator(n2, applyS, invDiag_, rhs_, x2_,
+                                     options_.cgRelTol, options_.cgMaxIter,
+                                     cgWs_.get());
+  if (!lastIterative_.converged) return false;
+
+  x.resize(n1 + n2);
+  for (std::size_t i = 0; i < n1; ++i) {
+    double acc = r[i];
+    const double* gRow = g.data() + i * n2;
+    for (std::size_t c = 0; c < n2; ++c) acc += gRow[c] * x2_[c];
+    x[i] = acc;
+  }
+  a1Factor_.solveInPlace(x.data());
+  for (std::size_t c = 0; c < n2; ++c) x[n1 + c] = x2_[c];
   return true;
 }
 
@@ -376,6 +625,60 @@ IterativeResult solveConjugateGradient(const SparseMatrix& a, const Vector& b,
   return solveConjugateGradient(a, b, x, options, nullptr);
 }
 
+IterativeResult solveConjugateGradientOperator(
+    std::size_t n, const std::function<void(const Vector&, Vector&)>& applyA,
+    const Vector& invDiag, const Vector& b, Vector& x, double relTol,
+    std::size_t maxIter, CgWorkspace* workspace) {
+  assert(invDiag.size() == n && b.size() == n);
+  if (x.size() != n) x.assign(n, 0.0);
+
+  CgWorkspace local;
+  CgWorkspace& ws = workspace != nullptr ? *workspace : local;
+  Vector& r = ws.r_;
+  Vector& z = ws.z_;
+  Vector& p = ws.p_;
+  Vector& ap = ws.ap_;
+  r.resize(n);
+  z.resize(n);
+  p.resize(n);
+  ap.resize(n);
+
+  applyA(x, ap);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - ap[i];
+  const double bNorm = norm2(b);
+  if (bNorm == 0.0) {
+    x.assign(n, 0.0);
+    return {true, 0, 0.0};
+  }
+
+  for (std::size_t i = 0; i < n; ++i) z[i] = invDiag[i] * r[i];
+  std::copy(z.begin(), z.end(), p.begin());
+  double rz = dot(r, z);
+
+  IterativeResult result;
+  for (std::size_t it = 0; it < maxIter; ++it) {
+    applyA(p, ap);
+    const double pap = dot(p, ap);
+    if (pap <= 0.0) break;  // not SPD (or breakdown)
+    const double alpha = rz / pap;
+    axpy(alpha, p, x);
+    axpy(-alpha, ap, r);
+    const double res = norm2(r) / bNorm;
+    result.iterations = it + 1;
+    result.residualNorm = res;
+    if (res < relTol) {
+      result.converged = true;
+      return result;
+    }
+    for (std::size_t i = 0; i < n; ++i) z[i] = invDiag[i] * r[i];
+    const double rzNew = dot(r, z);
+    const double beta = rzNew / rz;
+    rz = rzNew;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+  return result;
+}
+
 IterativeResult solveBiCgStab(const SparseMatrix& a, const Vector& b, Vector& x,
                               double relTol, std::size_t maxIter) {
   const std::size_t n = b.size();
@@ -453,6 +756,290 @@ Vector solveTridiagonal(const Vector& lower, const Vector& diag,
   x[n - 1] = d[n - 1];
   for (std::size_t ii = n - 1; ii-- > 0;) x[ii] = d[ii] - c[ii] * x[ii + 1];
   return x;
+}
+
+void SparseLu::computeOrdering(const SparseMatrix& a) {
+  const auto& rowPtr = a.rowPtr();
+  const auto& colIdx = a.colIdx();
+  const std::size_t n = a.rows();
+  perm_.resize(n);
+  iperm_.resize(n);
+  if (n == 0) return;
+
+  // Symmetrised adjacency: the pattern of A + A^T with the diagonal
+  // dropped. Entries present in both triangles appear twice; BFS dedups
+  // them via the seen marks and RCM only uses degrees as a heuristic, so
+  // the duplicates are harmless.
+  std::vector<std::size_t> adjPtr(n + 1, 0);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t k = rowPtr[r]; k < rowPtr[r + 1]; ++k) {
+      const std::size_t c = colIdx[k];
+      if (c == r) continue;
+      ++adjPtr[r + 1];
+      ++adjPtr[c + 1];
+    }
+  }
+  for (std::size_t v = 0; v < n; ++v) adjPtr[v + 1] += adjPtr[v];
+  std::vector<std::size_t> adj(adjPtr[n]);
+  std::vector<std::size_t> cursor(adjPtr.begin(), adjPtr.begin() + n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t k = rowPtr[r]; k < rowPtr[r + 1]; ++k) {
+      const std::size_t c = colIdx[k];
+      if (c == r) continue;
+      adj[cursor[r]++] = c;
+      adj[cursor[c]++] = r;
+    }
+  }
+  std::vector<std::size_t> deg(n);
+  for (std::size_t v = 0; v < n; ++v) deg[v] = adjPtr[v + 1] - adjPtr[v];
+  const auto byDegree = [&](std::size_t x, std::size_t y) {
+    return deg[x] < deg[y] || (deg[x] == deg[y] && x < y);
+  };
+
+  // Level-structure BFS with degree-sorted neighbour visits (Cuthill-McKee
+  // order). Fills `out` with the start's component and returns a
+  // minimum-degree vertex of the deepest level (for the pseudo-peripheral
+  // start refinement).
+  std::vector<std::size_t> seen(n, 0);
+  std::size_t stamp = 0;
+  const auto bfs = [&](std::size_t start, std::vector<std::size_t>& out) {
+    ++stamp;
+    out.clear();
+    out.push_back(start);
+    seen[start] = stamp;
+    std::size_t levelBegin = 0;
+    std::size_t levelEnd = 1;
+    while (true) {
+      for (std::size_t h = levelBegin; h < levelEnd; ++h) {
+        const std::size_t v = out[h];
+        const std::size_t first = out.size();
+        for (std::size_t p = adjPtr[v]; p < adjPtr[v + 1]; ++p) {
+          const std::size_t w = adj[p];
+          if (seen[w] == stamp) continue;
+          seen[w] = stamp;
+          out.push_back(w);
+        }
+        std::sort(out.begin() + first, out.end(), byDegree);
+      }
+      if (out.size() == levelEnd) break;  // deepest level reached
+      levelBegin = levelEnd;
+      levelEnd = out.size();
+    }
+    return *std::min_element(out.begin() + levelBegin, out.begin() + levelEnd,
+                             byDegree);
+  };
+
+  // Component starts: lowest-degree unvisited vertex, via a degree-sorted
+  // candidate sweep (amortised O(n log n) across all components).
+  std::vector<std::size_t> candidates(n);
+  for (std::size_t v = 0; v < n; ++v) candidates[v] = v;
+  std::sort(candidates.begin(), candidates.end(), byDegree);
+  std::vector<char> placed(n, 0);
+  std::vector<std::size_t> component;
+  std::size_t next = 0;
+  std::size_t written = 0;
+  while (written < n) {
+    while (placed[candidates[next]]) ++next;
+    std::size_t start = candidates[next];
+    // Two refinement sweeps toward a pseudo-peripheral vertex.
+    for (int sweep = 0; sweep < 2; ++sweep) {
+      const std::size_t far = bfs(start, component);
+      if (far == start) break;
+      start = far;
+    }
+    bfs(start, component);
+    for (const std::size_t v : component) {
+      placed[v] = 1;
+      perm_[written++] = v;
+    }
+  }
+  // Reverse Cuthill-McKee: reversing the CM order keeps the bandwidth and
+  // tends to reduce fill in the triangular factors.
+  std::reverse(perm_.begin(), perm_.end());
+  for (std::size_t v = 0; v < n; ++v) iperm_[perm_[v]] = v;
+}
+
+bool SparseLu::refactor(const SparseMatrix& a) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("SparseLu: matrix must be square");
+  }
+  valid_ = false;
+  n_ = a.rows();
+  const auto& aRowPtr = a.rowPtr();
+  const auto& aColIdx = a.colIdx();
+  const auto& aValues = a.values();
+  const std::size_t nnz = aValues.size();
+
+  // Reuse the fill-reducing ordering across same-structure refactors (the
+  // Newton loop re-stamps values into an unchanged pattern).
+  if (structRowPtr_ != aRowPtr || structColIdx_ != aColIdx) {
+    computeOrdering(a);
+    structRowPtr_ = aRowPtr;
+    structColIdx_ = aColIdx;
+  }
+
+  // CSC copy of the symmetrically permuted matrix B = P A P^T (count /
+  // cumsum / scatter). Row indices within a column follow the input's row
+  // sweep, which keeps the DFS below deterministic.
+  cscPtr_.assign(n_ + 1, 0);
+  for (std::size_t k = 0; k < nnz; ++k) ++cscPtr_[iperm_[aColIdx[k]] + 1];
+  for (std::size_t c = 0; c < n_; ++c) cscPtr_[c + 1] += cscPtr_[c];
+  cscIdx_.resize(nnz);
+  cscVal_.resize(nnz);
+  pstack_.assign(cscPtr_.begin(), cscPtr_.begin() + n_);  // scatter cursors
+  for (std::size_t r = 0; r < n_; ++r) {
+    const std::size_t pr = iperm_[r];
+    for (std::size_t k = aRowPtr[r]; k < aRowPtr[r + 1]; ++k) {
+      const std::size_t slot = pstack_[iperm_[aColIdx[k]]]++;
+      cscIdx_[slot] = pr;
+      cscVal_[slot] = aValues[k];
+    }
+  }
+
+  // Left-looking Gilbert-Peierls with partial pivoting: for each column k,
+  // solve x = L \ A(:,k) (symbolic reach by DFS through the graph of L,
+  // then a sparse numeric forward substitution), pick the largest
+  // unpivoted |x| as the pivot, and append the column to L and U. All row
+  // indices stay in original (unpermuted) space until the final remap.
+  lPtr_.assign(n_ + 1, 0);
+  uPtr_.assign(n_ + 1, 0);
+  lIdx_.clear();
+  lVal_.clear();
+  uIdx_.clear();
+  uVal_.clear();
+  pinv_.assign(n_, kUnpivoted);
+  x_.assign(n_, 0.0);
+  found_.assign(n_, 0);
+  stack_.resize(n_);
+  pstack_.resize(n_);
+  xi_.resize(n_);
+
+  for (std::size_t k = 0; k < n_; ++k) {
+    lPtr_[k] = lVal_.size();
+    uPtr_[k] = uVal_.size();
+    const std::size_t mark = k + 1;
+
+    // Symbolic: the nonzero pattern of x is the set of nodes reachable from
+    // pattern(A(:,k)) through edges j -> rows(L(:, pinv[j])). xi_[top..n)
+    // ends up in an order where every node precedes the nodes it updates.
+    std::size_t top = n_;
+    for (std::size_t p = cscPtr_[k]; p < cscPtr_[k + 1]; ++p) {
+      const std::size_t root = cscIdx_[p];
+      if (found_[root] == mark) continue;
+      std::size_t head = 0;
+      stack_[0] = root;
+      while (true) {
+        const std::size_t i = stack_[head];
+        const std::size_t j = pinv_[i];
+        if (found_[i] != mark) {
+          found_[i] = mark;
+          pstack_[head] = j == kUnpivoted ? 0 : lPtr_[j] + 1;  // skip unit diag
+        }
+        bool descend = false;
+        if (j != kUnpivoted) {
+          for (std::size_t q = pstack_[head]; q < lPtr_[j + 1]; ++q) {
+            const std::size_t child = lIdx_[q];
+            if (found_[child] != mark) {
+              pstack_[head] = q + 1;
+              stack_[++head] = child;
+              descend = true;
+              break;
+            }
+          }
+        }
+        if (descend) continue;
+        xi_[--top] = i;
+        if (head == 0) break;
+        --head;
+      }
+    }
+
+    // Numeric: scatter A(:,k), then eliminate along the topological order.
+    for (std::size_t px = top; px < n_; ++px) x_[xi_[px]] = 0.0;
+    for (std::size_t p = cscPtr_[k]; p < cscPtr_[k + 1]; ++p) {
+      x_[cscIdx_[p]] = cscVal_[p];
+    }
+    for (std::size_t px = top; px < n_; ++px) {
+      const std::size_t i = xi_[px];
+      const std::size_t j = pinv_[i];
+      if (j == kUnpivoted) continue;
+      const double xj = x_[i];
+      if (xj == 0.0) continue;
+      for (std::size_t q = lPtr_[j] + 1; q < lPtr_[j + 1]; ++q) {
+        x_[lIdx_[q]] -= lVal_[q] * xj;
+      }
+    }
+
+    // Partial pivot over the unpivoted pattern rows; already-pivoted rows
+    // are finished U entries.
+    std::size_t ipiv = kUnpivoted;
+    double best = 0.0;
+    for (std::size_t px = top; px < n_; ++px) {
+      const std::size_t i = xi_[px];
+      if (pinv_[i] != kUnpivoted) {
+        uIdx_.push_back(pinv_[i]);
+        uVal_.push_back(x_[i]);
+        continue;
+      }
+      const double t = std::fabs(x_[i]);
+      if (ipiv == kUnpivoted || t > best) {
+        best = t;
+        ipiv = i;
+      }
+    }
+    if (ipiv == kUnpivoted || best < 1e-300) return false;  // singular
+    const double pivot = x_[ipiv];
+    uIdx_.push_back(k);  // pivot stored last in the U column
+    uVal_.push_back(pivot);
+    pinv_[ipiv] = k;
+    lIdx_.push_back(ipiv);  // unit diagonal stored first in the L column
+    lVal_.push_back(1.0);
+    const double invPivot = 1.0 / pivot;
+    for (std::size_t px = top; px < n_; ++px) {
+      const std::size_t i = xi_[px];
+      if (pinv_[i] == kUnpivoted) {
+        lIdx_.push_back(i);
+        lVal_.push_back(x_[i] * invPivot);
+      }
+      x_[i] = 0.0;
+    }
+  }
+  lPtr_[n_] = lVal_.size();
+  uPtr_[n_] = uVal_.size();
+  // Remap L's row indices into pivot space for the triangular solves.
+  for (auto& idx : lIdx_) idx = pinv_[idx];
+  valid_ = true;
+  return true;
+}
+
+void SparseLu::solveInPlace(Vector& b) const {
+  assert(valid_);
+  if (b.size() != n_) {
+    throw std::invalid_argument("SparseLu::solveInPlace: size mismatch");
+  }
+  scratch_.resize(n_);
+  // Map b into the fill-reducing ordering and through the pivot permutation
+  // in one gather; the result is scattered back below.
+  for (std::size_t i = 0; i < n_; ++i) scratch_[pinv_[i]] = b[perm_[i]];
+  // Forward solve L y = P b (unit diagonal is the first entry per column).
+  for (std::size_t j = 0; j < n_; ++j) {
+    const double xj = scratch_[j];
+    if (xj == 0.0) continue;
+    for (std::size_t p = lPtr_[j] + 1; p < lPtr_[j + 1]; ++p) {
+      scratch_[lIdx_[p]] -= lVal_[p] * xj;
+    }
+  }
+  // Backward solve U x = y (pivot is the last entry per column).
+  for (std::size_t jj = n_; jj-- > 0;) {
+    const std::size_t diag = uPtr_[jj + 1] - 1;
+    const double xj = scratch_[jj] / uVal_[diag];
+    scratch_[jj] = xj;
+    if (xj == 0.0) continue;
+    for (std::size_t p = uPtr_[jj]; p < diag; ++p) {
+      scratch_[uIdx_[p]] -= uVal_[p] * xj;
+    }
+  }
+  for (std::size_t i = 0; i < n_; ++i) b[perm_[i]] = scratch_[i];
 }
 
 }  // namespace nh::util

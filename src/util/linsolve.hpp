@@ -6,6 +6,7 @@
 /// produced by the finite-volume PDE discretisations.
 
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <optional>
 
@@ -15,6 +16,7 @@
 namespace nh::util {
 
 class GeometricMultigrid;  // util/multigrid.hpp
+class CgWorkspace;         // declared below
 
 /// Outcome of an iterative solve.
 struct IterativeResult {
@@ -63,29 +65,133 @@ class LuFactorization {
 /// Convenience one-shot dense solve. Throws std::runtime_error on singular A.
 Vector solveDense(const Matrix& a, const Vector& b);
 
+/// Non-owning view of a tridiagonal (or purely diagonal) matrix block. The
+/// line-network diagonal blocks have exactly this shape: the lumped
+/// one-node-per-line model couples lines only through the off-diagonal G
+/// block (so A1/A2 are diagonal = tridiagonal with zero off-diagonals), and
+/// the distributed per-segment line model chains neighbouring segments (true
+/// tridiagonal). lower/upper may be nullptr for a diagonal block.
+struct TridiagonalView {
+  const double* diag = nullptr;   ///< n entries.
+  const double* lower = nullptr;  ///< n-1 entries or nullptr (all zero).
+  const double* upper = nullptr;  ///< n-1 entries or nullptr (all zero).
+  std::size_t n = 0;
+
+  static TridiagonalView diagonal(const Vector& d) {
+    return {d.data(), nullptr, nullptr, d.size()};
+  }
+  static TridiagonalView tridiagonal(const Vector& lower, const Vector& d,
+                                     const Vector& upper) {
+    return {d.data(), lower.data(), upper.data(), d.size()};
+  }
+};
+
+/// Thomas-algorithm factorisation of a tridiagonal block: O(n) factor and
+/// solve instead of the O(n^2)/O(n^3) dense storage the Schur solver used
+/// for the line blocks. No pivoting -- the line-network blocks are strictly
+/// diagonally dominant (diagonal = driver + sum of couplings). factor()
+/// reuses the allocation across refactorisations.
+class TridiagonalFactor {
+ public:
+  /// Factor \p a. Returns false on a zero/non-finite pivot.
+  bool factor(const TridiagonalView& a);
+  bool valid() const { return valid_; }
+  std::size_t size() const { return m_.size(); }
+
+  /// Solve A x = b with b overwritten by the solution; no allocation.
+  void solveInPlace(Vector& b) const;
+  /// Raw-pointer overload (n entries) for matrix-free operator loops.
+  void solveInPlace(double* b) const;
+  /// Solve A X = B for every column of the n x m matrix \p b at once,
+  /// overwriting it; the recurrences sweep whole rows so the row-major
+  /// accesses stream.
+  void solveRowsInPlace(Matrix& b) const;
+
+ private:
+  Vector c_;      ///< Scaled upper diagonal (n-1).
+  Vector m_;      ///< Elimination pivots (n).
+  Vector lower_;  ///< Copy of the lower diagonal (n-1; empty when diagonal).
+  bool valid_ = false;
+};
+
+/// Controls for SchurComplementSolver.
+struct SchurOptions {
+  enum class Mode {
+    Dense,      ///< Assemble the dense Schur complement and LU-factor it.
+    Iterative,  ///< Matrix-free Jacobi-preconditioned CG on the complement.
+    Auto,       ///< Iterative when n2 >= iterativeMinCols, else Dense.
+  };
+  Mode mode = Mode::Auto;
+  /// Auto-mode crossover: the dense assembly is O(n1 n2^2) per solve, the
+  /// matrix-free CG is O(n1 n2) per iteration, so CG wins once the column
+  /// count clears the CG iteration count (tens for these diagonally
+  /// dominant complements).
+  std::size_t iterativeMinCols = 128;
+  double cgRelTol = 1e-12;
+  std::size_t cgMaxIter = 4000;
+};
+
 /// Solver for the bipartite block system
-///   [ diag(d1)   -G      ] [x1]   [r1]
-///   [ -G^T      diag(d2) ] [x2] = [r2]
+///   [ A1    -G  ] [x1]   [r1]
+///   [ -G^T  A2  ] [x2] = [r2]
 /// via the Schur complement on the second block:
-///   (diag(d2) - G^T diag(d1)^-1 G) x2 = r2 + G^T diag(d1)^-1 r1
-///   x1 = diag(d1)^-1 (r1 + G x2)
-/// Cost O(n1 n2^2 + n2^3) instead of the O((n1+n2)^3) dense factorisation.
+///   (A2 - G^T A1^-1 G) x2 = r2 + G^T A1^-1 r1
+///   x1 = A1^-1 (r1 + G x2)
 /// The crossbar line network has exactly this shape: word lines couple only
-/// to bit lines, never to each other. The workspace (Schur matrix, LU) is
+/// to bit lines, never to each other, and the diagonal blocks A1/A2 are
+/// (tri)diagonal. The dense path costs O(n1 n2^2 + n2^3) instead of the
+/// O((n1+n2)^3) dense factorisation; the matrix-free iterative path applies
+/// S x = A2 x - G^T (A1^-1 (G x)) in O(n1 n2) per CG iteration, which is
+/// what takes megabit arrays past the dense-assembly wall. The workspace is
 /// reused across calls, so Newton loops allocate nothing after the first.
 class SchurComplementSolver {
  public:
-  /// Solve with \p g of shape n1 x n2, \p d1 (size n1, entries nonzero),
-  /// \p d2 (size n2), residual \p r (size n1+n2; first block first). \p x
-  /// receives the solution (resized to n1+n2). Returns false when the Schur
+  SchurComplementSolver();
+  explicit SchurComplementSolver(SchurOptions options);
+  ~SchurComplementSolver();
+  SchurComplementSolver(SchurComplementSolver&&) noexcept;
+  SchurComplementSolver& operator=(SchurComplementSolver&&) noexcept;
+
+  SchurOptions& options() { return options_; }
+  const SchurOptions& options() const { return options_; }
+
+  /// Seed-compatible diagonal-block entry point: \p g of shape n1 x n2,
+  /// \p d1 (size n1, entries nonzero), \p d2 (size n2), residual \p r (size
+  /// n1+n2; first block first). \p x receives the solution (resized to
+  /// n1+n2). Always takes the dense path -- byte-identical to the seed
+  /// behaviour regardless of options(). Returns false when the Schur
   /// complement is singular to working precision.
   bool solve(const Vector& d1, const Vector& d2, const Matrix& g,
              const Vector& r, Vector& x);
 
+  /// Banded-block entry point: tridiagonal (or diagonal) blocks \p a1
+  /// (n1 x n1) and \p a2 (n2 x n2), coupling \p g (n1 x n2), residual \p r
+  /// (n1+n2). Honours options(): Dense assembles the complement through a
+  /// Thomas factorisation of A1, Iterative runs matrix-free CG. Returns
+  /// false on a singular complement / non-converged CG.
+  bool solveBanded(const TridiagonalView& a1, const TridiagonalView& a2,
+                   const Matrix& g, const Vector& r, Vector& x);
+
+  /// Diagnostics of the last solveBanded call in Iterative mode (zeros
+  /// after a dense solve).
+  const IterativeResult& lastIterative() const { return lastIterative_; }
+
  private:
+  bool solveBandedDense(const TridiagonalView& a1, const TridiagonalView& a2,
+                        const Matrix& g, const Vector& r, Vector& x);
+  bool solveBandedIterative(const TridiagonalView& a1, const TridiagonalView& a2,
+                            const Matrix& g, const Vector& r, Vector& x);
+
+  SchurOptions options_;
   Matrix schur_;
   Vector rhs_;
   LuFactorization lu_;
+  TridiagonalFactor a1Factor_;
+  IterativeResult lastIterative_;
+  // Iterative-path workspace.
+  Vector t1_, x2_, invDiag_;
+  Matrix w_;  ///< Dense-banded path: A1^-1 G.
+  std::unique_ptr<CgWorkspace> cgWs_;  ///< Created on first iterative solve.
 };
 
 /// Zero-fill incomplete Cholesky factorisation IC(0) of an SPD sparse
@@ -159,6 +265,10 @@ class CgWorkspace {
   friend IterativeResult solveConjugateGradient(const SparseMatrix&,
                                                 const Vector&, Vector&,
                                                 const CgOptions&, CgWorkspace*);
+  friend IterativeResult solveConjugateGradientOperator(
+      std::size_t, const std::function<void(const Vector&, Vector&)>&,
+      const Vector&, const Vector&, Vector&, double, std::size_t,
+      CgWorkspace*);
   Vector r_, z_, p_, ap_, invDiag_;
   IncompleteCholesky ic_;
   std::unique_ptr<GeometricMultigrid> mg_;  ///< Created on first MG solve.
@@ -181,6 +291,18 @@ IterativeResult solveConjugateGradient(const SparseMatrix& a, const Vector& b,
                                        Vector& x, double relTol = 1e-8,
                                        std::size_t maxIter = 10000);
 
+/// Matrix-free CG: \p applyA computes y = A x for the SPD operator and
+/// \p invDiag is the (approximate) inverse diagonal used as the Jacobi
+/// preconditioner. Used where the operator is cheap to apply but expensive
+/// to assemble -- the Schur complement of the bipartite line network is
+/// fully dense (every word line couples every pair of bit lines), so at
+/// megabit-array sizes only the operator form is affordable. \p x is the
+/// initial guess and holds the solution on return.
+IterativeResult solveConjugateGradientOperator(
+    std::size_t n, const std::function<void(const Vector&, Vector&)>& applyA,
+    const Vector& invDiag, const Vector& b, Vector& x, double relTol = 1e-8,
+    std::size_t maxIter = 10000, CgWorkspace* workspace = nullptr);
+
 /// Jacobi-preconditioned BiCGSTAB for general (possibly nonsymmetric)
 /// systems; used as a fallback/validation path.
 IterativeResult solveBiCgStab(const SparseMatrix& a, const Vector& b, Vector& x,
@@ -191,5 +313,57 @@ IterativeResult solveBiCgStab(const SparseMatrix& a, const Vector& b, Vector& x,
 /// \p lower has n-1 entries, \p diag n, \p upper n-1.
 Vector solveTridiagonal(const Vector& lower, const Vector& diag,
                         const Vector& upper, const Vector& rhs);
+
+/// Sparse LU factorisation with partial pivoting (left-looking
+/// Gilbert-Peierls, natural column order). Built for the MNA jacobians of
+/// large netlists: a full-array crossbar netlist has thousands of unknowns
+/// but only a handful of entries per row, so the dense O(n^3) factorisation
+/// (and its O(n^2) storage) is the scaling wall the sparse path removes.
+/// refactor() reuses every allocation, so Newton loops and transient
+/// marches refactor without touching the heap once the fill pattern has
+/// stabilised.
+class SparseLu {
+ public:
+  /// Factor the square matrix \p a. Returns false (leaving the
+  /// factorisation invalid) when \p a is singular to working precision.
+  ///
+  /// Fill control: the first factorisation of a structure computes a
+  /// reverse Cuthill-McKee ordering of the (symmetrised) pattern and
+  /// factors P A P^T instead of A -- netlists numbered line-by-line (the
+  /// crossbar's word-then-bit segment order has bandwidth O(n)) would
+  /// otherwise fill near-densely. Re-factorisations with an unchanged
+  /// structure (Newton loops) reuse the cached ordering; solveInPlace is
+  /// permutation-transparent.
+  bool refactor(const SparseMatrix& a);
+  bool valid() const { return valid_; }
+  std::size_t size() const { return n_; }
+  /// Entries stored in L + U (fill diagnostic).
+  std::size_t factorNonZeros() const { return lVal_.size() + uVal_.size(); }
+
+  /// Solve A x = b with b overwritten by the solution; no allocation.
+  void solveInPlace(Vector& b) const;
+
+ private:
+  /// Recompute perm_/iperm_ (reverse Cuthill-McKee) for a's structure.
+  void computeOrdering(const SparseMatrix& a);
+
+  std::size_t n_ = 0;
+  // Fill-reducing symmetric ordering: factor rows/cols are perm_[k] of the
+  // input; iperm_ is the inverse map. Cached against the input structure.
+  std::vector<std::size_t> perm_, iperm_;
+  std::vector<std::size_t> structRowPtr_, structColIdx_;
+  // CSC factors: L unit-lower-triangular (unit diagonal stored), U upper
+  // triangular with the pivot last in each column.
+  std::vector<std::size_t> lPtr_, lIdx_, uPtr_, uIdx_;
+  std::vector<double> lVal_, uVal_;
+  std::vector<std::size_t> pinv_;  ///< Row -> pivot position.
+  // CSC copy of the input (built by transposing the CSR) and workspaces.
+  std::vector<std::size_t> cscPtr_, cscIdx_;
+  std::vector<double> cscVal_;
+  std::vector<double> x_;  ///< Dense numeric scatter.
+  std::vector<std::size_t> stack_, pstack_, found_, xi_;  ///< DFS state.
+  mutable Vector scratch_;                   ///< Permutation scratch.
+  bool valid_ = false;
+};
 
 }  // namespace nh::util

@@ -45,6 +45,19 @@ struct FastEngineOptions {
   /// O((rows+cols)^3) dense factorisation. False keeps the seed dense solve
   /// (equivalence-test reference).
   bool useSchurSolve = true;
+  /// Which Schur backend carries the solve (only meaningful with
+  /// useSchurSolve). SeedDense is the original dense-complement assembly —
+  /// byte-identical to the seed at any size. Banded routes the diagonal
+  /// line blocks through the Thomas factorisation (same dense complement,
+  /// cheaper A1 handling); Iterative runs the matrix-free Jacobi-CG
+  /// complement, which is what takes 1024x1024 arrays past the
+  /// O(rows*cols^2) dense-assembly wall. Auto keeps the seed path below
+  /// schurIterativeMinCols bit lines (bit-identical where the paper's
+  /// figures live) and switches to Iterative above it.
+  enum class SchurMode { SeedDense, Banded, Iterative, Auto };
+  SchurMode schurMode = SchurMode::Auto;
+  /// Auto crossover: bit-line count at which the solve goes iterative.
+  std::size_t schurIterativeMinCols = 128;
 
   /// Exact comparison (study-dedup cache key component).
   bool operator==(const FastEngineOptions&) const = default;

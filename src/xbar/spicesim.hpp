@@ -24,6 +24,10 @@ struct SpiceEngineOptions {
   double dtInitial = 1e-11;
   /// Record per-cell state/temperature traces (adds probes).
   bool traceCells = true;
+  /// Newton controls forwarded to the transient analysis. The defaults keep
+  /// the seed behaviour at seed sizes; large crossbar netlists cross
+  /// NewtonOptions::sparseMinUnknowns and route through the sparse stack.
+  nh::spice::NewtonOptions newton;
 };
 
 /// Per-line pulse programming: the stimuli for one transient run.

@@ -244,6 +244,52 @@ TEST(ExperimentEngine, ProcessWideCacheServesRepeatRunsWarm) {
   EXPECT_EQ(studyCacheSize(), 0u);
 }
 
+/// The process-wide cache is LRU-bounded: capacity caps the entry count,
+/// shrinking evicts immediately, and the *least recently used* study is the
+/// one to go -- a recently re-touched entry must survive an insert at
+/// capacity.
+TEST(ExperimentEngine, StudyCacheIsLruBounded) {
+  clearStudyCache();
+  const std::size_t defaultCapacity = studyCacheCapacity();
+  EXPECT_GE(defaultCapacity, 2u);
+
+  // Warm the cache with the two unique studies of the attack grid.
+  runExperiment(attackGridSpec(), {});
+  ASSERT_EQ(studyCacheSize(), 2u);
+
+  // Shrinking the capacity below the population evicts immediately.
+  setStudyCacheCapacity(1);
+  EXPECT_EQ(studyCacheCapacity(), 1u);
+  EXPECT_EQ(studyCacheSize(), 1u);
+
+  // With room for one study, the two-study grid must stay bounded (the
+  // second insert evicts the first) and still produce correct rows: every
+  // point re-runs against a freshly built study when its entry is gone.
+  const std::size_t before = AttackStudy::constructionCount();
+  const ExperimentResult bounded = runExperiment(attackGridSpec(), {});
+  EXPECT_EQ(studyCacheSize(), 1u);
+  EXPECT_GT(AttackStudy::constructionCount(), before);
+  for (const auto& row : bounded.rows) {
+    EXPECT_EQ(row[3].number, 1.0) << "point did not flip within budget";
+  }
+
+  // Restore a roomy capacity and check LRU recency: re-running the grid
+  // touches both entries, so they must both survive further activity below
+  // the cap.
+  setStudyCacheCapacity(defaultCapacity);
+  clearStudyCache();
+  runExperiment(attackGridSpec(), {});
+  const ExperimentResult warm = runExperiment(attackGridSpec(), {});
+  EXPECT_EQ(warm.studiesReused, 2u);
+
+  // Capacity is clamped to >= 1 so the cache never degenerates to "throw
+  // on insert".
+  setStudyCacheCapacity(0);
+  EXPECT_EQ(studyCacheCapacity(), 1u);
+  setStudyCacheCapacity(defaultCapacity);
+  clearStudyCache();
+}
+
 TEST(ExperimentEngine, SerialAndParallelRunsAreBitIdentical) {
   RunOptions serial;
   serial.threads = 1;

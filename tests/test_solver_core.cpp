@@ -698,4 +698,289 @@ TEST(DiffusionSolver, PinValueChangesReuseStructure) {
   }
 }
 
+// ---- banded / iterative Schur paths ------------------------------------------
+
+// Shared fixture: a random diagonally dominant bipartite block system plus
+// its dense reference solution.
+struct BlockSystem {
+  Vector d1, d2, r, xRef;
+  Matrix g;
+};
+
+BlockSystem makeBlockSystem(Rng& rng, std::size_t n1, std::size_t n2) {
+  BlockSystem s;
+  s.g = Matrix(n1, n2);
+  s.d1 = Vector(n1, 0.02);
+  s.d2 = Vector(n2, 0.02);
+  for (std::size_t i = 0; i < n1; ++i) {
+    for (std::size_t c = 0; c < n2; ++c) {
+      const double gc = std::pow(10.0, rng.uniform(-6.0, -3.0));
+      s.g(i, c) = gc;
+      s.d1[i] += gc;
+      s.d2[c] += gc;
+    }
+  }
+  s.r = Vector(n1 + n2);
+  for (auto& v : s.r) v = rng.uniform(-1e-3, 1e-3);
+  const std::size_t n = n1 + n2;
+  Matrix j(n, n, 0.0);
+  for (std::size_t i = 0; i < n1; ++i) j(i, i) = s.d1[i];
+  for (std::size_t c = 0; c < n2; ++c) j(n1 + c, n1 + c) = s.d2[c];
+  for (std::size_t i = 0; i < n1; ++i) {
+    for (std::size_t c = 0; c < n2; ++c) {
+      j(i, n1 + c) = -s.g(i, c);
+      j(n1 + c, i) = -s.g(i, c);
+    }
+  }
+  s.xRef = nh::util::solveDense(j, s.r);
+  return s;
+}
+
+TEST(SchurComplementSolver, DegenerateShapesMatchDense) {
+  // 1xN, Nx1, and the single-cell 1x1 block system: the Schur complement
+  // machinery must not assume either block has more than one entry.
+  Rng rng(321);
+  nh::util::SchurComplementSolver solver;
+  for (const auto [n1, n2] : {std::pair<std::size_t, std::size_t>{1, 9},
+                              {9, 1},
+                              {1, 1}}) {
+    const BlockSystem s = makeBlockSystem(rng, n1, n2);
+    Vector x;
+    ASSERT_TRUE(solver.solve(s.d1, s.d2, s.g, s.r, x)) << n1 << "x" << n2;
+    ASSERT_EQ(x.size(), s.xRef.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      EXPECT_NEAR(x[i], s.xRef[i], 1e-9 * std::max(1.0, std::fabs(s.xRef[i])))
+          << n1 << "x" << n2 << " entry " << i;
+    }
+    // The banded entry points must handle the same degenerate shapes.
+    for (const auto mode : {nh::util::SchurOptions::Mode::Dense,
+                            nh::util::SchurOptions::Mode::Iterative}) {
+      solver.options().mode = mode;
+      Vector xb;
+      ASSERT_TRUE(solver.solveBanded(nh::util::TridiagonalView::diagonal(s.d1),
+                                     nh::util::TridiagonalView::diagonal(s.d2),
+                                     s.g, s.r, xb));
+      for (std::size_t i = 0; i < xb.size(); ++i) {
+        EXPECT_NEAR(xb[i], s.xRef[i],
+                    1e-8 * std::max(1.0, std::fabs(s.xRef[i])));
+      }
+    }
+    solver.options().mode = nh::util::SchurOptions::Mode::Auto;
+  }
+}
+
+TEST(SchurComplementSolver, BandedAndIterativeMatchDenseReference) {
+  Rng rng(99);
+  for (const auto [n1, n2] : {std::pair<std::size_t, std::size_t>{24, 16},
+                              {7, 31}}) {
+    const BlockSystem s = makeBlockSystem(rng, n1, n2);
+    for (const auto mode : {nh::util::SchurOptions::Mode::Dense,
+                            nh::util::SchurOptions::Mode::Iterative}) {
+      nh::util::SchurComplementSolver solver;
+      solver.options().mode = mode;
+      Vector x;
+      ASSERT_TRUE(solver.solveBanded(nh::util::TridiagonalView::diagonal(s.d1),
+                                     nh::util::TridiagonalView::diagonal(s.d2),
+                                     s.g, s.r, x));
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        EXPECT_NEAR(x[i], s.xRef[i], 1e-8 * std::max(1.0, std::fabs(s.xRef[i])));
+      }
+      if (mode == nh::util::SchurOptions::Mode::Iterative) {
+        EXPECT_TRUE(solver.lastIterative().converged);
+        EXPECT_GT(solver.lastIterative().iterations, 0u);
+      }
+    }
+  }
+}
+
+TEST(TridiagonalFactor, MatchesOneShotThomasAndDense) {
+  Rng rng(5);
+  const std::size_t n = 40;
+  Vector lower(n - 1), diag(n), upper(n - 1), b(n);
+  for (std::size_t i = 0; i < n - 1; ++i) {
+    lower[i] = rng.uniform(-1.0, -0.1);
+    upper[i] = rng.uniform(-1.0, -0.1);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    diag[i] = 4.0 + rng.uniform(0.0, 1.0);  // diagonally dominant
+    b[i] = rng.uniform(-1.0, 1.0);
+  }
+  const Vector xRef = nh::util::solveTridiagonal(lower, diag, upper, b);
+
+  nh::util::TridiagonalFactor f;
+  ASSERT_TRUE(f.factor(nh::util::TridiagonalView::tridiagonal(lower, diag, upper)));
+  Vector x = b;
+  f.solveInPlace(x);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], xRef[i], 1e-12);
+
+  // Multi-RHS row sweep: every column solved exactly like the vector path.
+  Matrix rhs(n, 3);
+  for (std::size_t i = 0; i < n; ++i) {
+    rhs(i, 0) = b[i];
+    rhs(i, 1) = 2.0 * b[i];
+    rhs(i, 2) = -b[i];
+  }
+  f.solveRowsInPlace(rhs);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(rhs(i, 0), xRef[i], 1e-12);
+    EXPECT_NEAR(rhs(i, 1), 2.0 * xRef[i], 1e-11);
+    EXPECT_NEAR(rhs(i, 2), -xRef[i], 1e-12);
+  }
+
+  // Diagonal-only view: solve is element-wise division.
+  Vector d(4, 2.0), bd(4, 1.0);
+  nh::util::TridiagonalFactor fd;
+  ASSERT_TRUE(fd.factor(nh::util::TridiagonalView::diagonal(d)));
+  fd.solveInPlace(bd);
+  for (const double v : bd) EXPECT_DOUBLE_EQ(v, 0.5);
+
+  // Singular diagonal must be rejected.
+  Vector dz(3, 0.0);
+  nh::util::TridiagonalFactor fz;
+  EXPECT_FALSE(fz.factor(nh::util::TridiagonalView::diagonal(dz)));
+}
+
+// ---- sparse LU ---------------------------------------------------------------
+
+// 2D grid Laplacian numbered in the fill-hostile order the crossbar MNA
+// produces naturally (all of one line family, then the other).
+SparseMatrix gridSystem(std::size_t m, Rng& rng) {
+  TripletBuilder b(m * m, m * m);
+  const auto id = [m](std::size_t r, std::size_t c) { return r * m + c; };
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t c = 0; c < m; ++c) {
+      const double d = 4.2 + rng.uniform(0.0, 0.4);
+      b.add(id(r, c), id(r, c), d);
+      if (r + 1 < m) {
+        b.add(id(r, c), id(r + 1, c), -1.0);
+        b.add(id(r + 1, c), id(r, c), -1.0);
+      }
+      if (c + 1 < m) {
+        b.add(id(r, c), id(r, c + 1), -1.0);
+        b.add(id(r, c + 1), id(r, c), -1.0);
+      }
+    }
+  }
+  return SparseMatrix::fromTriplets(b);
+}
+
+TEST(SparseLu, MatchesDenseLuOnGridSystem) {
+  Rng rng(7);
+  const std::size_t m = 12;
+  const SparseMatrix a = gridSystem(m, rng);
+  const std::size_t n = a.rows();
+  Matrix dense(n, n, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t k = a.rowPtr()[r]; k < a.rowPtr()[r + 1]; ++k) {
+      dense(r, a.colIdx()[k]) += a.values()[k];
+    }
+  }
+  Vector b(n);
+  for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+  const Vector xRef = nh::util::solveDense(dense, b);
+
+  nh::util::SparseLu lu;
+  ASSERT_TRUE(lu.refactor(a));
+  Vector x = b;
+  lu.solveInPlace(x);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], xRef[i], 1e-10);
+
+  // The RCM ordering must keep the factors sparse: a banded factorisation
+  // of an m x m grid stores O(n * m) entries, nowhere near the dense n^2
+  // (which the natural-order elimination of this numbering approaches).
+  EXPECT_LT(lu.factorNonZeros(), n * (4 * m));
+}
+
+TEST(SparseLu, SameStructureRefactorIsBitIdenticalToFresh) {
+  Rng rng(11);
+  const std::size_t m = 6;
+  const SparseMatrix a1 = gridSystem(m, rng);
+  const SparseMatrix a2 = gridSystem(m, rng);  // same pattern, new values
+
+  nh::util::SparseLu reused;
+  ASSERT_TRUE(reused.refactor(a1));
+  ASSERT_TRUE(reused.refactor(a2));  // exercises the cached-ordering path
+
+  nh::util::SparseLu fresh;
+  ASSERT_TRUE(fresh.refactor(a2));
+
+  Vector b(a2.rows());
+  for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+  Vector xReused = b, xFresh = b;
+  reused.solveInPlace(xReused);
+  fresh.solveInPlace(xFresh);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    EXPECT_DOUBLE_EQ(xReused[i], xFresh[i]);
+  }
+}
+
+TEST(SparseLu, SingularMatrixReturnsFalse) {
+  TripletBuilder b(3, 3);
+  b.add(0, 0, 1.0);
+  b.add(0, 1, 1.0);
+  b.add(1, 0, 2.0);
+  b.add(1, 1, 2.0);  // row 1 = 2 * row 0
+  b.add(2, 2, 1.0);
+  const SparseMatrix a = SparseMatrix::fromTriplets(b);
+  nh::util::SparseLu lu;
+  EXPECT_FALSE(lu.refactor(a));
+  EXPECT_FALSE(lu.valid());
+}
+
+// ---- FastEngine Schur-mode equivalence ---------------------------------------
+
+TEST(FastEngineSchur, AllModesMatchTheSeedDensePath) {
+  // Banded, Iterative, and a forced-iterative Auto must reproduce the seed
+  // dense line solve on the same crossbar within solver tolerance.
+  using SchurMode = nh::xbar::FastEngineOptions::SchurMode;
+  nh::xbar::ArrayConfig cfg;
+  cfg.rows = 7;
+  cfg.cols = 9;
+
+  const auto runWith = [&](SchurMode mode, std::size_t minCols,
+                           nh::xbar::CrossbarArray& array) {
+    nh::xbar::FastEngineOptions opt;
+    opt.useSchurSolve = true;
+    opt.schurMode = mode;
+    opt.schurIterativeMinCols = minCols;
+    nh::xbar::FastEngine engine(array, nh::xbar::AlphaTable::analytic(50e-9),
+                                opt);
+    const auto bias = nh::xbar::selectBias(nh::xbar::BiasScheme::Half, cfg.rows,
+                                           cfg.cols, 3, 4, 1.05);
+    engine.applyBias(bias, 10e-9);
+    return engine.lastLineVoltages();
+  };
+
+  const auto makeArray = [&]() {
+    nh::xbar::CrossbarArray array(cfg);
+    array.fill(nh::xbar::CellState::Hrs);
+    array.setState(3, 4, nh::xbar::CellState::Lrs);
+    array.setState(2, 6, nh::xbar::CellState::Lrs);
+    return array;
+  };
+
+  auto seedArray = makeArray();
+  const auto seed = runWith(SchurMode::SeedDense, 128, seedArray);
+
+  // Auto below the crossover threshold is the seed path bit for bit.
+  auto autoArray = makeArray();
+  const auto autoSmall = runWith(SchurMode::Auto, 128, autoArray);
+  ASSERT_EQ(autoSmall.size(), seed.size());
+  for (std::size_t i = 0; i < seed.size(); ++i) {
+    EXPECT_DOUBLE_EQ(autoSmall[i], seed[i]) << "line " << i;
+  }
+
+  for (const auto [mode, minCols] :
+       {std::pair<SchurMode, std::size_t>{SchurMode::Banded, 128},
+        {SchurMode::Iterative, 128},
+        {SchurMode::Auto, 1}}) {  // Auto past the crossover goes iterative
+    auto array = makeArray();
+    const auto lv = runWith(mode, minCols, array);
+    ASSERT_EQ(lv.size(), seed.size());
+    for (std::size_t i = 0; i < seed.size(); ++i) {
+      EXPECT_NEAR(lv[i], seed[i], 1e-9) << "line " << i;
+    }
+  }
+}
+
 }  // namespace
