@@ -50,6 +50,7 @@
 #include "core/experiment.hpp"
 #include "core/experiment_registry.hpp"
 #include "core/study.hpp"
+#include "util/cancellation.hpp"
 #include "util/csv.hpp"
 #include "util/stringutil.hpp"
 #include "util/threadpool.hpp"
@@ -109,6 +110,8 @@ struct CliOptions {
   std::filesystem::path baselineDir = nh::core::defaultBaselineDir();
   bool all = false;              ///< --all (check / record).
   bool update = false;           ///< --update (check): re-record mismatches.
+  double deadlineSeconds = 0.0;  ///< --deadline: wall-clock budget (0 = off).
+  bool resume = false;           ///< --resume: restart from the checkpoint.
   std::vector<std::string> names;
 };
 
@@ -153,6 +156,18 @@ CliOptions parseCliOptions(int argc, char** argv, int start) {
       cli.all = true;
     } else if (arg == "--update") {
       cli.update = true;
+    } else if (arg == "--deadline") {
+      cli.deadlineSeconds =
+          nh::util::parseDouble(next("--deadline"), "--deadline");
+      if (!(cli.deadlineSeconds > 0.0)) {
+        throw std::invalid_argument("--deadline expects seconds > 0");
+      }
+    } else if (arg == "--resume") {
+      cli.resume = true;
+    } else if (arg == "--retries") {
+      cli.run.pointRetries = nextCount("--retries", 100);
+    } else if (arg == "--keep-going") {
+      cli.run.onPointFailure = nh::core::PointFailurePolicy::Skip;
     } else if (!arg.empty() && arg[0] == '-') {
       throw std::invalid_argument("unknown option '" + arg + "'");
     } else {
@@ -194,6 +209,21 @@ nh::core::ExperimentResult runOne(const std::string& name,
   std::printf("threads: %zu (override with --threads or NH_THREADS)%s\n",
               options.threads, options.fast ? "  [fast mode]" : "");
 
+  // --deadline / --resume turn on checkpointing: completed rows persist
+  // across interruptions, keyed by the config digest.
+  nh::util::CancellationSource deadline;  // must outlive runExperiment
+  if (cli.deadlineSeconds > 0.0 || cli.resume) {
+    options.checkpointDir = cli.outDir / "checkpoints";
+    options.resume = cli.resume;
+  }
+  if (cli.deadlineSeconds > 0.0) {
+    deadline = nh::util::CancellationSource::withDeadline(cli.deadlineSeconds);
+    options.cancel = deadline.token();
+    std::printf("deadline: %.3g s (completed rows checkpoint to %s)\n",
+                cli.deadlineSeconds,
+                (options.checkpointDir / (name + ".json")).string().c_str());
+  }
+
   const nh::core::ExperimentResult result =
       nh::core::runExperiment(spec, options);
   if (printTables) {
@@ -208,6 +238,20 @@ nh::core::ExperimentResult runOne(const std::string& name,
               result.studiesConstructed,
               result.studiesConstructed == 1 ? "y" : "ies",
               result.studiesReused);
+  if (result.pointsResumed > 0) {
+    std::printf("  resumed %zu point(s) from the checkpoint\n",
+                result.pointsResumed);
+  }
+  if (!result.complete()) {
+    const std::size_t total = result.rows.size();
+    std::printf("nh_sweep: INCOMPLETE -- %zu/%zu point(s) done (%zu failed, "
+                "%zu cancelled/timed-out)%s\n",
+                result.pointsOk, total, result.pointsFailed,
+                result.pointsCancelled,
+                options.checkpointDir.empty()
+                    ? ""
+                    : "; checkpoint kept, rerun with --resume");
+  }
   return result;
 }
 
@@ -215,8 +259,9 @@ int runCommand(int argc, char** argv, bool all) {
   CliOptions cli = parseCliOptions(argc, argv, 2);
   cli.all = cli.all || all;
   const auto names = resolveNames(cli, all ? "run-all" : "run");
+  std::size_t incomplete = 0;
   for (const auto& name : names) {
-    runOne(name, cli, /*printTables=*/true);
+    if (!runOne(name, cli, /*printTables=*/true).complete()) ++incomplete;
     if (names.size() > 1) std::printf("\n");
   }
   if (names.size() > 1) {
@@ -224,7 +269,9 @@ int runCommand(int argc, char** argv, bool all) {
                 "studies\n",
                 names.size(), nh::core::studyCacheSize());
   }
-  return 0;
+  // Partial results (deadline expiry / failed points) exit nonzero so
+  // scripted callers notice; the JSON/CSV and checkpoint were still written.
+  return incomplete == 0 ? 0 : 1;
 }
 
 int checkCommand(int argc, char** argv) {
@@ -512,6 +559,16 @@ int main(int argc, char** argv) try {
         "NH_RESULTS_DIR / bench_results)\n"
         "    --baselines DIR                     baseline directory (default "
         "NH_BASELINE_DIR / baselines)\n"
+        "    --deadline SECONDS                  wall-clock budget; on expiry "
+        "the partial result and a\n"
+        "                                        checkpoint are written and "
+        "the exit code is nonzero\n"
+        "    --resume                            skip points a digest-matching "
+        "checkpoint already holds\n"
+        "    --retries N                         re-run a failed point up to N "
+        "times before flagging it\n"
+        "    --keep-going                        record failed points as "
+        "flagged rows instead of aborting\n"
         "  nh_sweep [sweep.ini]                  legacy INI sweep mode\n");
     return 0;
   }

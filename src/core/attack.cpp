@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/cancellation.hpp"
+
 namespace nh::core {
 
 AttackEngine::AttackEngine(xbar::FastEngine& engine, DetectorConfig detector)
@@ -80,6 +82,9 @@ AttackResult AttackEngine::run(const AttackConfig& config) {
   bool flipped = false;
 
   while (applied < config.maxPulses && !flipped) {
+    // The chunk below also checks inside applyPulseTrain (per pulse); this
+    // outer check covers configurations with relaxation-only chunks.
+    util::checkCancellation("attack pulse loop");
     const auto& aggressor = config.aggressors[aggressorIndex];
     aggressorIndex = (aggressorIndex + 1) % config.aggressors.size();
 

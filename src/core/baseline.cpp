@@ -26,35 +26,6 @@ std::string readFile(const std::filesystem::path& path) {
   return out.str();
 }
 
-ResultValue cellFromJson(const nh::util::JsonValue& v) {
-  using Type = nh::util::JsonValue::Type;
-  switch (v.type()) {
-    case Type::Number:
-      return ResultValue::num(v.asNumber());
-    case Type::String:
-      return ResultValue::str(v.asString());
-    case Type::Object: {
-      const std::string shape = v.at("shape").asString();
-      std::vector<double> values;
-      values.reserve(v.at("values").size());
-      for (const auto& e : v.at("values").items()) {
-        values.push_back(e.asNumber());
-      }
-      if (shape == "trace") return ResultValue::trace(std::move(values));
-      if (shape == "matrix") {
-        return ResultValue::matrix(
-            static_cast<std::size_t>(v.at("rows").asNumber()),
-            static_cast<std::size_t>(v.at("cols").asNumber()),
-            std::move(values));
-      }
-      throw std::runtime_error("baseline cell has unknown shape '" + shape +
-                               "'");
-    }
-    default:
-      throw std::runtime_error("baseline cell has an unsupported JSON type");
-  }
-}
-
 std::string renderScalar(const ResultValue& cell) {
   return cell.kind == ResultValue::Kind::Text ? cell.text
                                               : nh::util::formatDouble(cell.number);
@@ -294,7 +265,7 @@ BaselineCheck checkBaseline(const ExperimentResult& result,
       return check;
     }
     for (std::size_t c = 0; c < cells.size(); ++c) {
-      compareCells(cellFromJson(cells[c]), result.rows[r][c],
+      compareCells(readCellJson(cells[c]), result.rows[r][c],
                    result.columns[c], r, check);
     }
   }

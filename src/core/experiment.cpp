@@ -9,8 +9,11 @@
 #include <fstream>
 #include <memory>
 #include <mutex>
+#include <sstream>
 #include <stdexcept>
 
+#include "util/cancellation.hpp"
+#include "util/faultinject.hpp"
 #include "util/json.hpp"
 #include "util/log.hpp"
 #include "util/threadpool.hpp"
@@ -88,6 +91,17 @@ const char* shapeName(ColumnSpec::Shape shape) {
     case ColumnSpec::Shape::Scalar: break;
   }
   return "scalar";
+}
+
+const char* pointStatusName(PointOutcome::Status status) {
+  switch (status) {
+    case PointOutcome::Status::Failed: return "failed";
+    case PointOutcome::Status::Cancelled: return "cancelled";
+    case PointOutcome::Status::TimedOut: return "timed-out";
+    case PointOutcome::Status::Resumed: return "resumed";
+    case PointOutcome::Status::Ok: break;
+  }
+  return "ok";
 }
 
 namespace colfmt {
@@ -307,6 +321,85 @@ StudyCache& studyCache() {
   return instance;
 }
 
+/// ---- checkpoint store ----------------------------------------------------
+///
+/// One JSON document per experiment: {"experiment", "config_digest",
+/// "points", "rows": [{"index": i, "cells": [...]} ...]} holding only the
+/// rows whose points completed OK. Row slots are serially indexed, so a
+/// resumed run that skips them is bit-identical to an uninterrupted one.
+
+void writeCheckpointFile(const std::filesystem::path& path,
+                         const std::string& name, const std::string& digest,
+                         std::size_t pointCount,
+                         const std::vector<std::vector<ResultValue>>& rows,
+                         const std::vector<PointOutcome>& outcomes) {
+  nh::util::JsonWriter w;
+  w.beginObject();
+  w.key("experiment").value(name);
+  w.key("config_digest").value(digest);
+  w.key("points").value(pointCount);
+  w.key("rows").beginArray();
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (!outcomes[i].ok()) continue;
+    w.beginObject();
+    w.key("index").value(i);
+    w.key("cells").beginArray();
+    for (const auto& cell : rows[i]) writeCellJson(w, cell);
+    w.endArray();
+    w.endObject();
+  }
+  w.endArray();
+  w.endObject();
+
+  // Write-then-rename: a crash mid-write must never leave a truncated file
+  // where the previous good checkpoint was.
+  std::filesystem::create_directories(path.parent_path());
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out << w.str() << "\n";
+    out.flush();
+    if (!out) {
+      throw std::runtime_error("checkpoint: cannot write " + tmp.string());
+    }
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+/// Completed rows of a digest-matching checkpoint, by serial index. A
+/// missing, corrupt, or mismatching (digest / point count / row width)
+/// checkpoint yields no rows -- resume silently degrades to a full run.
+std::vector<std::unique_ptr<std::vector<ResultValue>>> loadCheckpointRows(
+    const std::filesystem::path& path, const std::string& digest,
+    std::size_t pointCount, std::size_t columnCount) {
+  std::vector<std::unique_ptr<std::vector<ResultValue>>> rows(pointCount);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return rows;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  try {
+    const nh::util::JsonValue doc = nh::util::JsonValue::parse(buf.str());
+    if (doc.at("config_digest").asString() != digest) return rows;
+    if (static_cast<std::size_t>(doc.at("points").asNumber()) != pointCount) {
+      return rows;
+    }
+    for (const auto& entry : doc.at("rows").items()) {
+      const auto i = static_cast<std::size_t>(entry.at("index").asNumber());
+      if (i >= pointCount) continue;
+      const auto& cells = entry.at("cells").items();
+      if (cells.size() != columnCount) continue;
+      auto row = std::make_unique<std::vector<ResultValue>>();
+      row->reserve(columnCount);
+      for (const auto& cell : cells) row->push_back(readCellJson(cell));
+      rows[i] = std::move(row);
+    }
+  } catch (const std::exception&) {
+    // Unreadable checkpoint: pretend it does not exist.
+    for (auto& row : rows) row.reset();
+  }
+  return rows;
+}
+
 }  // namespace
 
 std::size_t studyCacheSize() {
@@ -388,7 +481,14 @@ ExperimentResult runExperiment(const ExperimentSpec& spec,
   // `check --all` batch the whole catalog against one warm study set. Each
   // construction is internally serial and cache hits are immutable, so the
   // parallel build stays bit-identical for every thread count.
+  //
+  // Fault tolerance: a construction failure is captured per unique config.
+  // Under PointFailurePolicy::Abort it rethrows (legacy behaviour); under
+  // Skip every point sharing the config inherits the outcome as a flagged
+  // row. Cancellation is recorded, never rethrown -- a cancelled run
+  // returns its partial result.
   std::vector<std::shared_ptr<const AttackStudy>> studies;
+  std::vector<PointOutcome> studyOutcomes(uniqueConfigs.size());
   std::size_t studiesReused = 0;
   if (spec.buildStudies) {
     studies.resize(uniqueConfigs.size());
@@ -400,8 +500,22 @@ ExperimentResult runExperiment(const ExperimentSpec& spec,
         uniqueConfigs.size(),
         [&](std::size_t u) {
           if (studies[u]) return;
-          studies[u] = std::make_shared<const AttackStudy>(*uniqueConfigs[u]);
-          studyCache().insert(*uniqueConfigs[u], studies[u]);
+          const nh::util::CancellationScope scope(options.cancel);
+          try {
+            nh::util::checkCancellation("study construction");
+            studies[u] = std::make_shared<const AttackStudy>(*uniqueConfigs[u]);
+            studyCache().insert(*uniqueConfigs[u], studies[u]);
+          } catch (const nh::util::CancelledError& e) {
+            studyOutcomes[u].status = e.deadlineExpired()
+                                          ? PointOutcome::Status::TimedOut
+                                          : PointOutcome::Status::Cancelled;
+            studyOutcomes[u].error = e.what();
+          } catch (const std::exception& e) {
+            if (options.onPointFailure == PointFailurePolicy::Abort) throw;
+            studyOutcomes[u].status = PointOutcome::Status::Failed;
+            studyOutcomes[u].error =
+                std::string("study construction: ") + e.what();
+          }
         },
         options.threads);
   }
@@ -425,65 +539,207 @@ ExperimentResult runExperiment(const ExperimentSpec& spec,
   result.pivot = spec.pivot;
   result.rows.resize(pointCount);
   result.pointValues.resize(pointCount);
+  result.outcomes.assign(pointCount, PointOutcome{});
+  // Axis values are known for every slot whether or not its point runs --
+  // flagged rows still label their grid position in the sinks.
+  for (std::size_t i = 0; i < pointCount; ++i) {
+    result.pointValues[i] = pointValuesAt(axes, i);
+  }
+
+  const std::filesystem::path ckpt =
+      options.checkpointDir.empty()
+          ? std::filesystem::path()
+          : checkpointPath(options.checkpointDir, spec.name);
+
+  // Resume: pre-fill row slots from a digest-matching checkpoint. Restored
+  // rows count as OK (status Resumed) and their points never execute, so
+  // the final rows are bit-identical to an uninterrupted run.
+  if (options.resume && !ckpt.empty()) {
+    auto restored =
+        loadCheckpointRows(ckpt, result.configDigest, pointCount,
+                           spec.columns.size());
+    for (std::size_t i = 0; i < pointCount; ++i) {
+      if (!restored[i]) continue;
+      result.rows[i] = std::move(*restored[i]);
+      result.outcomes[i].status = PointOutcome::Status::Resumed;
+      result.outcomes[i].attempts = 0;
+    }
+  }
+
+  // Progress bookkeeping: outcomes settle one at a time under the mutex, the
+  // checkpoint is persisted after each OK point, and the observer (CLI
+  // progress, test-driven cancellation) runs serially.
+  std::mutex progressMutex;
+  std::size_t settled = 0;
+  for (const auto& outcome : result.outcomes) {
+    if (outcome.status == PointOutcome::Status::Resumed) ++settled;
+  }
+  const auto settle = [&](std::size_t i, PointOutcome outcome) {
+    const std::lock_guard<std::mutex> lock(progressMutex);
+    result.outcomes[i] = std::move(outcome);
+    ++settled;
+    if (result.outcomes[i].ok() && !ckpt.empty()) {
+      writeCheckpointFile(ckpt, spec.name, result.configDigest, pointCount,
+                          result.rows, result.outcomes);
+    }
+    if (options.onPointComplete) {
+      options.onPointComplete(i, result.outcomes[i], settled);
+    }
+  };
+
+  // One point's run function plus the row/shape validation; throws on any
+  // contract violation. Only called with the point's cancellation scope and
+  // fault-injection scope installed.
+  const auto executePoint = [&](std::size_t i) {
+    PointContext ctx;
+    ctx.spec = &spec;
+    ctx.index = i;
+    ctx.values = result.pointValues[i];
+    ctx.config = pointConfigs[i];
+    ctx.study = spec.buildStudies ? studies[studyIndex[i]].get() : nullptr;
+    ctx.maxPulses = maxPulses;
+    ctx.fast = options.fast;
+    std::vector<ResultValue> row = spec.run(ctx);
+    if (row.size() != spec.columns.size()) {
+      throw std::runtime_error("experiment '" + spec.name + "': point " +
+                               std::to_string(i) + " produced " +
+                               std::to_string(row.size()) + " cells for " +
+                               std::to_string(spec.columns.size()) +
+                               " columns");
+    }
+    // Shape check: every cell must match its column's declared shape
+    // (text placeholders are allowed anywhere -- the "-" convention of
+    // the finalize hooks).
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const ColumnSpec::Shape declared = spec.columns[c].shape;
+      const ResultValue::Kind kind = row[c].kind;
+      const bool ok =
+          kind == ResultValue::Kind::Text ||
+          (declared == ColumnSpec::Shape::Scalar &&
+           kind == ResultValue::Kind::Number) ||
+          (declared == ColumnSpec::Shape::Trace &&
+           kind == ResultValue::Kind::Trace) ||
+          (declared == ColumnSpec::Shape::Matrix &&
+           kind == ResultValue::Kind::Matrix);
+      if (!ok) {
+        throw std::runtime_error(
+            "experiment '" + spec.name + "': point " + std::to_string(i) +
+            " put a mismatched cell into the " +
+            std::string(shapeName(declared)) + " column '" +
+            spec.columns[c].name + "'");
+      }
+    }
+    std::string where;
+    for (std::size_t ai = 0; ai < axes.size(); ++ai) {
+      where += (ai ? " " : "") + axes[ai].name + "=" +
+               nh::util::formatDouble(ctx.values[ai]);
+    }
+    nh::util::logInfo(spec.name, ": ", where, " done (point ", i + 1, "/",
+                      pointCount, ")");
+    result.rows[i] = std::move(row);
+  };
 
   // threads == 1 runs in index order on the calling thread -- the mode
   // wall-clock-measuring specs force so points never time each other.
+  //
+  // The cancellation scope is installed INSIDE each point body, never around
+  // the parallelFor call: the loop itself must keep claiming slots so every
+  // pending point settles with a recorded Cancelled outcome instead of the
+  // loop aborting mid-grid.
   const std::size_t pointThreads = spec.serialPoints ? 1 : options.threads;
   nh::util::parallelFor(
       pointCount,
       [&](std::size_t i) {
-        PointContext ctx;
-        ctx.spec = &spec;
-        ctx.index = i;
-        ctx.values = pointValuesAt(axes, i);
-        ctx.config = pointConfigs[i];
-        ctx.study = spec.buildStudies ? studies[studyIndex[i]].get() : nullptr;
-        ctx.maxPulses = maxPulses;
-        ctx.fast = options.fast;
-        std::vector<ResultValue> row = spec.run(ctx);
-        if (row.size() != spec.columns.size()) {
-          throw std::runtime_error("experiment '" + spec.name + "': point " +
-                                   std::to_string(i) + " produced " +
-                                   std::to_string(row.size()) + " cells for " +
-                                   std::to_string(spec.columns.size()) +
-                                   " columns");
+        if (result.outcomes[i].status == PointOutcome::Status::Resumed) return;
+
+        PointOutcome outcome;
+        // A config whose study failed to build dooms every point on it.
+        if (spec.buildStudies && !studyOutcomes[studyIndex[i]].ok()) {
+          outcome = studyOutcomes[studyIndex[i]];
+          outcome.attempts = 0;
+          result.rows[i].assign(spec.columns.size(), ResultValue::str("-"));
+          settle(i, std::move(outcome));
+          return;
         }
-        // Shape check: every cell must match its column's declared shape
-        // (text placeholders are allowed anywhere -- the "-" convention of
-        // the finalize hooks).
-        for (std::size_t c = 0; c < row.size(); ++c) {
-          const ColumnSpec::Shape declared = spec.columns[c].shape;
-          const ResultValue::Kind kind = row[c].kind;
-          const bool ok =
-              kind == ResultValue::Kind::Text ||
-              (declared == ColumnSpec::Shape::Scalar &&
-               kind == ResultValue::Kind::Number) ||
-              (declared == ColumnSpec::Shape::Trace &&
-               kind == ResultValue::Kind::Trace) ||
-              (declared == ColumnSpec::Shape::Matrix &&
-               kind == ResultValue::Kind::Matrix);
-          if (!ok) {
-            throw std::runtime_error(
-                "experiment '" + spec.name + "': point " + std::to_string(i) +
-                " put a mismatched cell into the " +
-                std::string(shapeName(declared)) + " column '" +
-                spec.columns[c].name + "'");
+
+        std::exception_ptr lastError;
+        const std::size_t maxAttempts = 1 + options.pointRetries;
+        for (std::size_t attempt = 1; attempt <= maxAttempts; ++attempt) {
+          outcome.attempts = attempt;
+          try {
+            const nh::util::CancellationScope scope(options.cancel);
+            // Label solver fault-injection sites with the serial point
+            // index, so a test can fail exactly one grid point
+            // (NH_FAULT=linsolve.dense_lu:1@point:2) regardless of thread
+            // interleaving.
+            const nh::util::faultinject::Scope faultScope(
+                "point:" + std::to_string(i));
+            nh::util::checkCancellation("experiment point");
+            executePoint(i);
+            outcome.status = PointOutcome::Status::Ok;
+            outcome.error.clear();
+            break;
+          } catch (const nh::util::CancelledError& e) {
+            outcome.status = e.deadlineExpired()
+                                 ? PointOutcome::Status::TimedOut
+                                 : PointOutcome::Status::Cancelled;
+            outcome.error = e.what();
+            break;  // cancellation is never retried
+          } catch (const std::exception& e) {
+            outcome.status = PointOutcome::Status::Failed;
+            outcome.error = e.what();
+            lastError = std::current_exception();
           }
         }
-        std::string where;
-        for (std::size_t ai = 0; ai < axes.size(); ++ai) {
-          where += (ai ? " " : "") + axes[ai].name + "=" +
-                   nh::util::formatDouble(ctx.values[ai]);
+
+        if (outcome.status == PointOutcome::Status::Failed &&
+            options.onPointFailure == PointFailurePolicy::Abort) {
+          // Legacy behaviour: the original exception unwinds the loop (the
+          // pool barrier tags it with the failing index).
+          std::rethrow_exception(lastError);
         }
-        nh::util::logInfo(spec.name, ": ", where, " done (point ", i + 1, "/",
-                          pointCount, ")");
-        result.pointValues[i] = std::move(ctx.values);
-        result.rows[i] = std::move(row);
+        if (outcome.status != PointOutcome::Status::Ok) {
+          result.rows[i].assign(spec.columns.size(), ResultValue::str("-"));
+        }
+        settle(i, std::move(outcome));
       },
       pointThreads);
 
-  if (spec.finalize) spec.finalize(result);
+  // Tally the aggregate counts the JSON document records.
+  for (const auto& outcome : result.outcomes) {
+    switch (outcome.status) {
+      case PointOutcome::Status::Ok: ++result.pointsOk; break;
+      case PointOutcome::Status::Resumed:
+        ++result.pointsOk;
+        ++result.pointsResumed;
+        break;
+      case PointOutcome::Status::Failed: ++result.pointsFailed; break;
+      case PointOutcome::Status::Cancelled:
+      case PointOutcome::Status::TimedOut:
+        ++result.pointsCancelled;
+        break;
+    }
+  }
+
+  // A fully completed run owes nobody a checkpoint; an interrupted one keeps
+  // the last per-point write for --resume.
+  if (!ckpt.empty() && result.complete()) {
+    std::error_code ec;
+    std::filesystem::remove(ckpt, ec);
+  }
+
+  // finalize computes cross-row derivations (ratios vs a reference row); on
+  // a degraded grid it would silently fold placeholder rows into them, so
+  // it only sees complete results.
+  if (spec.finalize && result.complete()) spec.finalize(result);
   for (const auto& note : spec.notes) result.notes.push_back(note);
+  if (!result.complete()) {
+    std::string note = "degraded run: " + std::to_string(result.pointsFailed) +
+                       " failed, " + std::to_string(result.pointsCancelled) +
+                       " cancelled of " + std::to_string(pointCount) +
+                       " points (see the status column)";
+    result.notes.push_back(std::move(note));
+  }
   return result;
 }
 
@@ -492,6 +748,15 @@ std::filesystem::path defaultResultsDir() {
     return std::filesystem::path(env);
   }
   return std::filesystem::path("bench_results");
+}
+
+std::filesystem::path defaultCheckpointDir() {
+  return defaultResultsDir() / "checkpoints";
+}
+
+std::filesystem::path checkpointPath(const std::filesystem::path& dir,
+                                     const std::string& name) {
+  return dir / (name + ".json");
 }
 
 void printBanner(const std::string& title, const std::string& description,
@@ -512,6 +777,22 @@ bool hasShape(const ExperimentResult& result, ColumnSpec::Shape shape) {
     if (col.shape == shape) return true;
   }
   return false;
+}
+
+/// Whether any point ended non-OK. Gates the synthetic "status" column in
+/// the ASCII/CSV renderings: fully-OK runs (including resumed ones) render
+/// byte-identically to the pre-fault-tolerance format, which is what keeps
+/// the tracked CI baselines and the resume bit-identity guarantee honest.
+bool anyDegradedOutcome(const ExperimentResult& result) {
+  for (const auto& outcome : result.outcomes) {
+    if (!outcome.ok()) return true;
+  }
+  return false;
+}
+
+std::string statusText(const ExperimentResult& result, std::size_t row) {
+  if (row >= result.outcomes.size() || result.outcomes[row].ok()) return "ok";
+  return pointStatusName(result.outcomes[row].status);
 }
 
 /// Format one scalar element through the column's ASCII formatter.
@@ -576,15 +857,18 @@ std::vector<nh::util::AsciiTable> toAsciiTables(const ExperimentResult& result) 
       mainColumns.push_back(c);
     }
   }
+  const bool degraded = anyDegradedOutcome(result);
   if (!mainColumns.empty()) {
     std::vector<std::string> header;
-    header.reserve(mainColumns.size());
+    header.reserve(mainColumns.size() + 1);
     for (const std::size_t c : mainColumns) {
       header.push_back(result.columns[c].heading());
     }
+    if (degraded) header.push_back("status");
     nh::util::AsciiTable table(std::move(header));
     if (!result.tableTitle.empty()) table.setTitle(result.tableTitle);
-    for (const auto& row : result.rows) {
+    for (std::size_t r = 0; r < result.rows.size(); ++r) {
+      const auto& row = result.rows[r];
       // Expansion is driven by the trace cells alone: matrix cells are not
       // part of the main table (they get their own grids below). Same
       // agreement rule (and error) the CSV expansion enforces.
@@ -596,7 +880,7 @@ std::vector<nh::util::AsciiTable> toAsciiTables(const ExperimentResult& result) 
       for (std::size_t k = 0; k < count; ++k) {
         if (k % every != 0 && k + 1 != count) continue;
         std::vector<std::string> cells;
-        cells.reserve(mainColumns.size());
+        cells.reserve(mainColumns.size() + 1);
         for (const std::size_t c : mainColumns) {
           const ResultValue& cell = row[c];
           if (cell.isShaped()) {
@@ -606,6 +890,9 @@ std::vector<nh::util::AsciiTable> toAsciiTables(const ExperimentResult& result) 
             cells.push_back(k == 0 ? formatScalar(result.columns[c], cell)
                                    : std::string());
           }
+        }
+        if (degraded) {
+          cells.push_back(k == 0 ? statusText(result, r) : std::string());
         }
         table.addRow(std::move(cells));
       }
@@ -689,10 +976,16 @@ std::vector<nh::util::AsciiTable> toAsciiTables(const ExperimentResult& result) 
         for (std::size_t i = 0; i < result.rows.size(); ++i) {
           if (result.pointValues[i][rowAxisIndex] == rv &&
               result.pointValues[i][colAxisIndex] == cv) {
-            cellText = pivot.format
-                           ? pivot.format(result.rows[i])
-                           : formatScalar(result.columns[valueColumn],
-                                          result.rows[i][valueColumn]);
+            // Custom pivot formatters assume real data; flagged points show
+            // their status instead of "-" placeholders fed through them.
+            if (i < result.outcomes.size() && !result.outcomes[i].ok()) {
+              cellText = statusText(result, i);
+            } else {
+              cellText = pivot.format
+                             ? pivot.format(result.rows[i])
+                             : formatScalar(result.columns[valueColumn],
+                                            result.rows[i][valueColumn]);
+            }
             break;
           }
         }
@@ -722,6 +1015,7 @@ nh::util::CsvTable toCsvTable(const ExperimentResult& result) {
     throw std::logic_error("experiment '" + result.name +
                            "': trace and matrix columns cannot mix");
   }
+  const bool degraded = anyDegradedOutcome(result);
   std::vector<std::string> header;
   if (anyTrace) header.push_back("sample");
   if (anyMatrix) {
@@ -729,8 +1023,10 @@ nh::util::CsvTable toCsvTable(const ExperimentResult& result) {
     header.push_back("col");
   }
   for (const auto& col : result.columns) header.push_back(col.name);
+  if (degraded) header.push_back("status");
   nh::util::CsvTable csv(std::move(header));
-  for (const auto& row : result.rows) {
+  for (std::size_t r = 0; r < result.rows.size(); ++r) {
+    const auto& row = result.rows[r];
     std::size_t matrixRows = 0;
     std::size_t matrixCols = 0;
     const std::size_t count = rowElementCount(result, row, /*tracesOnly=*/false,
@@ -753,6 +1049,8 @@ nh::util::CsvTable toCsvTable(const ExperimentResult& result) {
                             ? nh::util::formatDouble(cell.element(k))
                             : cell.render());
       }
+      // Repeated on every expanded line, like the scalar cells.
+      if (degraded) cells.push_back(statusText(result, r));
       csv.addRow(cells);
     }
   }
@@ -784,6 +1082,35 @@ void writeCellJson(nh::util::JsonWriter& w, const ResultValue& cell) {
   w.endObject();
 }
 
+ResultValue readCellJson(const nh::util::JsonValue& v) {
+  using Type = nh::util::JsonValue::Type;
+  switch (v.type()) {
+    case Type::Number:
+      return ResultValue::num(v.asNumber());
+    case Type::String:
+      return ResultValue::str(v.asString());
+    case Type::Object: {
+      const std::string shape = v.at("shape").asString();
+      std::vector<double> values;
+      values.reserve(v.at("values").size());
+      for (const auto& e : v.at("values").items()) {
+        values.push_back(e.asNumber());
+      }
+      if (shape == "trace") return ResultValue::trace(std::move(values));
+      if (shape == "matrix") {
+        return ResultValue::matrix(
+            static_cast<std::size_t>(v.at("rows").asNumber()),
+            static_cast<std::size_t>(v.at("cols").asNumber()),
+            std::move(values));
+      }
+      throw std::runtime_error("result cell has unknown shape '" + shape +
+                               "'");
+    }
+    default:
+      throw std::runtime_error("result cell has an unsupported JSON type");
+  }
+}
+
 std::string toJson(const ExperimentResult& result) {
   nh::util::JsonWriter w;
   w.beginObject();
@@ -799,6 +1126,13 @@ std::string toJson(const ExperimentResult& result) {
   w.key("max_pulses").value(result.maxPulses);
   w.key("studies_constructed").value(result.studiesConstructed);
   w.key("studies_reused").value(result.studiesReused);
+  // Fault-tolerance provenance: always present so downstream consumers can
+  // refuse degraded documents without guessing from the row contents.
+  w.key("points_ok").value(result.pointsOk);
+  w.key("points_failed").value(result.pointsFailed);
+  w.key("points_cancelled").value(result.pointsCancelled);
+  w.key("points_resumed").value(result.pointsResumed);
+  w.key("complete").value(result.complete());
   w.key("axes").beginArray();
   for (const auto& axis : result.axes) {
     w.beginObject();
@@ -822,6 +1156,21 @@ std::string toJson(const ExperimentResult& result) {
     w.endArray();
   }
   w.endArray();
+  // Per-row status/error only when some point ended non-OK: complete
+  // documents keep the legacy key set.
+  if (anyDegradedOutcome(result)) {
+    w.key("row_status").beginArray();
+    for (std::size_t r = 0; r < result.rows.size(); ++r) {
+      w.value(statusText(result, r));
+    }
+    w.endArray();
+    w.key("row_errors").beginArray();
+    for (std::size_t r = 0; r < result.rows.size(); ++r) {
+      w.value(r < result.outcomes.size() ? result.outcomes[r].error
+                                         : std::string());
+    }
+    w.endArray();
+  }
   w.key("notes").beginArray();
   for (const auto& note : result.notes) w.value(note);
   w.endArray();

@@ -24,11 +24,13 @@
 #include <vector>
 
 #include "core/study.hpp"
+#include "util/cancellation.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 
 namespace nh::util {
 class JsonWriter;
+class JsonValue;
 }
 
 namespace nh::core {
@@ -232,6 +234,27 @@ struct ExperimentSpec {
   PivotSpec pivot;
 };
 
+/// What happens to the run when one grid point throws.
+enum class PointFailurePolicy {
+  Abort,  ///< Rethrow at the barrier; the whole run fails (legacy behaviour).
+  Skip,   ///< Record the failure, fill the row with "-" placeholders, go on.
+};
+
+/// Per-point execution record: how the point's run function ended, after how
+/// many attempts, and (for non-Ok outcomes) the failure message. Rows whose
+/// outcome is not Ok carry "-" text placeholders in every cell.
+struct PointOutcome {
+  enum class Status { Ok, Failed, Cancelled, TimedOut, Resumed };
+  Status status = Status::Ok;
+  std::string error;         ///< Failure message; empty for Ok/Resumed.
+  std::size_t attempts = 1;  ///< Executions of the run function (1 + retries).
+
+  bool ok() const { return status == Status::Ok || status == Status::Resumed; }
+  bool operator==(const PointOutcome&) const = default;
+};
+
+const char* pointStatusName(PointOutcome::Status status);
+
 /// Execution controls.
 struct RunOptions {
   std::size_t threads = 0;  ///< 0 = util::defaultThreadCount().
@@ -241,6 +264,32 @@ struct RunOptions {
   /// Unknown names throw std::out_of_range before anything runs; the
   /// message lists the experiment's valid axes.
   std::map<std::string, std::vector<double>> axisOverrides;
+
+  /// ---- fault tolerance ----------------------------------------------------
+
+  /// Extra executions of a point's run function after a failure (transient
+  /// solver faults). Retries apply per point, before the failure policy.
+  std::size_t pointRetries = 0;
+  /// Abort (default, legacy): the first failed point kills the run. Skip:
+  /// failed points become flagged rows and the grid completes.
+  PointFailurePolicy onPointFailure = PointFailurePolicy::Abort;
+  /// Cooperative cancellation: installed as the ambient token inside every
+  /// point body, so the solver stack unwinds within ~one iteration of
+  /// cancel()/deadline expiry. Already-completed rows are kept; pending
+  /// points are recorded Cancelled/TimedOut without running.
+  util::CancellationToken cancel;
+  /// Non-empty: periodically persist completed rows to
+  /// <checkpointDir>/<name>.json (digest-keyed) so an interrupted run can
+  /// resume. Deleted on full success.
+  std::filesystem::path checkpointDir;
+  /// Skip points whose rows a digest-matching checkpoint already holds.
+  bool resume = false;
+  /// Observer called serially (under a lock) after each point settles, with
+  /// the serial index, its outcome, and the number of settled points so far.
+  /// Used by the CLI for progress lines and by tests to cancel mid-run.
+  std::function<void(std::size_t index, const PointOutcome& outcome,
+                     std::size_t completed)>
+      onPointComplete;
 };
 
 /// Complete experiment output: the data plus the provenance the JSON records.
@@ -265,6 +314,19 @@ struct ExperimentResult {
   std::size_t studiesReused = 0;
   std::string configDigest;            ///< FNV-1a over base config + axes.
   PivotSpec pivot;                     ///< Copied from the spec.
+
+  /// Per-point execution record, one per row (serial order). Non-Ok rows
+  /// hold "-" placeholders; the ASCII/CSV sinks append a synthetic "status"
+  /// column whenever any outcome is not Ok, and the JSON document always
+  /// records the aggregate counts (plus per-row status when degraded).
+  std::vector<PointOutcome> outcomes;
+  std::size_t pointsOk = 0;        ///< Includes resumed-from-checkpoint rows.
+  std::size_t pointsFailed = 0;
+  std::size_t pointsCancelled = 0;  ///< Cancelled + TimedOut.
+  std::size_t pointsResumed = 0;    ///< Of pointsOk, served by the checkpoint.
+
+  /// Every point ran to completion (failed/cancelled counts are both zero).
+  bool complete() const { return pointsFailed == 0 && pointsCancelled == 0; }
 };
 
 /// Run the full cross product on the pool. Deterministic: rows land in
@@ -313,6 +375,15 @@ void setStudyCacheCapacity(std::size_t capacity);
 /// and the nh_sweep CLI share.
 std::filesystem::path defaultResultsDir();
 
+/// Where checkpoints land by default: defaultResultsDir()/checkpoints.
+std::filesystem::path defaultCheckpointDir();
+
+/// The checkpoint file runExperiment reads/writes for experiment \p name
+/// inside \p dir: <dir>/<name>.json. The file records the config digest;
+/// resume ignores (and overwrites) checkpoints whose digest mismatches.
+std::filesystem::path checkpointPath(const std::filesystem::path& dir,
+                                     const std::string& name);
+
 /// The standard reproduction banner (title, setup line, paper shape).
 void printBanner(const std::string& title, const std::string& description,
                  const std::string& paperShape);
@@ -346,6 +417,11 @@ std::string toJson(const ExperimentResult& result);
 /// Append one cell to \p w using the shaped-cell encoding shared by the
 /// result JSON and the baseline store (core/baseline reads it back).
 void writeCellJson(nh::util::JsonWriter& w, const ResultValue& cell);
+
+/// Inverse of writeCellJson: decode one cell from the shared encoding
+/// (number / string / {"shape":...} object). Throws std::runtime_error on
+/// malformed input. Used by the baseline store and checkpoint resume.
+ResultValue readCellJson(const nh::util::JsonValue& v);
 
 /// Write <name>.csv and <name>.json into \p dir (created when missing).
 struct EmittedFiles {

@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/cancellation.hpp"
+#include "util/faultinject.hpp"
 #include "util/linsolve.hpp"
 #include "util/log.hpp"
 #include "util/sparse.hpp"
@@ -136,7 +138,15 @@ class NewtonEngine {
     bool refactor = !frozenLuUsable;
     bool refactoredThisSolve = !frozenLuUsable;
 
+    // Fault site: tests force a non-converged Newton solve to exercise the
+    // timestep-shrink and per-point isolation paths above this loop.
+    if (nh::util::faultinject::shouldFire("spice.newton")) {
+      result.converged = false;
+      return result;
+    }
+
     for (std::size_t iter = 0; iter < options.maxIterations; ++iter) {
+      nh::util::checkCancellation("newton iteration");
       clearMatrixTarget();
       std::fill(rhs_.begin(), rhs_.end(), 0.0);
 
@@ -221,6 +231,14 @@ class NewtonEngine {
       }
       result.iterations = iter + 1;
       result.maxUpdate = maxUpdate;
+      // NaN/Inf guard: a poisoned update can never meet the tolerance, so
+      // iterating to the cap just burns factorisations -- fail fast and let
+      // the caller (timestep control, per-point isolation) recover.
+      if (!std::isfinite(maxUpdate)) {
+        result.converged = false;
+        if (frozenLuUsable) chordTrusted_ = false;
+        return result;
+      }
       double tolerance = options.absTol;
       for (std::size_t i = 0; i < nodeUnknowns; ++i) {
         tolerance = std::max(
@@ -387,6 +405,7 @@ TransientResult runTransient(Circuit& circuit, const TransientOptions& options,
   double t = 0.0;
   double dt = std::min(options.dtInitial, options.dtMax);
   while (t < options.tStop - 1e-18) {
+    nh::util::checkCancellation("transient step");
     double step = std::min(dt, options.tStop - t);
     if (options.alignToBreakpoints) {
       const double bp = circuit.nextBreakpoint(t + 1e-18);

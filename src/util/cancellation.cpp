@@ -1,0 +1,78 @@
+#include "util/cancellation.hpp"
+
+#include <atomic>
+
+namespace nh::util {
+
+namespace detail {
+struct CancelState {
+  std::atomic<bool> cancelled{false};
+  bool hasDeadline = false;
+  std::chrono::steady_clock::time_point deadline{};
+};
+}  // namespace detail
+
+namespace {
+bool deadlinePassed(const detail::CancelState& state) {
+  return state.hasDeadline && std::chrono::steady_clock::now() >= state.deadline;
+}
+
+thread_local CancellationToken t_currentToken;
+}  // namespace
+
+bool CancellationToken::cancelled() const {
+  if (!state_) return false;
+  if (state_->cancelled.load(std::memory_order_relaxed)) return true;
+  return deadlinePassed(*state_);
+}
+
+bool CancellationToken::deadlineExpired() const {
+  if (!state_) return false;
+  // An explicit cancel() wins over a deadline that happens to have passed
+  // too: the caller asked first.
+  if (state_->cancelled.load(std::memory_order_relaxed)) return false;
+  return deadlinePassed(*state_);
+}
+
+void CancellationToken::throwIfCancelled(const char* site) const {
+  if (!state_) return;
+  const bool byDeadline = deadlineExpired();
+  if (byDeadline || cancelled()) {
+    throw CancelledError(std::string(byDeadline ? "deadline expired in "
+                                                : "cancelled in ") +
+                             site,
+                         byDeadline);
+  }
+}
+
+CancellationSource::CancellationSource()
+    : state_(std::make_shared<detail::CancelState>()) {}
+
+CancellationSource CancellationSource::withDeadline(double seconds) {
+  CancellationSource source;
+  source.state_->hasDeadline = true;
+  source.state_->deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(seconds));
+  return source;
+}
+
+void CancellationSource::cancel() {
+  state_->cancelled.store(true, std::memory_order_relaxed);
+}
+
+CancellationScope::CancellationScope(CancellationToken token)
+    : previous_(t_currentToken) {
+  t_currentToken = std::move(token);
+}
+
+CancellationScope::~CancellationScope() { t_currentToken = previous_; }
+
+CancellationToken currentCancellation() { return t_currentToken; }
+
+void checkCancellation(const char* site) {
+  t_currentToken.throwIfCancelled(site);
+}
+
+}  // namespace nh::util

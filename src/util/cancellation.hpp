@@ -1,0 +1,122 @@
+#pragma once
+/// \file cancellation.hpp
+/// Cooperative cancellation for long-running solves and sweeps.
+///
+/// A CancellationSource owns an atomic flag (plus an optional monotonic
+/// deadline); every CancellationToken handed out by the source observes the
+/// same state. Long-running loops -- parallelFor, the CG/Schur iterations,
+/// the GMG V-cycle, Newton stepping, and the attack pulse loop -- poll the
+/// *ambient* token (a thread-local installed with CancellationScope) once
+/// per iteration and unwind via CancelledError within about one iteration
+/// of the cancel. The ambient design keeps the deep solver APIs unchanged:
+/// the experiment engine installs the scope around each grid point, and a
+/// future nh_serve installs it around each request.
+///
+/// A default-constructed CancellationToken means "never cancelled" and makes
+/// every check a single thread-local pointer test, so the checkpoints are
+/// effectively free when no source is attached.
+
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace nh::util {
+
+namespace detail {
+struct CancelState;
+}  // namespace detail
+
+/// Thrown by cancellation checkpoints when the ambient token has been
+/// cancelled. A distinct type so callers (the experiment engine, parallelFor)
+/// can tell "cancelled" apart from "failed": cancellation is an orderly
+/// unwind, not an error in the work itself.
+class CancelledError : public std::runtime_error {
+ public:
+  explicit CancelledError(const std::string& what, bool deadlineExpired = false)
+      : std::runtime_error(what), deadlineExpired_(deadlineExpired) {}
+
+  /// True when the cancel came from the source's deadline passing rather
+  /// than an explicit cancel() call; the experiment engine maps this to the
+  /// TimedOut point outcome.
+  bool deadlineExpired() const { return deadlineExpired_; }
+
+ private:
+  bool deadlineExpired_;
+};
+
+/// Read-only view of a CancellationSource's state. Cheap to copy (one
+/// shared_ptr); a default-constructed token is valid forever.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+
+  /// True when this token is attached to a source (default tokens are not).
+  bool attached() const { return static_cast<bool>(state_); }
+
+  /// True when the source was cancelled or its deadline has passed.
+  bool cancelled() const;
+
+  /// True specifically because the deadline passed (explicit cancel() wins
+  /// when both happened).
+  bool deadlineExpired() const;
+
+  /// Throw CancelledError (tagged with \p site) when cancelled; no-op
+  /// otherwise.
+  void throwIfCancelled(const char* site = "work") const;
+
+ private:
+  friend class CancellationSource;
+  explicit CancellationToken(std::shared_ptr<detail::CancelState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<detail::CancelState> state_;
+};
+
+/// Owner side: create, hand token() to the work, call cancel() (or let the
+/// deadline expire) to stop it.
+class CancellationSource {
+ public:
+  CancellationSource();
+
+  /// Source whose tokens auto-cancel once \p seconds of wall clock
+  /// (monotonic) have elapsed from the call. Non-positive seconds means an
+  /// already-expired deadline.
+  static CancellationSource withDeadline(double seconds);
+
+  CancellationToken token() const { return CancellationToken(state_); }
+
+  /// Flip the flag; every outstanding token observes it on its next check.
+  void cancel();
+
+  bool cancelled() const { return token().cancelled(); }
+
+ private:
+  std::shared_ptr<detail::CancelState> state_;
+};
+
+/// RAII installer for the ambient (thread-local) token. Nests: the previous
+/// token is restored on destruction. parallelFor propagates the caller's
+/// ambient token onto its helper workers, so a scope installed around a
+/// parallel region covers every body regardless of which thread runs it.
+class CancellationScope {
+ public:
+  explicit CancellationScope(CancellationToken token);
+  ~CancellationScope();
+
+  CancellationScope(const CancellationScope&) = delete;
+  CancellationScope& operator=(const CancellationScope&) = delete;
+
+ private:
+  CancellationToken previous_;
+};
+
+/// The token installed on this thread ("none" when no scope is active).
+CancellationToken currentCancellation();
+
+/// Cooperative checkpoint: throw CancelledError when the ambient token is
+/// cancelled. One thread-local read when no scope is installed -- safe to
+/// call once per solver iteration.
+void checkCancellation(const char* site = "solver loop");
+
+}  // namespace nh::util

@@ -1,0 +1,155 @@
+#include "util/faultinject.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+namespace nh::util::faultinject {
+
+namespace {
+
+struct Policy {
+  std::size_t nthCall = 1;
+  std::string scope;
+  std::size_t count = 0;
+  bool fired = false;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, Policy> sites;
+};
+
+// Number of armed-and-not-yet-fired sites; lets shouldFire bail with one
+// relaxed load in the (overwhelmingly common) nothing-armed case.
+std::atomic<std::size_t> g_armedCount{0};
+
+thread_local std::string t_scope;
+
+// NH_FAULT=site:n[@scope][,site2:n2[@scope2]...]
+void armFromEnv(Registry& registry) {
+  const char* env = std::getenv("NH_FAULT");
+  if (!env) return;
+  std::string spec(env);
+  std::size_t start = 0;
+  while (start < spec.size()) {
+    std::size_t end = spec.find(',', start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(start, end - start);
+    start = end + 1;
+    const std::size_t colon = entry.find(':');
+    if (colon == std::string::npos || colon == 0) continue;  // malformed
+    Policy policy;
+    const std::string site = entry.substr(0, colon);
+    std::string rest = entry.substr(colon + 1);
+    const std::size_t at = rest.find('@');
+    if (at != std::string::npos) {
+      policy.scope = rest.substr(at + 1);
+      rest = rest.substr(0, at);
+    }
+    char* parseEnd = nullptr;
+    const unsigned long n = std::strtoul(rest.c_str(), &parseEnd, 10);
+    if (parseEnd == rest.c_str() || n == 0) continue;  // malformed count
+    policy.nthCall = static_cast<std::size_t>(n);
+    if (registry.sites.emplace(site, policy).second) {
+      g_armedCount.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+Registry& registry() {
+  static Registry* instance = [] {
+    auto* r = new Registry;
+    armFromEnv(*r);
+    return r;
+  }();
+  return *instance;
+}
+
+// Parse NH_FAULT before main(): the enabled() fast gate short-circuits on
+// g_armedCount without constructing the registry, so env-armed policies
+// would otherwise stay invisible in any process that never calls arm().
+const bool g_envArmed = (registry(), true);
+
+}  // namespace
+
+bool enabled() { return g_armedCount.load(std::memory_order_relaxed) > 0; }
+
+bool shouldFire(const char* site) {
+  if (!enabled()) return false;
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  auto it = reg.sites.find(site);
+  if (it == reg.sites.end()) return false;
+  Policy& policy = it->second;
+  if (policy.fired) return false;
+  if (!policy.scope.empty() && policy.scope != t_scope) return false;
+  ++policy.count;
+  if (policy.count < policy.nthCall) return false;
+  policy.fired = true;
+  g_armedCount.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+void arm(const std::string& site, std::size_t nthCall,
+         const std::string& scope) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  Policy policy;
+  policy.nthCall = nthCall == 0 ? 1 : nthCall;
+  policy.scope = scope;
+  auto it = reg.sites.find(site);
+  if (it == reg.sites.end()) {
+    reg.sites.emplace(site, policy);
+    g_armedCount.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    // Re-arming a fired site makes it live again; the armed count tracks
+    // live (armed-and-unfired) sites only.
+    if (it->second.fired) g_armedCount.fetch_add(1, std::memory_order_relaxed);
+    it->second = policy;
+  }
+}
+
+void disarm(const std::string& site) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  auto it = reg.sites.find(site);
+  if (it == reg.sites.end()) return;
+  if (!it->second.fired) g_armedCount.fetch_sub(1, std::memory_order_relaxed);
+  reg.sites.erase(it);
+}
+
+void clearAll() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  for (const auto& [site, policy] : reg.sites) {
+    (void)site;
+    if (!policy.fired) g_armedCount.fetch_sub(1, std::memory_order_relaxed);
+  }
+  reg.sites.clear();
+}
+
+std::size_t callCount(const std::string& site) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  auto it = reg.sites.find(site);
+  return it == reg.sites.end() ? 0 : it->second.count;
+}
+
+bool fired(const std::string& site) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  auto it = reg.sites.find(site);
+  return it != reg.sites.end() && it->second.fired;
+}
+
+Scope::Scope(std::string label) : previous_(t_scope) {
+  t_scope = std::move(label);
+}
+
+Scope::~Scope() { t_scope = previous_; }
+
+std::string currentScope() { return t_scope; }
+
+}  // namespace nh::util::faultinject

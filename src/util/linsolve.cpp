@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <sstream>
 #include <stdexcept>
 
+#include "util/cancellation.hpp"
+#include "util/faultinject.hpp"
 #include "util/multigrid.hpp"
 
 namespace nh::util {
@@ -12,7 +15,27 @@ namespace nh::util {
 namespace {
 /// Sentinel for SparseLu's row -> pivot-position map.
 constexpr std::size_t kUnpivoted = static_cast<std::size_t>(-1);
+
+std::string solverErrorMessage(const std::string& solve,
+                               const std::string& detail,
+                               std::size_t iterations, double residualNorm) {
+  std::ostringstream out;
+  out << solve << ": " << detail;
+  if (iterations > 0 || residualNorm != 0.0) {
+    out << " (iterations=" << iterations << ", residual=" << residualNorm
+        << ")";
+  }
+  return out.str();
+}
 }  // namespace
+
+SolverError::SolverError(const std::string& solve, const std::string& detail,
+                         std::size_t iterations, double residualNorm)
+    : std::runtime_error(
+          solverErrorMessage(solve, detail, iterations, residualNorm)),
+      solve_(solve),
+      iterations_(iterations),
+      residualNorm_(residualNorm) {}
 
 CgWorkspace::CgWorkspace() = default;
 CgWorkspace::~CgWorkspace() = default;
@@ -31,6 +54,9 @@ bool LuFactorization::refactor(const Matrix& a) {
   }
   const std::size_t n = a.rows();
   valid_ = false;
+  // Fault site: tests force a "numerically singular" outcome to exercise the
+  // failure paths downstream of a real pivot breakdown.
+  if (faultinject::shouldFire("linsolve.dense_lu")) return false;
   lu_ = a;  // reuses the existing allocation when the size is unchanged
   perm_.resize(n);
   for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
@@ -593,16 +619,30 @@ IterativeResult solveConjugateGradient(const SparseMatrix& a, const Vector& b,
   double rz = dot(r, z);
 
   IterativeResult result;
+  // Fault site: force an immediate non-converged return so tests can walk
+  // the "CG did not converge" paths without constructing a hard system.
+  if (faultinject::shouldFire("linsolve.cg")) {
+    result.breakdown = true;
+    return result;
+  }
   for (std::size_t it = 0; it < options.maxIter; ++it) {
+    checkCancellation("conjugate gradient");
     a.multiplyInto(p, ap);
     const double pap = dot(p, ap);
-    if (pap <= 0.0) break;  // not SPD (or breakdown)
+    if (!(pap > 0.0)) {  // not SPD, breakdown, or NaN/Inf poisoning
+      result.breakdown = !std::isfinite(pap);
+      break;
+    }
     const double alpha = rz / pap;
     axpy(alpha, p, x);
     axpy(-alpha, ap, r);
     const double res = norm2(r) / bNorm;
     result.iterations = it + 1;
     result.residualNorm = res;
+    if (!std::isfinite(res)) {  // fail fast instead of iterating to the cap
+      result.breakdown = true;
+      break;
+    }
     if (res < options.relTol) {
       result.converged = true;
       return result;
@@ -656,16 +696,29 @@ IterativeResult solveConjugateGradientOperator(
   double rz = dot(r, z);
 
   IterativeResult result;
+  // Same fault site as the assembled-matrix CG: both are "CG convergence".
+  if (faultinject::shouldFire("linsolve.cg")) {
+    result.breakdown = true;
+    return result;
+  }
   for (std::size_t it = 0; it < maxIter; ++it) {
+    checkCancellation("conjugate gradient");
     applyA(p, ap);
     const double pap = dot(p, ap);
-    if (pap <= 0.0) break;  // not SPD (or breakdown)
+    if (!(pap > 0.0)) {  // not SPD, breakdown, or NaN/Inf poisoning
+      result.breakdown = !std::isfinite(pap);
+      break;
+    }
     const double alpha = rz / pap;
     axpy(alpha, p, x);
     axpy(-alpha, ap, r);
     const double res = norm2(r) / bNorm;
     result.iterations = it + 1;
     result.residualNorm = res;
+    if (!std::isfinite(res)) {  // fail fast instead of iterating to the cap
+      result.breakdown = true;
+      break;
+    }
     if (res < relTol) {
       result.converged = true;
       return result;
@@ -703,7 +756,12 @@ IterativeResult solveBiCgStab(const SparseMatrix& a, const Vector& b, Vector& x,
 
   IterativeResult result;
   for (std::size_t it = 0; it < maxIter; ++it) {
+    checkCancellation("bicgstab");
     const double rhoNew = dot(rHat, r);
+    if (!std::isfinite(rhoNew)) {
+      result.breakdown = true;
+      break;
+    }
     if (std::fabs(rhoNew) < 1e-300) break;
     const double beta = (rhoNew / rho) * (alpha / omega);
     rho = rhoNew;
@@ -865,6 +923,9 @@ bool SparseLu::refactor(const SparseMatrix& a) {
   }
   valid_ = false;
   n_ = a.rows();
+  // Fault site: tests force the singular-factorisation exit to exercise the
+  // sparse backend's failure handling.
+  if (faultinject::shouldFire("linsolve.sparse_lu")) return false;
   const auto& aRowPtr = a.rowPtr();
   const auto& aColIdx = a.colIdx();
   const auto& aValues = a.values();

@@ -9,6 +9,8 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <stdexcept>
+#include <string>
 
 #include "util/matrix.hpp"
 #include "util/sparse.hpp"
@@ -23,6 +25,35 @@ struct IterativeResult {
   bool converged = false;
   std::size_t iterations = 0;
   double residualNorm = 0.0;  ///< Final ||b - A x|| / ||b||.
+  /// True when the solve stopped because its values went non-finite (or the
+  /// operator lost positive-definiteness) rather than merely hitting the
+  /// iteration cap: the NaN/Inf guards fail fast instead of iterating to
+  /// maxIter on poisoned values.
+  bool breakdown = false;
+};
+
+/// Structured failure report thrown by the higher-level solve drivers
+/// (Newton loops, the fast-engine network solves) when a linear or nonlinear
+/// solve cannot produce a usable answer. Carries which solve failed, how far
+/// it got, and the final residual -- so callers (the experiment engine's
+/// per-point isolation, logs, tests) see a diagnosis instead of a bare
+/// std::runtime_error.
+class SolverError : public std::runtime_error {
+ public:
+  SolverError(const std::string& solve, const std::string& detail,
+              std::size_t iterations = 0, double residualNorm = 0.0);
+
+  /// Which solve failed, e.g. "schur-cg" or "fastsim.newton".
+  const std::string& solve() const { return solve_; }
+  /// Iterations completed before the failure (0 when not applicable).
+  std::size_t iterations() const { return iterations_; }
+  /// Residual norm at the failure (0 when not applicable).
+  double residualNorm() const { return residualNorm_; }
+
+ private:
+  std::string solve_;
+  std::size_t iterations_;
+  double residualNorm_;
 };
 
 /// LU factorisation with partial pivoting of a square dense matrix.

@@ -3,9 +3,35 @@
 #include <cassert>
 #include <cmath>
 
+#include "util/cancellation.hpp"
+#include "util/faultinject.hpp"
+
 namespace nh::util {
 
 namespace {
+
+/// Every Gauss-Seidel sweep divides by the row diagonal, so a level matrix
+/// with a missing/zero/non-finite diagonal entry must be rejected at setup
+/// time (compute() returning false trips the Multigrid -> IC(0) -> Jacobi
+/// fallback ladder) rather than detonating inside the smoother -- the old
+/// assert was silent under NDEBUG and the division produced Inf/NaN.
+bool hasUsableDiagonal(const SparseMatrix& a) {
+  const auto& rowPtr = a.rowPtr();
+  const auto& colIdx = a.colIdx();
+  const auto& val = a.values();
+  const std::size_t n = a.rows();
+  for (std::size_t r = 0; r < n; ++r) {
+    double diag = 0.0;
+    for (std::size_t k = rowPtr[r]; k < rowPtr[r + 1]; ++k) {
+      if (colIdx[k] == r) {
+        diag = val[k];
+        break;
+      }
+    }
+    if (diag == 0.0 || !std::isfinite(diag)) return false;
+  }
+  return true;
+}
 
 /// 1-D cell-centred interpolation weights for fine cell \p i from the
 /// bracketing coarse cells. Fine centres sit at i + 0.5 (fine-spacing
@@ -60,7 +86,8 @@ void gaussSeidelForward(const SparseMatrix& a, const Vector& b, Vector& x) {
         acc -= val[k] * x[c];
       }
     }
-    assert(diag != 0.0);  // SPD operators always store a positive diagonal
+    // Nonzero diagonals are guaranteed by the hasUsableDiagonal() check at
+    // setup; compute() refuses hierarchies that would divide by zero here.
     x[r] = acc / diag;
   }
 }
@@ -82,8 +109,7 @@ void gaussSeidelBackward(const SparseMatrix& a, const Vector& b, Vector& x) {
         acc -= val[k] * x[c];
       }
     }
-    assert(diag != 0.0);
-    x[r] = acc / diag;
+    x[r] = acc / diag;  // nonzero by the setup-time hasUsableDiagonal() check
   }
 }
 
@@ -121,6 +147,9 @@ bool GeometricMultigrid::compute(const SparseMatrix& a, const Options& options) 
   if (n == 0 || a.cols() != n) return false;
   if (options.nx * options.ny * options.nz != n) return false;
   if (n <= options.maxCoarseRows) return false;  // IC(0) territory
+  // Fault site: tests force a setup failure to prove the fallback ladder.
+  if (faultinject::shouldFire("multigrid.setup")) return false;
+  if (!hasUsableDiagonal(a)) return false;  // smoothers divide by the diagonal
 
   const bool reuseTransfers =
       !levels_.empty() && options_.nx == options.nx &&
@@ -158,6 +187,7 @@ bool GeometricMultigrid::compute(const SparseMatrix& a, const Options& options) 
   for (Level& level : levels_) {
     level.coarseA =
         multiplySparse(level.restrict_, multiplySparse(*current, level.prolong));
+    if (!hasUsableDiagonal(level.coarseA)) return false;
     current = &level.coarseA;
   }
 
@@ -176,6 +206,7 @@ bool GeometricMultigrid::compute(const SparseMatrix& a, const Options& options) 
 }
 
 void GeometricMultigrid::cycle(std::size_t l, const Vector& b, Vector& x) const {
+  checkCancellation("multigrid v-cycle");
   const SparseMatrix& a = l == 0 ? *fine_ : levels_[l - 1].coarseA;
   if (l == levels_.size()) {
     x = b;

@@ -6,7 +6,10 @@
 #include <cstdlib>
 #include <exception>
 #include <memory>
+#include <stdexcept>
 #include <string>
+
+#include "util/cancellation.hpp"
 
 namespace nh::util {
 
@@ -106,35 +109,75 @@ void ThreadPool::workerLoop() {
   }
 }
 
+namespace {
+// Rethrow the first loop failure, annotated with the index whose body threw.
+// CancelledError passes through untouched (cancellation is an orderly unwind
+// and callers dispatch on the type); other std::exceptions are wrapped so
+// the message pinpoints the failing iteration.
+[[noreturn]] void rethrowLoopError(const std::exception_ptr& error,
+                                   std::size_t index) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const CancelledError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw std::runtime_error("parallelFor: body at index " +
+                             std::to_string(index) + " failed: " + e.what());
+  } catch (...) {
+    throw;  // non-std exceptions carry no message to annotate
+  }
+}
+}  // namespace
+
 void ThreadPool::parallelFor(std::size_t count,
                              const std::function<void(std::size_t)>& body) {
   if (count == 0) return;
 
   // Shared iteration state: workers and the calling thread claim indices
-  // from `next`; the first failure wins `error` and later iterations are
-  // skipped so the rethrow happens promptly.
+  // from `next`. A throwing body does NOT stop its siblings -- the remaining
+  // indices keep draining so every slot gets its chance to complete (the
+  // isolation semantics the sweep harness relies on); the first failure wins
+  // `error` and is rethrown at the barrier, tagged with its index.
   struct LoopState {
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> pendingTasks{0};
-    std::atomic<bool> failed{false};
     std::exception_ptr error;
+    std::size_t errorIndex = 0;
     std::mutex errorMutex;
     std::mutex doneMutex;
     std::condition_variable done;
   };
   auto state = std::make_shared<LoopState>();
 
+  // Cancellation is the one thing that *does* stop the loop early: the
+  // caller's ambient token is propagated onto every helper so a cancel
+  // stops index claiming within ~one body on every thread.
+  const CancellationToken token = currentCancellation();
+
   const std::function<void(std::size_t)>* bodyPtr = &body;
-  auto drain = [state, bodyPtr, count] {
+  auto drain = [state, bodyPtr, count, token] {
     std::size_t i;
     while ((i = state->next.fetch_add(1)) < count) {
-      if (state->failed.load()) break;
+      if (token.cancelled()) {
+        std::lock_guard<std::mutex> lock(state->errorMutex);
+        if (!state->error) {
+          const bool byDeadline = token.deadlineExpired();
+          state->error = std::make_exception_ptr(CancelledError(
+              byDeadline ? "deadline expired in parallelFor"
+                         : "cancelled in parallelFor",
+              byDeadline));
+          state->errorIndex = i;
+        }
+        break;
+      }
       try {
         (*bodyPtr)(i);
       } catch (...) {
         std::lock_guard<std::mutex> lock(state->errorMutex);
-        if (!state->error) state->error = std::current_exception();
-        state->failed.store(true);
+        if (!state->error) {
+          state->error = std::current_exception();
+          state->errorIndex = i;
+        }
       }
     }
   };
@@ -147,8 +190,11 @@ void ThreadPool::parallelFor(std::size_t count,
                                            : std::size_t{0};
   state->pendingTasks.store(helperTasks);
   for (std::size_t t = 0; t < helperTasks; ++t) {
-    submit([state, drain] {
-      drain();
+    submit([state, drain, token] {
+      {
+        CancellationScope scope(token);
+        drain();
+      }
       if (state->pendingTasks.fetch_sub(1) == 1) {
         std::lock_guard<std::mutex> lock(state->doneMutex);
         state->done.notify_all();
@@ -160,7 +206,7 @@ void ThreadPool::parallelFor(std::size_t count,
 
   std::unique_lock<std::mutex> lock(state->doneMutex);
   state->done.wait(lock, [&state] { return state->pendingTasks.load() == 0; });
-  if (state->error) std::rethrow_exception(state->error);
+  if (state->error) rethrowLoopError(state->error, state->errorIndex);
 }
 
 ThreadPool& ThreadPool::shared() {
@@ -174,7 +220,17 @@ void parallelFor(std::size_t count, const std::function<void(std::size_t)>& body
                  std::size_t threads) {
   if (threads == 0) threads = defaultThreadCount();
   if (threads <= 1 || count <= 1) {
-    for (std::size_t i = 0; i < count; ++i) body(i);
+    for (std::size_t i = 0; i < count; ++i) {
+      checkCancellation("parallelFor");
+      try {
+        body(i);
+      } catch (const CancelledError&) {
+        throw;
+      } catch (const std::exception& e) {
+        throw std::runtime_error("parallelFor: body at index " +
+                                 std::to_string(i) + " failed: " + e.what());
+      }
+    }
     return;
   }
   // threads counts the calling thread too; defaultThreadCount() is compared

@@ -53,7 +53,14 @@ class ThreadPool {
   /// so up to size()+1 bodies execute concurrently. Iterations are claimed
   /// dynamically (atomic counter), so the execution order is unspecified --
   /// bodies must only touch their own index's state. Blocks until every
-  /// iteration finished; rethrows the first exception. Called from inside a
+  /// iteration finished. A throwing body does not stop the others: the
+  /// remaining indices keep draining (per-slot isolation must not depend on
+  /// scheduling order), and the first exception is rethrown at the barrier
+  /// wrapped in a std::runtime_error naming the failing index
+  /// (util::CancelledError passes through unwrapped). The caller's ambient
+  /// cancellation token (util/cancellation.hpp) is propagated onto every
+  /// helper and checked between iterations; a cancelled loop stops claiming
+  /// indices and throws CancelledError at the barrier. Called from inside a
   /// task of this same pool, the loop runs inline on that worker (no helper
   /// jobs), which makes nested use safe instead of a deadlock.
   void parallelFor(std::size_t count, const std::function<void(std::size_t)>& body);

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/cancellation.hpp"
 #include "util/linsolve.hpp"
 
 namespace nh::xbar {
@@ -115,6 +116,13 @@ void FastEngine::solveNetwork(const LineBias& bias) {
       maxStep = std::max(maxStep, std::fabs(d));
     }
     ++newtonTotal_;
+    // NaN/Inf guard: std::clamp passes NaN through, so a poisoned solve
+    // would otherwise iterate to the cap and leave NaN line voltages behind.
+    if (!std::isfinite(maxStep)) {
+      throw nh::util::SolverError("fastsim.newton",
+                                  "non-finite update in line-network solve",
+                                  iter + 1, maxStep);
+    }
     if (maxStep < options_.newtonTol) break;
   }
 }
@@ -143,7 +151,14 @@ void FastEngine::solveNetworkSchur(std::size_t rows, std::size_t cols) {
                                   gMat_, residual_, delta_);
   }
   if (!ok) {
-    throw std::runtime_error("FastEngine: singular line-network Schur complement");
+    // The iterative path carries CG diagnostics; the dense paths report a
+    // plain singular factorisation (iterations/residual stay zero).
+    const nh::util::IterativeResult& cg = schurSolver_.lastIterative();
+    throw nh::util::SolverError(
+        "fastsim.schur",
+        cg.iterations > 0 ? "line-network Schur CG did not converge"
+                          : "singular line-network Schur complement",
+        cg.iterations, cg.residualNorm);
   }
 }
 
@@ -162,7 +177,8 @@ void FastEngine::solveNetworkDense(std::size_t rows, std::size_t cols) {
     }
   }
   if (!lu_.refactor(jacobian_)) {
-    throw std::runtime_error("FastEngine: singular line-network Jacobian");
+    throw nh::util::SolverError("fastsim.dense",
+                                "singular line-network Jacobian");
   }
   std::copy(residual_.begin(), residual_.end(), delta_.begin());
   lu_.solveInPlace(delta_);
@@ -244,6 +260,7 @@ PulseTrainResult FastEngine::applyPulseTrain(const LineBias& bias, double width,
   nh::util::Matrix energyBeforeByCell;
   std::size_t applied = 0;
   while (applied < count) {
+    nh::util::checkCancellation("pulse train");
     // Snapshot, then one fully detailed pulse.
     for (std::size_t r = 0, k = 0; r < array_->rows(); ++r) {
       for (std::size_t c = 0; c < array_->cols(); ++c, ++k) {

@@ -2,11 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <filesystem>
 #include <stdexcept>
 #include <vector>
 
 #include "fem/diffusion.hpp"
 #include "jart/params.hpp"
+#include "util/cancellation.hpp"
 #include "xbar/fastsim.hpp"
 
 namespace nh::core {
@@ -444,6 +447,211 @@ TEST(ExperimentEngine, ResultSinkEmitsConsistentAsciiCsvJson) {
   EXPECT_NE(json.find("\"config_digest\":\"" + result.configDigest + "\""),
             std::string::npos);
   EXPECT_NE(json.find("\"rows\":[["), std::string::npos);
+}
+
+/// ---- fault tolerance: isolation, retries, cancellation, resume -----------
+
+/// echoSpec variant whose run function throws at one serial index.
+ExperimentSpec failingSpec(std::size_t failIndex) {
+  ExperimentSpec spec = echoSpec();
+  spec.run = [failIndex](const PointContext& ctx) {
+    if (ctx.index == failIndex) {
+      throw std::runtime_error("injected point failure");
+    }
+    return std::vector<ResultValue>{
+        ResultValue::num(static_cast<double>(ctx.index)),
+        ResultValue::num(ctx.value("outer")),
+        ResultValue::num(ctx.value("inner"))};
+  };
+  return spec;
+}
+
+TEST(FaultTolerance, SkipPolicyIsolatesTheFailedPoint) {
+  RunOptions options;
+  options.onPointFailure = PointFailurePolicy::Skip;
+  const ExperimentResult degraded = runExperiment(failingSpec(2), options);
+  const ExperimentResult clean = runExperiment(echoSpec(), {});
+
+  ASSERT_EQ(degraded.rows.size(), 6u);
+  ASSERT_EQ(degraded.outcomes.size(), 6u);
+  EXPECT_EQ(degraded.pointsFailed, 1u);
+  EXPECT_EQ(degraded.pointsOk, 5u);
+  EXPECT_FALSE(degraded.complete());
+  EXPECT_EQ(degraded.outcomes[2].status, PointOutcome::Status::Failed);
+  EXPECT_NE(degraded.outcomes[2].error.find("injected point failure"),
+            std::string::npos);
+
+  // The failed row holds "-" placeholders; every other row is bit-identical
+  // to the fault-free run.
+  for (const auto& cell : degraded.rows[2]) {
+    EXPECT_EQ(cell, ResultValue::str("-"));
+  }
+  for (std::size_t i = 0; i < 6; ++i) {
+    if (i == 2) continue;
+    EXPECT_EQ(degraded.rows[i], clean.rows[i]) << "row " << i;
+  }
+}
+
+TEST(FaultTolerance, AbortPolicyStillThrowsAfterRetriesExhaust) {
+  RunOptions options;
+  options.threads = 1;
+  options.pointRetries = 2;
+  EXPECT_THROW(runExperiment(failingSpec(1), options), std::runtime_error);
+}
+
+TEST(FaultTolerance, RetriesRecoverATransientFailure) {
+  ExperimentSpec spec = echoSpec();
+  auto attempts = std::make_shared<std::atomic<int>>(0);
+  spec.run = [attempts](const PointContext& ctx) {
+    if (ctx.index == 1 && attempts->fetch_add(1) == 0) {
+      throw std::runtime_error("transient");
+    }
+    return std::vector<ResultValue>{
+        ResultValue::num(static_cast<double>(ctx.index)),
+        ResultValue::num(ctx.value("outer")),
+        ResultValue::num(ctx.value("inner"))};
+  };
+  RunOptions options;
+  options.pointRetries = 1;
+  const ExperimentResult result = runExperiment(spec, options);
+  EXPECT_TRUE(result.complete());
+  EXPECT_EQ(result.pointsOk, 6u);
+  EXPECT_EQ(result.outcomes[1].status, PointOutcome::Status::Ok);
+  EXPECT_EQ(result.outcomes[1].attempts, 2u);
+  EXPECT_EQ(result.outcomes[0].attempts, 1u);
+}
+
+TEST(FaultTolerance, DegradedSinksGrowAStatusColumnCompleteOnesDoNot) {
+  RunOptions options;
+  options.onPointFailure = PointFailurePolicy::Skip;
+  const ExperimentResult degraded = runExperiment(failingSpec(2), options);
+  const ExperimentResult clean = runExperiment(echoSpec(), {});
+
+  const auto degradedCsv = toCsvTable(degraded);
+  const auto cleanCsv = toCsvTable(clean);
+  ASSERT_EQ(degradedCsv.columnCount(), cleanCsv.columnCount() + 1);
+  EXPECT_EQ(degradedCsv.header().back(), "status");
+  EXPECT_EQ(degradedCsv.cell(2, degradedCsv.columnCount() - 1), "failed");
+  EXPECT_EQ(degradedCsv.cell(0, degradedCsv.columnCount() - 1), "ok");
+
+  const std::string ascii = toAsciiTable(degraded).render();
+  EXPECT_NE(ascii.find("status"), std::string::npos);
+  EXPECT_NE(ascii.find("failed"), std::string::npos);
+  EXPECT_EQ(toAsciiTable(clean).render().find("status"), std::string::npos);
+
+  const std::string json = toJson(degraded);
+  EXPECT_NE(json.find("\"points_failed\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"complete\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"row_status\":[\"ok\",\"ok\",\"failed\""),
+            std::string::npos);
+  const std::string cleanJson = toJson(clean);
+  EXPECT_NE(cleanJson.find("\"complete\":true"), std::string::npos);
+  EXPECT_EQ(cleanJson.find("row_status"), std::string::npos);
+}
+
+TEST(FaultTolerance, CancelMidRunMarksPendingPointsAndKeepsDoneRows) {
+  nh::util::CancellationSource source;
+  ExperimentSpec spec = echoSpec();
+  RunOptions options;
+  options.threads = 1;  // serial: settle order == index order
+  options.cancel = source.token();
+  options.onPointComplete = [&](std::size_t, const PointOutcome&,
+                                std::size_t completed) {
+    if (completed == 2) source.cancel();
+  };
+  const ExperimentResult result = runExperiment(spec, options);
+  EXPECT_EQ(result.pointsOk, 2u);
+  EXPECT_EQ(result.pointsCancelled, 4u);
+  EXPECT_FALSE(result.complete());
+  EXPECT_EQ(result.outcomes[0].status, PointOutcome::Status::Ok);
+  EXPECT_EQ(result.outcomes[3].status, PointOutcome::Status::Cancelled);
+  EXPECT_EQ(result.rows[1][0].number, 1.0);          // kept
+  EXPECT_EQ(result.rows[4][0], ResultValue::str("-"));  // never ran
+}
+
+TEST(FaultTolerance, ExpiredDeadlineMapsToTimedOut) {
+  RunOptions options;
+  options.threads = 1;
+  options.cancel = nh::util::CancellationSource::withDeadline(-1.0).token();
+  const ExperimentResult result = runExperiment(echoSpec(), options);
+  EXPECT_EQ(result.pointsOk, 0u);
+  EXPECT_EQ(result.pointsCancelled, 6u);
+  for (const auto& outcome : result.outcomes) {
+    EXPECT_EQ(outcome.status, PointOutcome::Status::TimedOut);
+  }
+  const auto csv = toCsvTable(result);
+  EXPECT_EQ(csv.cell(0, csv.columnCount() - 1), "timed-out");
+}
+
+TEST(FaultTolerance, CancelThenResumeIsBitIdenticalToAnUninterruptedRun) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "nh_ckpt_echo";
+  std::filesystem::remove_all(dir);
+
+  // Uninterrupted serial reference.
+  RunOptions serial;
+  serial.threads = 1;
+  const ExperimentResult reference = runExperiment(echoSpec(), serial);
+
+  // Interrupted run: cancel once three points have settled.
+  nh::util::CancellationSource source;
+  RunOptions interrupted;
+  interrupted.threads = 1;
+  interrupted.cancel = source.token();
+  interrupted.checkpointDir = dir;
+  interrupted.onPointComplete = [&](std::size_t, const PointOutcome&,
+                                    std::size_t completed) {
+    if (completed == 3) source.cancel();
+  };
+  const ExperimentResult partial = runExperiment(echoSpec(), interrupted);
+  EXPECT_EQ(partial.pointsOk, 3u);
+  EXPECT_FALSE(partial.complete());
+  EXPECT_TRUE(std::filesystem::exists(checkpointPath(dir, "echo")));
+
+  // Resume: the three checkpointed points are restored, the rest run.
+  RunOptions resumed;
+  resumed.threads = 1;
+  resumed.checkpointDir = dir;
+  resumed.resume = true;
+  const ExperimentResult result = runExperiment(echoSpec(), resumed);
+  EXPECT_TRUE(result.complete());
+  EXPECT_EQ(result.pointsResumed, 3u);
+  EXPECT_EQ(result.pointsOk, 6u);
+  EXPECT_EQ(result.rows, reference.rows);
+  EXPECT_EQ(result.pointValues, reference.pointValues);
+  // A completed run owes nobody a checkpoint.
+  EXPECT_FALSE(std::filesystem::exists(checkpointPath(dir, "echo")));
+  // And its sinks carry no status column: resumed-but-complete renders
+  // byte-identically to the uninterrupted run.
+  EXPECT_EQ(toAsciiTable(result).render(), toAsciiTable(reference).render());
+}
+
+TEST(FaultTolerance, MismatchedDigestInvalidatesTheCheckpoint) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "nh_ckpt_digest";
+  std::filesystem::remove_all(dir);
+
+  nh::util::CancellationSource source;
+  RunOptions interrupted;
+  interrupted.threads = 1;
+  interrupted.cancel = source.token();
+  interrupted.checkpointDir = dir;
+  interrupted.onPointComplete = [&](std::size_t, const PointOutcome&,
+                                    std::size_t completed) {
+    if (completed == 2) source.cancel();
+  };
+  runExperiment(echoSpec(), interrupted);
+  ASSERT_TRUE(std::filesystem::exists(checkpointPath(dir, "echo")));
+
+  // A different grid (axis override) changes the digest: nothing resumes.
+  RunOptions other;
+  other.threads = 1;
+  other.checkpointDir = dir;
+  other.resume = true;
+  other.axisOverrides["inner"] = {10.0, 20.0};
+  const ExperimentResult result = runExperiment(echoSpec(), other);
+  EXPECT_EQ(result.pointsResumed, 0u);
+  EXPECT_TRUE(result.complete());
 }
 
 }  // namespace
