@@ -1,6 +1,7 @@
 #include "core/experiment.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cinttypes>
 #include <cmath>
 #include <cstdint>
@@ -95,6 +96,7 @@ const char* shapeName(ColumnSpec::Shape shape) {
 
 const char* pointStatusName(PointOutcome::Status status) {
   switch (status) {
+    case PointOutcome::Status::Pending: return "pending";
     case PointOutcome::Status::Failed: return "failed";
     case PointOutcome::Status::Cancelled: return "cancelled";
     case PointOutcome::Status::TimedOut: return "timed-out";
@@ -518,6 +520,12 @@ ExperimentResult runExperiment(const ExperimentSpec& spec,
           }
         },
         options.threads);
+    // Outcomes default to Pending; a resolved study (cache hit or fresh
+    // construction) marks its config Ok so the per-point doom check below
+    // only fires for real construction failures.
+    for (std::size_t u = 0; u < studies.size(); ++u) {
+      if (studies[u]) studyOutcomes[u].status = PointOutcome::Status::Ok;
+    }
   }
 
   ExperimentResult result;
@@ -566,30 +574,61 @@ ExperimentResult runExperiment(const ExperimentSpec& spec,
     }
   }
 
-  // Progress bookkeeping: outcomes settle one at a time under the mutex, the
-  // checkpoint is persisted after each OK point, and the observer (CLI
-  // progress, test-driven cancellation) runs serially.
+  // Progress bookkeeping: a point settles (row + outcome assigned, both)
+  // only under the mutex, so the checkpoint writer -- which runs under the
+  // same mutex -- can never observe a row another worker is still writing,
+  // and the Pending default keeps unsettled slots out of the file entirely.
+  // The observer (CLI progress, test-driven cancellation) runs serially.
   std::mutex progressMutex;
   std::size_t settled = 0;
   for (const auto& outcome : result.outcomes) {
     if (outcome.status == PointOutcome::Status::Resumed) ++settled;
   }
-  const auto settle = [&](std::size_t i, PointOutcome outcome) {
-    const std::lock_guard<std::mutex> lock(progressMutex);
-    result.outcomes[i] = std::move(outcome);
-    ++settled;
-    if (result.outcomes[i].ok() && !ckpt.empty()) {
+
+  // Checkpoint I/O policy (state guarded by progressMutex): mid-run writes
+  // re-serialize every completed row, so they are throttled to one per
+  // interval instead of one per point (an interrupted run still gets a
+  // final write below covering everything that settled). A write failure
+  // (unwritable dir, disk full) is a degraded-resumability event, not a run
+  // failure: log once, stop trying -- later writes would fail the same way.
+  constexpr std::chrono::seconds kCheckpointInterval{5};
+  bool checkpointBroken = false;
+  auto lastCheckpointWrite = std::chrono::steady_clock::now();
+  const auto tryWriteCheckpoint = [&] {
+    if (ckpt.empty() || checkpointBroken) return;
+    try {
       writeCheckpointFile(ckpt, spec.name, result.configDigest, pointCount,
                           result.rows, result.outcomes);
+    } catch (const std::exception& e) {
+      checkpointBroken = true;
+      nh::util::logWarn("experiment '", spec.name,
+                        "': checkpoint write failed (", e.what(),
+                        "); checkpointing disabled for this run");
+    }
+  };
+
+  const auto settle = [&](std::size_t i, PointOutcome outcome,
+                          std::vector<ResultValue> row) {
+    const std::lock_guard<std::mutex> lock(progressMutex);
+    result.rows[i] = std::move(row);
+    result.outcomes[i] = std::move(outcome);
+    ++settled;
+    if (result.outcomes[i].ok() && !ckpt.empty() && !checkpointBroken) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now - lastCheckpointWrite >= kCheckpointInterval) {
+        tryWriteCheckpoint();
+        lastCheckpointWrite = now;
+      }
     }
     if (options.onPointComplete) {
       options.onPointComplete(i, result.outcomes[i], settled);
     }
   };
 
-  // One point's run function plus the row/shape validation; throws on any
-  // contract violation. Only called with the point's cancellation scope and
-  // fault-injection scope installed.
+  // One point's run function plus the row/shape validation; returns the
+  // validated row (assigned into the shared result only by settle, under the
+  // progress mutex) and throws on any contract violation. Only called with
+  // the point's cancellation scope and fault-injection scope installed.
   const auto executePoint = [&](std::size_t i) {
     PointContext ctx;
     ctx.spec = &spec;
@@ -636,7 +675,7 @@ ExperimentResult runExperiment(const ExperimentSpec& spec,
     }
     nh::util::logInfo(spec.name, ": ", where, " done (point ", i + 1, "/",
                       pointCount, ")");
-    result.rows[i] = std::move(row);
+    return row;
   };
 
   // threads == 1 runs in index order on the calling thread -- the mode
@@ -657,11 +696,13 @@ ExperimentResult runExperiment(const ExperimentSpec& spec,
         if (spec.buildStudies && !studyOutcomes[studyIndex[i]].ok()) {
           outcome = studyOutcomes[studyIndex[i]];
           outcome.attempts = 0;
-          result.rows[i].assign(spec.columns.size(), ResultValue::str("-"));
-          settle(i, std::move(outcome));
+          settle(i, std::move(outcome),
+                 std::vector<ResultValue>(spec.columns.size(),
+                                          ResultValue::str("-")));
           return;
         }
 
+        std::vector<ResultValue> row;
         std::exception_ptr lastError;
         const std::size_t maxAttempts = 1 + options.pointRetries;
         for (std::size_t attempt = 1; attempt <= maxAttempts; ++attempt) {
@@ -675,7 +716,7 @@ ExperimentResult runExperiment(const ExperimentSpec& spec,
             const nh::util::faultinject::Scope faultScope(
                 "point:" + std::to_string(i));
             nh::util::checkCancellation("experiment point");
-            executePoint(i);
+            row = executePoint(i);
             outcome.status = PointOutcome::Status::Ok;
             outcome.error.clear();
             break;
@@ -699,9 +740,9 @@ ExperimentResult runExperiment(const ExperimentSpec& spec,
           std::rethrow_exception(lastError);
         }
         if (outcome.status != PointOutcome::Status::Ok) {
-          result.rows[i].assign(spec.columns.size(), ResultValue::str("-"));
+          row.assign(spec.columns.size(), ResultValue::str("-"));
         }
-        settle(i, std::move(outcome));
+        settle(i, std::move(outcome), std::move(row));
       },
       pointThreads);
 
@@ -718,14 +759,21 @@ ExperimentResult runExperiment(const ExperimentSpec& spec,
       case PointOutcome::Status::TimedOut:
         ++result.pointsCancelled;
         break;
+      case PointOutcome::Status::Pending:
+        break;  // unreachable: every non-resumed point settles above
     }
   }
 
-  // A fully completed run owes nobody a checkpoint; an interrupted one keeps
-  // the last per-point write for --resume.
-  if (!ckpt.empty() && result.complete()) {
-    std::error_code ec;
-    std::filesystem::remove(ckpt, ec);
+  // A fully completed run owes nobody a checkpoint; an interrupted one gets
+  // one final write so --resume sees every settled row, including those the
+  // throttled mid-run writes skipped.
+  if (!ckpt.empty()) {
+    if (result.complete()) {
+      std::error_code ec;
+      std::filesystem::remove(ckpt, ec);
+    } else if (result.pointsOk > 0) {
+      tryWriteCheckpoint();
+    }
   }
 
   // finalize computes cross-row derivations (ratios vs a reference row); on

@@ -242,10 +242,13 @@ enum class PointFailurePolicy {
 
 /// Per-point execution record: how the point's run function ended, after how
 /// many attempts, and (for non-Ok outcomes) the failure message. Rows whose
-/// outcome is not Ok carry "-" text placeholders in every cell.
+/// outcome is not Ok carry "-" text placeholders in every cell. Pending is
+/// the in-flight default -- a slot whose point has not settled yet; the
+/// checkpoint writer must never serialize (or even read) such a row, which
+/// is why the default is NOT Ok.
 struct PointOutcome {
-  enum class Status { Ok, Failed, Cancelled, TimedOut, Resumed };
-  Status status = Status::Ok;
+  enum class Status { Pending, Ok, Failed, Cancelled, TimedOut, Resumed };
+  Status status = Status::Pending;
   std::string error;         ///< Failure message; empty for Ok/Resumed.
   std::size_t attempts = 1;  ///< Executions of the run function (1 + retries).
 
@@ -280,7 +283,11 @@ struct RunOptions {
   util::CancellationToken cancel;
   /// Non-empty: periodically persist completed rows to
   /// <checkpointDir>/<name>.json (digest-keyed) so an interrupted run can
-  /// resume. Deleted on full success.
+  /// resume. Mid-run writes are throttled (at most one every few seconds --
+  /// the file re-serializes every completed row), an interrupted run always
+  /// gets one final write covering everything that settled, and a write
+  /// failure (unwritable dir, disk full) logs a warning and disables further
+  /// checkpointing instead of failing the run. Deleted on full success.
   std::filesystem::path checkpointDir;
   /// Skip points whose rows a digest-matching checkpoint already holds.
   bool resume = false;

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "util/cancellation.hpp"
+#include "util/linsolve.hpp"
 
 namespace nh::util {
 
@@ -112,13 +113,18 @@ void ThreadPool::workerLoop() {
 namespace {
 // Rethrow the first loop failure, annotated with the index whose body threw.
 // CancelledError passes through untouched (cancellation is an orderly unwind
-// and callers dispatch on the type); other std::exceptions are wrapped so
-// the message pinpoints the failing iteration.
+// and callers dispatch on the type), and so does SolverError: its structured
+// diagnosis (which solve, iterations, residual) exists precisely so callers
+// above the barrier can read it, and its message already names the failing
+// solve. Other std::exceptions are wrapped so the message pinpoints the
+// failing iteration.
 [[noreturn]] void rethrowLoopError(const std::exception_ptr& error,
                                    std::size_t index) {
   try {
     std::rethrow_exception(error);
   } catch (const CancelledError&) {
+    throw;
+  } catch (const SolverError&) {
     throw;
   } catch (const std::exception& e) {
     throw std::runtime_error("parallelFor: body at index " +
@@ -226,6 +232,8 @@ void parallelFor(std::size_t count, const std::function<void(std::size_t)>& body
         body(i);
       } catch (const CancelledError&) {
         throw;
+      } catch (const SolverError&) {
+        throw;  // structured diagnosis passes through, like the pool barrier
       } catch (const std::exception& e) {
         throw std::runtime_error("parallelFor: body at index " +
                                  std::to_string(i) + " failed: " + e.what());

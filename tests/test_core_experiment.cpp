@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <filesystem>
+#include <fstream>
 #include <stdexcept>
 #include <vector>
 
@@ -652,6 +653,35 @@ TEST(FaultTolerance, MismatchedDigestInvalidatesTheCheckpoint) {
   const ExperimentResult result = runExperiment(echoSpec(), other);
   EXPECT_EQ(result.pointsResumed, 0u);
   EXPECT_TRUE(result.complete());
+}
+
+TEST(FaultTolerance, CheckpointWriteFailureDegradesInsteadOfAborting) {
+  // A regular file where the checkpoint directory should go: every write
+  // attempt fails at create_directories. Checkpointing must degrade (warn
+  // and disable) -- a checkpoint I/O error is a resumability problem, never
+  // a reason to lose the partial result of an otherwise healthy run.
+  const std::filesystem::path blocker =
+      std::filesystem::path(::testing::TempDir()) / "nh_ckpt_blocker";
+  std::filesystem::remove_all(blocker);
+  {
+    std::ofstream out(blocker);
+    out << "not a directory\n";
+  }
+
+  nh::util::CancellationSource source;
+  RunOptions options;
+  options.threads = 1;
+  options.cancel = source.token();
+  options.checkpointDir = blocker / "checkpoints";  // parent is a file
+  options.onPointComplete = [&](std::size_t, const PointOutcome&,
+                                std::size_t completed) {
+    if (completed == 2) source.cancel();
+  };
+  const ExperimentResult result = runExperiment(echoSpec(), options);
+  EXPECT_EQ(result.pointsOk, 2u);
+  EXPECT_FALSE(result.complete());
+  EXPECT_FALSE(
+      std::filesystem::exists(checkpointPath(options.checkpointDir, "echo")));
 }
 
 }  // namespace

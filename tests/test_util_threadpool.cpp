@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/linsolve.hpp"
+
 namespace nh::util {
 namespace {
 
@@ -76,6 +78,29 @@ TEST(ThreadPool, ParallelForPropagatesTheFirstException) {
                   },
                   4),
       std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForPassesSolverErrorThroughUnwrapped) {
+  // The structured diagnosis must survive the barrier on both the serial
+  // and the pooled path: callers read iterations()/residualNorm() off the
+  // concrete type, so wrapping it in a plain runtime_error would erase
+  // exactly what SolverError exists to carry.
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    try {
+      parallelFor(50,
+                  [](std::size_t i) {
+                    if (i == 7) {
+                      throw SolverError("test.solve", "diverged", 12, 3.5);
+                    }
+                  },
+                  threads);
+      FAIL() << "expected a SolverError (" << threads << " threads)";
+    } catch (const SolverError& e) {
+      EXPECT_EQ(e.solve(), "test.solve");
+      EXPECT_EQ(e.iterations(), 12u);
+      EXPECT_DOUBLE_EQ(e.residualNorm(), 3.5);
+    }
+  }
 }
 
 TEST(ThreadPool, PoolParallelForUsesWorkers) {
