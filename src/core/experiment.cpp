@@ -9,10 +9,10 @@
 #include <cstdlib>
 #include <fstream>
 #include <memory>
-#include <mutex>
 #include <sstream>
 #include <stdexcept>
 
+#include "util/annotations.hpp"
 #include "util/cancellation.hpp"
 #include "util/faultinject.hpp"
 #include "util/json.hpp"
@@ -289,13 +289,14 @@ std::string digestOf(const ExperimentSpec& spec,
 /// studies pin per-cell state for 10^6 devices each, so the bound is what
 /// keeps a run-all's resident memory flat.
 struct StudyCache {
-  std::mutex mutex;
+  nh::util::Mutex mutex;
   std::vector<std::pair<StudyConfig, std::shared_ptr<const AttackStudy>>>
-      entries;  ///< LRU order: front = next eviction victim.
-  std::size_t capacity = 32;  ///< Holds the whole seed catalog warm.
+      entries NH_GUARDED_BY(mutex);  ///< LRU order: front = next victim.
+  std::size_t capacity NH_GUARDED_BY(mutex) = 32;  ///< Seed catalog stays warm.
 
-  std::shared_ptr<const AttackStudy> find(const StudyConfig& config) {
-    const std::lock_guard<std::mutex> lock(mutex);
+  std::shared_ptr<const AttackStudy> find(const StudyConfig& config)
+      NH_EXCLUDES(mutex) {
+    const nh::util::MutexLock lock(mutex);
     for (auto it = entries.begin(); it != entries.end(); ++it) {
       if (it->first == config) {
         std::rotate(it, it + 1, entries.end());  // refresh: move to back
@@ -305,16 +306,21 @@ struct StudyCache {
     return nullptr;
   }
 
-  void insert(const StudyConfig& config,
-              std::shared_ptr<const AttackStudy> study) {
-    const std::lock_guard<std::mutex> lock(mutex);
+  /// Publish \p study, returning the entry that ended up cached: when a
+  /// racing insert for an equal config got there first, that winner is
+  /// returned instead, so concurrent builders converge on one instance.
+  std::shared_ptr<const AttackStudy> insert(
+      const StudyConfig& config, std::shared_ptr<const AttackStudy> study)
+      NH_EXCLUDES(mutex) {
+    const nh::util::MutexLock lock(mutex);
     for (const auto& [cached, existing] : entries) {
-      if (cached == config) return;  // racing run-all: first insert wins
+      if (cached == config) return existing;  // racing run-all: first wins
     }
     while (entries.size() >= capacity && !entries.empty()) {
       entries.erase(entries.begin());
     }
     entries.emplace_back(config, std::move(study));
+    return entries.back().second;
   }
 };
 
@@ -402,33 +408,140 @@ std::vector<std::unique_ptr<std::vector<ResultValue>>> loadCheckpointRows(
   return rows;
 }
 
+/// Serialises point settlement. A point's row and outcome are assigned
+/// *together* under mutex_, so the checkpoint writer -- which runs under the
+/// same mutex_ -- can never observe a row a worker is still move-assigning,
+/// and unsettled (Pending) slots never reach the file. The PR 7
+/// checkpoint-writer race was exactly this protocol enforced only by
+/// convention; here the row/outcome stores are pt-guarded by mutex_ and the
+/// lock-holding helper carries NH_REQUIRES, so clang rejects a regression at
+/// compile time.
+///
+/// The tracker accesses the result's rows/outcomes through guarded pointers
+/// for the whole parallel phase. After the loop's barrier the run is
+/// single-threaded again; the caller reads the result directly, outside the
+/// tracker, which is the documented single-owner epoch.
+class ProgressTracker {
+ public:
+  ProgressTracker(const ExperimentSpec& spec, ExperimentResult& result,
+                  const RunOptions& options, std::filesystem::path ckpt)
+      : spec_(spec),
+        options_(options),
+        ckpt_(std::move(ckpt)),
+        pointCount_(result.rows.size()),
+        digest_(result.configDigest),
+        rows_(&result.rows),
+        outcomes_(&result.outcomes) {
+    const nh::util::MutexLock lock(mutex_);
+    for (const auto& outcome : *outcomes_) {
+      if (outcome.status == PointOutcome::Status::Resumed) ++settled_;
+    }
+    lastWrite_ = std::chrono::steady_clock::now();
+  }
+
+  /// Record one settled point: assign its row and outcome, maybe write a
+  /// throttled checkpoint, and invoke the (serialised) completion observer.
+  void settle(std::size_t i, PointOutcome outcome, std::vector<ResultValue> row)
+      NH_EXCLUDES(mutex_) {
+    const nh::util::MutexLock lock(mutex_);
+    (*rows_)[i] = std::move(row);
+    (*outcomes_)[i] = std::move(outcome);
+    ++settled_;
+    // Checkpoint I/O policy: mid-run writes re-serialize every completed
+    // row, so they are throttled to one per interval instead of one per
+    // point (an interrupted run still gets a final write via
+    // writeFinalCheckpoint covering everything that settled).
+    if ((*outcomes_)[i].ok() && !ckpt_.empty() && !checkpointBroken_) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now - lastWrite_ >= kCheckpointInterval) {
+        tryWriteCheckpointLocked();
+        lastWrite_ = now;
+      }
+    }
+    if (options_.onPointComplete) {
+      options_.onPointComplete(i, (*outcomes_)[i], settled_);
+    }
+  }
+
+  /// One final write so --resume sees every settled row, including those the
+  /// throttled mid-run writes skipped. Called after the loop barrier (the
+  /// run is single-threaded again, but an uncontended lock is free and keeps
+  /// the analysis honest).
+  void writeFinalCheckpoint() NH_EXCLUDES(mutex_) {
+    const nh::util::MutexLock lock(mutex_);
+    tryWriteCheckpointLocked();
+  }
+
+ private:
+  /// A write failure (unwritable dir, disk full) is a degraded-resumability
+  /// event, not a run failure: log once, stop trying -- later writes would
+  /// fail the same way.
+  void tryWriteCheckpointLocked() NH_REQUIRES(mutex_) {
+    if (ckpt_.empty() || checkpointBroken_) return;
+    try {
+      writeCheckpointFile(ckpt_, spec_.name, digest_, pointCount_, *rows_,
+                          *outcomes_);
+    } catch (const std::exception& e) {
+      checkpointBroken_ = true;
+      nh::util::logWarn("experiment '", spec_.name,
+                        "': checkpoint write failed (", e.what(),
+                        "); checkpointing disabled for this run");
+    }
+  }
+
+  static constexpr std::chrono::seconds kCheckpointInterval{5};
+
+  const ExperimentSpec& spec_;
+  const RunOptions& options_;
+  const std::filesystem::path ckpt_;
+  const std::size_t pointCount_;
+  const std::string digest_;
+
+  nh::util::Mutex mutex_;
+  std::vector<std::vector<ResultValue>>* const rows_ NH_PT_GUARDED_BY(mutex_);
+  std::vector<PointOutcome>* const outcomes_ NH_PT_GUARDED_BY(mutex_);
+  std::size_t settled_ NH_GUARDED_BY(mutex_) = 0;
+  bool checkpointBroken_ NH_GUARDED_BY(mutex_) = false;
+  std::chrono::steady_clock::time_point lastWrite_ NH_GUARDED_BY(mutex_);
+};
+
 }  // namespace
 
 std::size_t studyCacheSize() {
   StudyCache& cache = studyCache();
-  const std::lock_guard<std::mutex> lock(cache.mutex);
+  const nh::util::MutexLock lock(cache.mutex);
   return cache.entries.size();
 }
 
 void clearStudyCache() {
   StudyCache& cache = studyCache();
-  const std::lock_guard<std::mutex> lock(cache.mutex);
+  const nh::util::MutexLock lock(cache.mutex);
   cache.entries.clear();
 }
 
 std::size_t studyCacheCapacity() {
   StudyCache& cache = studyCache();
-  const std::lock_guard<std::mutex> lock(cache.mutex);
+  const nh::util::MutexLock lock(cache.mutex);
   return cache.capacity;
 }
 
 void setStudyCacheCapacity(std::size_t capacity) {
   StudyCache& cache = studyCache();
-  const std::lock_guard<std::mutex> lock(cache.mutex);
+  const nh::util::MutexLock lock(cache.mutex);
   cache.capacity = std::max<std::size_t>(1, capacity);
   while (cache.entries.size() > cache.capacity) {
     cache.entries.erase(cache.entries.begin());
   }
+}
+
+std::shared_ptr<const AttackStudy> getOrBuildStudy(const StudyConfig& config) {
+  if (auto hit = studyCache().find(config)) return hit;
+  // Built outside the lock: construction can take seconds (FEM-alpha
+  // extraction) and other configs must keep hitting the cache meanwhile.
+  // Racing builders for an equal config each construct once; insert()
+  // returns the winning instance so every caller converges on it.
+  auto study = std::make_shared<const AttackStudy>(config);
+  return studyCache().insert(config, std::move(study));
 }
 
 std::string configDigest(const ExperimentSpec& spec, const RunOptions& options) {
@@ -505,8 +618,7 @@ ExperimentResult runExperiment(const ExperimentSpec& spec,
           const nh::util::CancellationScope scope(options.cancel);
           try {
             nh::util::checkCancellation("study construction");
-            studies[u] = std::make_shared<const AttackStudy>(*uniqueConfigs[u]);
-            studyCache().insert(*uniqueConfigs[u], studies[u]);
+            studies[u] = getOrBuildStudy(*uniqueConfigs[u]);
           } catch (const nh::util::CancelledError& e) {
             studyOutcomes[u].status = e.deadlineExpired()
                                           ? PointOutcome::Status::TimedOut
@@ -574,56 +686,14 @@ ExperimentResult runExperiment(const ExperimentSpec& spec,
     }
   }
 
-  // Progress bookkeeping: a point settles (row + outcome assigned, both)
-  // only under the mutex, so the checkpoint writer -- which runs under the
-  // same mutex -- can never observe a row another worker is still writing,
-  // and the Pending default keeps unsettled slots out of the file entirely.
-  // The observer (CLI progress, test-driven cancellation) runs serially.
-  std::mutex progressMutex;
-  std::size_t settled = 0;
-  for (const auto& outcome : result.outcomes) {
-    if (outcome.status == PointOutcome::Status::Resumed) ++settled;
-  }
-
-  // Checkpoint I/O policy (state guarded by progressMutex): mid-run writes
-  // re-serialize every completed row, so they are throttled to one per
-  // interval instead of one per point (an interrupted run still gets a
-  // final write below covering everything that settled). A write failure
-  // (unwritable dir, disk full) is a degraded-resumability event, not a run
-  // failure: log once, stop trying -- later writes would fail the same way.
-  constexpr std::chrono::seconds kCheckpointInterval{5};
-  bool checkpointBroken = false;
-  auto lastCheckpointWrite = std::chrono::steady_clock::now();
-  const auto tryWriteCheckpoint = [&] {
-    if (ckpt.empty() || checkpointBroken) return;
-    try {
-      writeCheckpointFile(ckpt, spec.name, result.configDigest, pointCount,
-                          result.rows, result.outcomes);
-    } catch (const std::exception& e) {
-      checkpointBroken = true;
-      nh::util::logWarn("experiment '", spec.name,
-                        "': checkpoint write failed (", e.what(),
-                        "); checkpointing disabled for this run");
-    }
-  };
-
-  const auto settle = [&](std::size_t i, PointOutcome outcome,
-                          std::vector<ResultValue> row) {
-    const std::lock_guard<std::mutex> lock(progressMutex);
-    result.rows[i] = std::move(row);
-    result.outcomes[i] = std::move(outcome);
-    ++settled;
-    if (result.outcomes[i].ok() && !ckpt.empty() && !checkpointBroken) {
-      const auto now = std::chrono::steady_clock::now();
-      if (now - lastCheckpointWrite >= kCheckpointInterval) {
-        tryWriteCheckpoint();
-        lastCheckpointWrite = now;
-      }
-    }
-    if (options.onPointComplete) {
-      options.onPointComplete(i, result.outcomes[i], settled);
-    }
-  };
+  // Progress bookkeeping: the tracker settles a point (row + outcome
+  // assigned, both) only under its mutex, so the checkpoint writer -- which
+  // runs under the same mutex -- can never observe a row another worker is
+  // still writing, and the Pending default keeps unsettled slots out of the
+  // file entirely. The observer (CLI progress, test-driven cancellation)
+  // runs serially. The locking protocol is thread-safety-annotated; see
+  // ProgressTracker.
+  ProgressTracker progress(spec, result, options, ckpt);
 
   // One point's run function plus the row/shape validation; returns the
   // validated row (assigned into the shared result only by settle, under the
@@ -696,9 +766,9 @@ ExperimentResult runExperiment(const ExperimentSpec& spec,
         if (spec.buildStudies && !studyOutcomes[studyIndex[i]].ok()) {
           outcome = studyOutcomes[studyIndex[i]];
           outcome.attempts = 0;
-          settle(i, std::move(outcome),
-                 std::vector<ResultValue>(spec.columns.size(),
-                                          ResultValue::str("-")));
+          progress.settle(i, std::move(outcome),
+                          std::vector<ResultValue>(spec.columns.size(),
+                                                   ResultValue::str("-")));
           return;
         }
 
@@ -742,7 +812,7 @@ ExperimentResult runExperiment(const ExperimentSpec& spec,
         if (outcome.status != PointOutcome::Status::Ok) {
           row.assign(spec.columns.size(), ResultValue::str("-"));
         }
-        settle(i, std::move(outcome), std::move(row));
+        progress.settle(i, std::move(outcome), std::move(row));
       },
       pointThreads);
 
@@ -772,7 +842,7 @@ ExperimentResult runExperiment(const ExperimentSpec& spec,
       std::error_code ec;
       std::filesystem::remove(ckpt, ec);
     } else if (result.pointsOk > 0) {
-      tryWriteCheckpoint();
+      progress.writeFinalCheckpoint();
     }
   }
 

@@ -20,6 +20,7 @@
 #include <filesystem>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -355,6 +356,13 @@ std::string configDigest(const ExperimentSpec& spec, const RunOptions& options);
 /// shared with every later run in the process, so `nh_sweep run-all` and
 /// `check --all` batch related experiments against one warm study set
 /// instead of re-running the expensive FEM-alpha extraction per experiment.
+
+/// Resolve \p config through the cache: return the cached study when warm,
+/// otherwise build one and publish it. Safe to call from any number of
+/// threads; racing builders for the same config all converge on the single
+/// instance the cache kept (insert returns the winner), so callers may
+/// compare the returned pointers for identity.
+std::shared_ptr<const AttackStudy> getOrBuildStudy(const StudyConfig& config);
 
 /// Number of studies currently cached.
 std::size_t studyCacheSize();

@@ -1,9 +1,11 @@
 #include "util/faultinject.hpp"
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <map>
-#include <mutex>
+
+#include "util/annotations.hpp"
 
 namespace nh::util::faultinject {
 
@@ -17,29 +19,55 @@ struct Policy {
 };
 
 struct Registry {
-  std::mutex mutex;
-  std::map<std::string, Policy> sites;
+  Mutex mutex;
+  std::map<std::string, Policy> sites NH_GUARDED_BY(mutex);
 };
 
 // Number of armed-and-not-yet-fired sites; lets shouldFire bail with one
-// relaxed load in the (overwhelmingly common) nothing-armed case.
+// relaxed load in the (overwhelmingly common) nothing-armed case. Mutated
+// only while holding Registry::mutex; read lock-free by enabled().
 std::atomic<std::size_t> g_armedCount{0};
 
 thread_local std::string t_scope;
 
+/// Insert or replace one policy. The armed count tracks live
+/// (armed-and-unfired) sites only, so replacing a fired policy revives it.
+void armLocked(Registry& registry, const std::string& site,
+               const Policy& policy) NH_REQUIRES(registry.mutex) {
+  auto it = registry.sites.find(site);
+  if (it == registry.sites.end()) {
+    registry.sites.emplace(site, policy);
+    g_armedCount.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    if (it->second.fired) g_armedCount.fetch_add(1, std::memory_order_relaxed);
+    it->second = policy;
+  }
+}
+
 // NH_FAULT=site:n[@scope][,site2:n2[@scope2]...]
-void armFromEnv(Registry& registry) {
-  const char* env = std::getenv("NH_FAULT");
-  if (!env) return;
-  std::string spec(env);
+std::size_t armFromSpecLocked(Registry& registry, const std::string& spec)
+    NH_REQUIRES(registry.mutex) {
+  std::size_t armed = 0;
+  const auto malformed = [](const std::string& entry, const char* why) {
+    // A typo'd injection spec must never masquerade as a clean run: name the
+    // entry so the operator can fix it.
+    std::fprintf(stderr,
+                 "NH_FAULT: ignoring malformed entry '%s' (%s; expected "
+                 "site:n[@scope])\n",
+                 entry.c_str(), why);
+  };
   std::size_t start = 0;
   while (start < spec.size()) {
     std::size_t end = spec.find(',', start);
     if (end == std::string::npos) end = spec.size();
     const std::string entry = spec.substr(start, end - start);
     start = end + 1;
+    if (entry.empty()) continue;  // stray comma, nothing to report
     const std::size_t colon = entry.find(':');
-    if (colon == std::string::npos || colon == 0) continue;  // malformed
+    if (colon == std::string::npos || colon == 0) {
+      malformed(entry, colon == 0 ? "empty site name" : "missing ':'");
+      continue;
+    }
     Policy policy;
     const std::string site = entry.substr(0, colon);
     std::string rest = entry.substr(colon + 1);
@@ -50,18 +78,26 @@ void armFromEnv(Registry& registry) {
     }
     char* parseEnd = nullptr;
     const unsigned long n = std::strtoul(rest.c_str(), &parseEnd, 10);
-    if (parseEnd == rest.c_str() || n == 0) continue;  // malformed count
-    policy.nthCall = static_cast<std::size_t>(n);
-    if (registry.sites.emplace(site, policy).second) {
-      g_armedCount.fetch_add(1, std::memory_order_relaxed);
+    if (parseEnd == rest.c_str() || *parseEnd != '\0' || n == 0) {
+      malformed(entry, "bad call count");
+      continue;
     }
+    policy.nthCall = static_cast<std::size_t>(n);
+    armLocked(registry, site, policy);
+    ++armed;
   }
+  return armed;
 }
 
 Registry& registry() {
   static Registry* instance = [] {
     auto* r = new Registry;
-    armFromEnv(*r);
+    if (const char* env = std::getenv("NH_FAULT")) {
+      // Single-threaded magic-static init, but the analysis (correctly)
+      // cannot prove that -- lock the fresh registry's own mutex.
+      MutexLock lock(r->mutex);
+      armFromSpecLocked(*r, env);
+    }
     return r;
   }();
   return *instance;
@@ -79,7 +115,7 @@ bool enabled() { return g_armedCount.load(std::memory_order_relaxed) > 0; }
 bool shouldFire(const char* site) {
   if (!enabled()) return false;
   Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mutex);
+  MutexLock lock(reg.mutex);
   auto it = reg.sites.find(site);
   if (it == reg.sites.end()) return false;
   Policy& policy = it->second;
@@ -95,25 +131,22 @@ bool shouldFire(const char* site) {
 void arm(const std::string& site, std::size_t nthCall,
          const std::string& scope) {
   Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mutex);
+  MutexLock lock(reg.mutex);
   Policy policy;
   policy.nthCall = nthCall == 0 ? 1 : nthCall;
   policy.scope = scope;
-  auto it = reg.sites.find(site);
-  if (it == reg.sites.end()) {
-    reg.sites.emplace(site, policy);
-    g_armedCount.fetch_add(1, std::memory_order_relaxed);
-  } else {
-    // Re-arming a fired site makes it live again; the armed count tracks
-    // live (armed-and-unfired) sites only.
-    if (it->second.fired) g_armedCount.fetch_add(1, std::memory_order_relaxed);
-    it->second = policy;
-  }
+  armLocked(reg, site, policy);
+}
+
+std::size_t armFromSpec(const std::string& spec) {
+  Registry& reg = registry();
+  MutexLock lock(reg.mutex);
+  return armFromSpecLocked(reg, spec);
 }
 
 void disarm(const std::string& site) {
   Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mutex);
+  MutexLock lock(reg.mutex);
   auto it = reg.sites.find(site);
   if (it == reg.sites.end()) return;
   if (!it->second.fired) g_armedCount.fetch_sub(1, std::memory_order_relaxed);
@@ -122,7 +155,7 @@ void disarm(const std::string& site) {
 
 void clearAll() {
   Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mutex);
+  MutexLock lock(reg.mutex);
   for (const auto& [site, policy] : reg.sites) {
     (void)site;
     if (!policy.fired) g_armedCount.fetch_sub(1, std::memory_order_relaxed);
@@ -132,14 +165,14 @@ void clearAll() {
 
 std::size_t callCount(const std::string& site) {
   Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mutex);
+  MutexLock lock(reg.mutex);
   auto it = reg.sites.find(site);
   return it == reg.sites.end() ? 0 : it->second.count;
 }
 
 bool fired(const std::string& site) {
   Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mutex);
+  MutexLock lock(reg.mutex);
   auto it = reg.sites.find(site);
   return it != reg.sites.end() && it->second.fired;
 }

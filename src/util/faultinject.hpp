@@ -41,6 +41,14 @@ bool shouldFire(const char* site);
 void arm(const std::string& site, std::size_t nthCall,
          const std::string& scope = "");
 
+/// Arm every well-formed entry of an NH_FAULT-style spec string
+/// (`site:n[@scope]`, comma-separated). Malformed entries are skipped with a
+/// one-line stderr warning naming the bad entry -- a typo'd injection spec
+/// must not masquerade as a clean run. Returns the number of sites armed.
+/// The NH_FAULT environment variable is fed through this parser before
+/// main().
+std::size_t armFromSpec(const std::string& spec);
+
 /// Remove the policy for \p site (no-op when not armed).
 void disarm(const std::string& site);
 

@@ -2,13 +2,18 @@
 
 #include <atomic>
 #include <iostream>
-#include <mutex>
+
+#include "util/annotations.hpp"
 
 namespace nh::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::Warn};
-std::mutex g_mutex;
+// Serialises whole lines onto std::cerr so concurrent sweep workers never
+// interleave characters. The guarded state is the stream itself (a global we
+// cannot annotate), so the mutex carries the protocol by convention: every
+// write to std::cerr in this file goes through logMessage.
+Mutex g_mutex;
 
 const char* levelName(LogLevel level) {
   switch (level) {
@@ -27,7 +32,7 @@ LogLevel logLevel() { return g_level.load(); }
 
 void logMessage(LogLevel level, const std::string& message) {
   if (level < g_level.load()) return;
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_mutex);
   std::cerr << "[nh:" << levelName(level) << "] " << message << '\n';
 }
 

@@ -70,32 +70,32 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
-  jobReady_.notify_all();
+  jobReady_.notifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
 void ThreadPool::submit(std::function<void()> job) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     jobs_.push_back(std::move(job));
   }
-  jobReady_.notify_one();
+  jobReady_.notifyOne();
 }
 
 void ThreadPool::wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_.wait(lock, [this] { return jobs_.empty() && active_ == 0; });
+  MutexLock lock(mutex_);
+  while (!jobs_.empty() || active_ != 0) idle_.wait(mutex_);
 }
 
 void ThreadPool::workerLoop() {
   for (;;) {
     std::function<void()> job;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      jobReady_.wait(lock, [this] { return stopping_ || !jobs_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && jobs_.empty()) jobReady_.wait(mutex_);
       if (jobs_.empty()) return;  // stopping_ and nothing left to drain
       job = std::move(jobs_.front());
       jobs_.pop_front();
@@ -103,9 +103,9 @@ void ThreadPool::workerLoop() {
     }
     job();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       --active_;
-      if (jobs_.empty() && active_ == 0) idle_.notify_all();
+      if (jobs_.empty() && active_ == 0) idle_.notifyAll();
     }
   }
 }
@@ -143,15 +143,19 @@ void ThreadPool::parallelFor(std::size_t count,
   // from `next`. A throwing body does NOT stop its siblings -- the remaining
   // indices keep draining so every slot gets its chance to complete (the
   // isolation semantics the sweep harness relies on); the first failure wins
-  // `error` and is rethrown at the barrier, tagged with its index.
+  // `error` and is rethrown at the barrier, tagged with its index. The
+  // error pair is errorMutex-guarded end to end -- including the post-barrier
+  // read: the barrier's release/acquire ordering already makes it safe, but
+  // the analysis (rightly) has no way to see that, and an uncontended lock
+  // at the barrier is free.
   struct LoopState {
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> pendingTasks{0};
-    std::exception_ptr error;
-    std::size_t errorIndex = 0;
-    std::mutex errorMutex;
-    std::mutex doneMutex;
-    std::condition_variable done;
+    Mutex errorMutex;
+    std::exception_ptr error NH_GUARDED_BY(errorMutex);
+    std::size_t errorIndex NH_GUARDED_BY(errorMutex) = 0;
+    Mutex doneMutex;
+    CondVar done;
   };
   auto state = std::make_shared<LoopState>();
 
@@ -165,7 +169,7 @@ void ThreadPool::parallelFor(std::size_t count,
     std::size_t i;
     while ((i = state->next.fetch_add(1)) < count) {
       if (token.cancelled()) {
-        std::lock_guard<std::mutex> lock(state->errorMutex);
+        MutexLock lock(state->errorMutex);
         if (!state->error) {
           const bool byDeadline = token.deadlineExpired();
           state->error = std::make_exception_ptr(CancelledError(
@@ -179,7 +183,7 @@ void ThreadPool::parallelFor(std::size_t count,
       try {
         (*bodyPtr)(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(state->errorMutex);
+        MutexLock lock(state->errorMutex);
         if (!state->error) {
           state->error = std::current_exception();
           state->errorIndex = i;
@@ -202,17 +206,26 @@ void ThreadPool::parallelFor(std::size_t count,
         drain();
       }
       if (state->pendingTasks.fetch_sub(1) == 1) {
-        std::lock_guard<std::mutex> lock(state->doneMutex);
-        state->done.notify_all();
+        MutexLock lock(state->doneMutex);
+        state->done.notifyAll();
       }
     });
   }
 
   drain();  // the calling thread works too (and alone when the pool is busy)
 
-  std::unique_lock<std::mutex> lock(state->doneMutex);
-  state->done.wait(lock, [&state] { return state->pendingTasks.load() == 0; });
-  if (state->error) rethrowLoopError(state->error, state->errorIndex);
+  {
+    MutexLock lock(state->doneMutex);
+    while (state->pendingTasks.load() != 0) state->done.wait(state->doneMutex);
+  }
+  std::exception_ptr error;
+  std::size_t errorIndex = 0;
+  {
+    MutexLock lock(state->errorMutex);
+    error = state->error;
+    errorIndex = state->errorIndex;
+  }
+  if (error) rethrowLoopError(error, errorIndex);
 }
 
 ThreadPool& ThreadPool::shared() {

@@ -5,14 +5,19 @@
 /// points are embarrassingly parallel; callers write results into
 /// preallocated slots indexed by the loop variable, which keeps output
 /// ordering deterministic regardless of the thread count.
+///
+/// All shared state is annotated for Clang's thread-safety analysis (see
+/// util/annotations.hpp): the job queue, the active-worker count, and the
+/// stop flag are `NH_GUARDED_BY(mutex_)`, so an access outside the lock is a
+/// compile error on clang, not a TSan report later.
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/annotations.hpp"
 
 namespace nh::util {
 
@@ -44,10 +49,10 @@ class ThreadPool {
 
   /// Enqueue one job. Jobs must not throw; use parallelFor for bodies that
   /// can fail (it captures and rethrows the first exception).
-  void submit(std::function<void()> job);
+  void submit(std::function<void()> job) NH_EXCLUDES(mutex_);
 
   /// Block until the queue is empty and every worker is idle.
-  void wait();
+  void wait() NH_EXCLUDES(mutex_);
 
   /// Run body(0..count-1) across the pool; the calling thread participates,
   /// so up to size()+1 bodies execute concurrently. Iterations are claimed
@@ -63,22 +68,28 @@ class ThreadPool {
   /// indices and throws CancelledError at the barrier. Called from inside a
   /// task of this same pool, the loop runs inline on that worker (no helper
   /// jobs), which makes nested use safe instead of a deadlock.
-  void parallelFor(std::size_t count, const std::function<void(std::size_t)>& body);
+  void parallelFor(std::size_t count, const std::function<void(std::size_t)>& body)
+      NH_EXCLUDES(mutex_);
 
   /// Process-wide pool created on first use, sized so that a parallelFor on
   /// it runs defaultThreadCount() concurrent bodies (workers + caller).
   static ThreadPool& shared();
 
  private:
-  void workerLoop();
+  void workerLoop() NH_EXCLUDES(mutex_);
+
+  // The TSA smoke probe (tests/tsa_probe.cpp, scripts/check-tsa-probe) reads
+  // jobs_ without the lock and MUST fail to compile; see
+  // docs/static-analysis.md.
+  friend class ThreadPoolTsaProbe;
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> jobs_;
-  mutable std::mutex mutex_;
-  std::condition_variable jobReady_;
-  std::condition_variable idle_;
-  std::size_t active_ = 0;
-  bool stopping_ = false;
+  mutable Mutex mutex_;
+  std::deque<std::function<void()>> jobs_ NH_GUARDED_BY(mutex_);
+  std::size_t active_ NH_GUARDED_BY(mutex_) = 0;
+  bool stopping_ NH_GUARDED_BY(mutex_) = false;
+  CondVar jobReady_;
+  CondVar idle_;
 };
 
 /// Convenience wrapper: run body(0..count-1) with \p threads concurrent

@@ -1,0 +1,35 @@
+/// \file tsa_probe.cpp
+/// Negative-compile probe for the thread-safety analysis -- this file MUST
+/// FAIL to compile under clang with -Werror=thread-safety-analysis.
+///
+/// It is deliberately named outside the tests/test_*.cpp glob: no CMake
+/// target compiles it. scripts/check-tsa-probe compiles it directly and
+/// *inverts* the exit code, which is how the smoke check in
+/// docs/static-analysis.md works: strip NH_GUARDED_BY(mutex_) off
+/// ThreadPool::jobs_ and this probe starts compiling cleanly, so the gate
+/// fails. An annotation that can be deleted without breaking this probe is
+/// an annotation the analysis was not actually checking.
+///
+/// ThreadPool befriends ThreadPoolTsaProbe for exactly this file; the friend
+/// grant buys field *visibility*, not lock exemption -- the guarded-by
+/// violation below is still diagnosed.
+
+#include "util/threadpool.hpp"
+
+namespace nh::util {
+
+class ThreadPoolTsaProbe {
+ public:
+  static std::size_t readJobsUnlocked(ThreadPool& pool) {
+    // ERROR (intended): reading jobs_ without holding mutex_. If clang
+    // accepts this line, the NH_GUARDED_BY(mutex_) annotation on jobs_ is
+    // gone or inert.
+    return pool.jobs_.size();
+  }
+};
+
+std::size_t tsaProbeEntry(ThreadPool& pool) {
+  return ThreadPoolTsaProbe::readJobsUnlocked(pool);
+}
+
+}  // namespace nh::util
