@@ -28,6 +28,7 @@
 #include "util/multigrid.hpp"
 #include "util/rng.hpp"
 #include "util/sparse.hpp"
+#include "util/spmv.hpp"
 #include "xbar/fastsim.hpp"
 
 namespace {
@@ -246,6 +247,194 @@ BENCHMARK(BM_GmgHierarchySetup)
     ->Arg(32)
     ->Arg(64)
     ->Unit(benchmark::kMillisecond);
+
+/// Frozen-structure hierarchy recompute: the state a sweep or transient
+/// march is in when the operator's *values* changed but the grid did not.
+/// The transfers are reused (pre-existing) and the Galerkin chain refills
+/// through the per-level SpGemm plans in O(nnz) -- compare against
+/// BM_GmgHierarchySetup/64, which pays the full symbolic SpGEMM each time.
+void BM_GmgHierarchyRecompute(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  const auto matrix = nh::util::makeSteadyFvOperator3d(m, 2.0);
+  nh::util::GeometricMultigrid::Options options;
+  options.nx = options.ny = options.nz = m;
+  nh::util::GeometricMultigrid mg;  // persistent: transfers + plans reused
+  if (!mg.compute(matrix, options)) {
+    state.SkipWithError("GMG setup failed");
+    return;
+  }
+  for (auto _ : state) {
+    const bool ok = mg.compute(matrix, options);
+    benchmark::DoNotOptimize(ok);
+  }
+  state.counters["rows"] = static_cast<double>(m * m * m);
+}
+BENCHMARK(BM_GmgHierarchyRecompute)->Arg(64)->Unit(benchmark::kMillisecond);
+
+/// Direct row-kernel A/B on the 7-point fine FV operator at 64^3 (arg:
+/// 0 = scalar reference, 1 = the dispatched kernel -- AVX2 gather where the
+/// CPU has it, see the spmv_kernel context entry). Rows here are <= 7
+/// entries wide, so both arms use the 4-accumulator pattern; the SIMD win
+/// is the vectorised gather+multiply itself.
+void BM_SpMvSimdFine(benchmark::State& state) {
+  const std::size_t m = 64;
+  const std::size_t n = m * m * m;
+  const auto matrix = nh::util::makeSteadyFvOperator3d(m, 2.0);
+  const nh::util::spmv::RowRangeFn kernel =
+      state.range(0) == 0 ? &nh::util::spmv::rowRangeReference
+                          : nh::util::spmv::activeKernel();
+  nh::util::Vector x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = 1.0 + 1e-6 * static_cast<double>(i % 997);
+  }
+  nh::util::Vector y(n, 0.0);
+  for (auto _ : state) {
+    kernel(matrix.rowPtr().data(), matrix.colIdx().data(),
+           matrix.values().data(), x.data(), y.data(), 0, n);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.counters["rows"] = static_cast<double>(n);
+  state.counters["nnz"] = static_cast<double>(matrix.nonZeros());
+}
+BENCHMARK(BM_SpMvSimdFine)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+/// Same A/B on the 27-point Galerkin coarse operator of the 64^3 hierarchy
+/// (32^3 rows, ~27 entries each): these rows clear the wide-row threshold,
+/// so the dispatched arm runs the register-blocked 8-accumulator path --
+/// the dense-ish shape the ISSUE targets for the double-digit SpMV gain.
+void BM_SpMvSimdGalerkin(benchmark::State& state) {
+  const std::size_t m = 64;
+  const std::size_t mc = (m + 1) / 2;
+  const auto fine = nh::util::makeSteadyFvOperator3d(m, 2.0);
+  const auto p = nh::util::buildTrilinearProlongation(m, m, m, mc, mc, mc);
+  const auto coarse =
+      nh::util::multiplySparse(p.transposed(), nh::util::multiplySparse(fine, p));
+  const std::size_t n = coarse.rows();
+  const nh::util::spmv::RowRangeFn kernel =
+      state.range(0) == 0 ? &nh::util::spmv::rowRangeReference
+                          : nh::util::spmv::activeKernel();
+  nh::util::Vector x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = 1.0 + 1e-6 * static_cast<double>(i % 997);
+  }
+  nh::util::Vector y(n, 0.0);
+
+  // The dispatched kernel must agree with the reference bit-for-bit; a
+  // mismatch would mean the A/B compares different arithmetic.
+  nh::util::Vector yRef(n, 0.0);
+  nh::util::spmv::rowRangeReference(coarse.rowPtr().data(),
+                                    coarse.colIdx().data(),
+                                    coarse.values().data(), x.data(),
+                                    yRef.data(), 0, n);
+  kernel(coarse.rowPtr().data(), coarse.colIdx().data(),
+         coarse.values().data(), x.data(), y.data(), 0, n);
+  if (y != yRef) {
+    state.SkipWithError("SIMD kernel disagrees with the scalar reference");
+    return;
+  }
+
+  for (auto _ : state) {
+    kernel(coarse.rowPtr().data(), coarse.colIdx().data(),
+           coarse.values().data(), x.data(), y.data(), 0, n);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.counters["rows"] = static_cast<double>(n);
+  state.counters["nnz"] = static_cast<double>(coarse.nonZeros());
+}
+BENCHMARK(BM_SpMvSimdGalerkin)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+/// GMG-preconditioned CG at 64^3 with the lexicographic vs the red-black
+/// smoother (arg: 0 = lex, 1 = red-black), frozen preconditioner as in
+/// BM_CgFvSteadyLargeGrid. Red-black multiplies by the cached inverse
+/// diagonal instead of dividing per row and sweeps each color in parallel
+/// when threads are available; cg_iterations shows the (near-identical)
+/// convergence, time/iteration shows the V-cycle constant.
+void BM_RedBlackVsLex(benchmark::State& state) {
+  const std::size_t m = 64;
+  const std::size_t n = m * m * m;
+  const auto matrix = nh::util::makeSteadyFvOperator3d(m, 2.0);
+  nh::util::Vector b(n, 1e-6);
+  nh::util::CgWorkspace workspace;
+  nh::util::CgOptions options;
+  options.relTol = 1e-8;
+  options.maxIter = 50000;
+  options.preconditioner = nh::util::CgPreconditioner::Multigrid;
+  options.gridNx = options.gridNy = options.gridNz = m;
+  options.multigridSmoother = state.range(0) == 0
+                                  ? nh::util::MultigridSmoother::Lexicographic
+                                  : nh::util::MultigridSmoother::RedBlack;
+  nh::util::Vector x(n, 0.0);
+  nh::util::solveConjugateGradient(matrix, b, x, options, &workspace);
+  options.reusePreconditioner = true;
+
+  std::size_t iterations = 0;
+  bool converged = true;
+  for (auto _ : state) {
+    x.assign(n, 0.0);
+    const auto result =
+        nh::util::solveConjugateGradient(matrix, b, x, options, &workspace);
+    iterations = result.iterations;
+    converged = converged && result.converged;
+    benchmark::DoNotOptimize(x);
+  }
+  state.counters["cg_iterations"] = static_cast<double>(iterations);
+  state.counters["converged"] = converged ? 1.0 : 0.0;
+  state.counters["rows"] = static_cast<double>(n);
+}
+BENCHMARK(BM_RedBlackVsLex)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+/// One level of the Galerkin chain A_c = R (A P) at 64^3 -> 32^3, fresh
+/// SpGEMM vs plan refill (arg: 0 = fresh, 1 = refill). The refill arm also
+/// carries the allocation-count assertion for the old multigrid.cpp
+/// every-compute() reallocation: after the timed loop the plans must report
+/// exactly one symbolic run each and the product's value storage must not
+/// have moved -- any reallocation or re-run fails the bench.
+void BM_GalerkinRefill(benchmark::State& state) {
+  const std::size_t m = 64;
+  const std::size_t mc = (m + 1) / 2;
+  const auto fine = nh::util::makeSteadyFvOperator3d(m, 2.0);
+  const auto p = nh::util::buildTrilinearProlongation(m, m, m, mc, mc, mc);
+  const auto r = p.transposed();
+
+  if (state.range(0) == 0) {
+    for (auto _ : state) {
+      const auto coarse =
+          nh::util::multiplySparse(r, nh::util::multiplySparse(fine, p));
+      benchmark::DoNotOptimize(coarse.values().data());
+    }
+    state.counters["rows"] = static_cast<double>(mc * mc * mc);
+    return;
+  }
+
+  nh::util::SpGemmPlan apPlan, rapPlan;
+  nh::util::SparseMatrix ap, coarse;
+  apPlan.multiply(fine, p, ap);       // symbolic prime
+  rapPlan.multiply(r, ap, coarse);
+  const auto freshCoarse =
+      nh::util::multiplySparse(r, nh::util::multiplySparse(fine, p));
+  if (coarse.values() != freshCoarse.values() ||
+      coarse.colIdx() != freshCoarse.colIdx()) {
+    state.SkipWithError("plan product disagrees with fresh SpGEMM");
+    return;
+  }
+  const double* valuesPtr = coarse.values().data();
+  for (auto _ : state) {
+    apPlan.multiply(fine, p, ap);
+    rapPlan.multiply(r, ap, coarse);
+    benchmark::DoNotOptimize(coarse.values().data());
+  }
+  if (apPlan.symbolicCount() != 1 || rapPlan.symbolicCount() != 1 ||
+      !apPlan.lastWasRefill() || !rapPlan.lastWasRefill()) {
+    state.SkipWithError("refill arm re-ran the symbolic SpGEMM");
+    return;
+  }
+  if (coarse.values().data() != valuesPtr) {
+    state.SkipWithError("refill arm reallocated the product storage");
+    return;
+  }
+  state.counters["rows"] = static_cast<double>(mc * mc * mc);
+}
+BENCHMARK(BM_GalerkinRefill)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 /// Warm-started sweep re-solve: the steady FV system solved to convergence,
 /// then re-solved after a small load change, starting CG from the previous
@@ -624,6 +813,10 @@ int main(int argc, char** argv) {
 #endif
   }
   benchmark::AddCustomContext("nh_build_type", nhBuildType);
+  // Which SpMV row kernel the dispatcher picked on this machine ("avx2" or
+  // "scalar") -- the BM_SpMvSimd* arg-1 arms measure this kernel.
+  benchmark::AddCustomContext("spmv_kernel",
+                              nh::util::spmv::activeKernelName());
   std::vector<std::string> args(argv, argv + argc);
   bool hasOut = false;
   bool hasFormat = false;

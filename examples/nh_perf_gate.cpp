@@ -9,15 +9,25 @@
 /// quiet machine.
 ///
 ///   nh_perf_gate <baseline.json> <current.json> [--tolerance X] [--strict]
+///               [--filter <regex>]
 ///
 /// Tolerance is a ratio: a benchmark regresses when
 ///   current_cpu_time > tolerance * baseline_cpu_time   (default 2.0).
 /// Improvements past the same ratio are reported too, as a nudge to
 /// re-record the baseline so the gate keeps teeth after a speedup.
+///
+/// Benchmarks present in the baseline but absent from the candidate run are
+/// reported as `PERF MISSING` lines and counted: a silently vanished
+/// benchmark (renamed, crashed, or filtered out of the run) must not read
+/// as a pass. Missing benchmarks fail a --strict gate like regressions do.
+/// `--filter <regex>` restricts the comparison (and the MISSING check) to
+/// matching benchmark names -- for local single-kernel A/B loops, e.g.
+/// --filter 'BM_SpMvSimd.*'.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <regex>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -65,11 +75,14 @@ int main(int argc, char** argv) {
   std::vector<std::string> paths;
   double tolerance = 2.0;
   bool strict = false;
+  std::string filterPattern;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--strict") == 0) {
       strict = true;
     } else if (std::strcmp(argv[i], "--tolerance") == 0 && i + 1 < argc) {
       tolerance = std::stod(argv[++i]);
+    } else if (std::strcmp(argv[i], "--filter") == 0 && i + 1 < argc) {
+      filterPattern = argv[++i];
     } else if (argv[i][0] == '-') {
       std::fprintf(stderr, "nh_perf_gate: unknown option %s\n", argv[i]);
       return 2;
@@ -80,13 +93,25 @@ int main(int argc, char** argv) {
   if (paths.size() != 2 || tolerance <= 1.0) {
     std::fprintf(stderr,
                  "usage: nh_perf_gate <baseline.json> <current.json>"
-                 " [--tolerance X>1] [--strict]\n");
+                 " [--tolerance X>1] [--strict] [--filter <regex>]\n");
     return 2;
   }
 
   try {
-    const auto baseline = loadRun(paths[0]);
-    const auto current = loadRun(paths[1]);
+    auto baseline = loadRun(paths[0]);
+    auto current = loadRun(paths[1]);
+    if (!filterPattern.empty()) {
+      // ECMAScript partial match, like benchmark's own --benchmark_filter.
+      const std::regex filter(filterPattern);
+      const auto prune = [&](std::map<std::string, Sample>& run) {
+        for (auto it = run.begin(); it != run.end();) {
+          it = std::regex_search(it->first, filter) ? std::next(it)
+                                                    : run.erase(it);
+        }
+      };
+      prune(baseline);
+      prune(current);
+    }
 
     std::size_t compared = 0, regressions = 0, improvements = 0;
     std::vector<std::string> onlyBaseline, onlyCurrent;
@@ -117,7 +142,8 @@ int main(int argc, char** argv) {
     }
 
     for (const auto& name : onlyBaseline) {
-      std::printf("note: baseline-only benchmark %s (removed or renamed?)\n",
+      std::printf("PERF MISSING     %-40s in baseline but absent from the"
+                  " candidate run (removed, renamed, or crashed?)\n",
                   name.c_str());
     }
     for (const auto& name : onlyCurrent) {
@@ -125,15 +151,15 @@ int main(int argc, char** argv) {
                   name.c_str());
     }
     std::printf(
-        "nh_perf_gate: %zu compared, %zu regression(s), %zu improvement(s), "
-        "tolerance %.2fx%s\n",
-        compared, regressions, improvements, tolerance,
+        "nh_perf_gate: %zu compared, %zu regression(s), %zu missing, "
+        "%zu improvement(s), tolerance %.2fx%s\n",
+        compared, regressions, onlyBaseline.size(), improvements, tolerance,
         strict ? " [strict]" : " [warn-only]");
     if (compared == 0) {
       std::fprintf(stderr, "nh_perf_gate: no overlapping benchmarks\n");
       return 2;
     }
-    return (strict && regressions > 0) ? 1 : 0;
+    return (strict && (regressions > 0 || !onlyBaseline.empty())) ? 1 : 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "nh_perf_gate: %s\n", e.what());
     return 2;

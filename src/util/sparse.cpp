@@ -6,6 +6,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/spmv.hpp"
 #include "util/threadpool.hpp"
 
 namespace nh::util {
@@ -88,28 +89,18 @@ Vector SparseMatrix::multiply(const Vector& x) const {
 void SparseMatrix::multiplyInto(const Vector& x, Vector& y) const {
   assert(x.size() == cols_);
   assert(y.size() == rows_);
-  const double* val = values_.data();
+  // The row kernel (util/spmv) picks 4- or 8-accumulator blocking per row
+  // width and is dispatched once per process to the best SIMD variant; every
+  // variant is bit-identical to spmv::rowRangeReference, and the order per
+  // row is fixed, so results stay deterministic for any thread count.
+  const spmv::RowRangeFn kernel = spmv::activeKernel();
+  const std::size_t* rp = rowPtr_.data();
   const std::size_t* col = colIdx_.data();
+  const double* val = values_.data();
   const double* xs = x.data();
+  double* ys = y.data();
   const auto rowRange = [&](std::size_t begin, std::size_t end) {
-    for (std::size_t r = begin; r < end; ++r) {
-      // 4-wide unrolled gather with independent accumulators: breaks the
-      // serial add dependency so the FV stencil rows (7 and 27 entries)
-      // keep more than one FMA in flight. The order is fixed, so results
-      // stay deterministic for any thread count.
-      std::size_t k = rowPtr_[r];
-      const std::size_t kEnd = rowPtr_[r + 1];
-      double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
-      for (; k + 4 <= kEnd; k += 4) {
-        a0 += val[k] * xs[col[k]];
-        a1 += val[k + 1] * xs[col[k + 1]];
-        a2 += val[k + 2] * xs[col[k + 2]];
-        a3 += val[k + 3] * xs[col[k + 3]];
-      }
-      double acc = (a0 + a1) + (a2 + a3);
-      for (; k < kEnd; ++k) acc += val[k] * xs[col[k]];
-      y[r] = acc;
-    }
+    kernel(rp, col, val, xs, ys, begin, end);
   };
   if (rows_ < kParallelSpmvMinRows) {
     rowRange(0, rows_);
@@ -126,6 +117,13 @@ void SparseMatrix::multiplyInto(const Vector& x, Vector& y) const {
     const std::size_t begin = chunk * per;
     rowRange(begin, std::min(rows_, begin + per));
   });
+}
+
+void SparseMatrix::multiplyIntoReference(const Vector& x, Vector& y) const {
+  assert(x.size() == cols_);
+  assert(y.size() == rows_);
+  spmv::rowRangeReference(rowPtr_.data(), colIdx_.data(), values_.data(),
+                          x.data(), y.data(), 0, rows_);
 }
 
 SparseMatrix SparseMatrix::transposed() const {
@@ -150,18 +148,21 @@ SparseMatrix SparseMatrix::transposed() const {
   return t;
 }
 
-SparseMatrix multiplySparse(const SparseMatrix& a, const SparseMatrix& b) {
+void multiplySparseInto(const SparseMatrix& a, const SparseMatrix& b,
+                        SparseMatrix& out) {
   if (a.cols() != b.rows()) {
     throw std::invalid_argument("multiplySparse: inner dimension mismatch");
   }
-  SparseMatrix c;
-  c.rows_ = a.rows();
-  c.cols_ = b.cols();
-  c.rowPtr_.assign(a.rows() + 1, 0);
+  out.rows_ = a.rows();
+  out.cols_ = b.cols();
+  out.patternId_ = 0;
+  out.rowPtr_.assign(a.rows() + 1, 0);
+  out.colIdx_.clear();
+  out.values_.clear();
   // The Galerkin products this feeds roughly preserve nnz; reserving the
   // larger operand's count avoids most growth reallocations.
-  c.colIdx_.reserve(std::max(a.nonZeros(), b.nonZeros()));
-  c.values_.reserve(std::max(a.nonZeros(), b.nonZeros()));
+  out.colIdx_.reserve(std::max(a.nonZeros(), b.nonZeros()));
+  out.values_.reserve(std::max(a.nonZeros(), b.nonZeros()));
 
   // Gustavson: per output row, scatter-accumulate into a dense workspace
   // keyed by column; a row-stamp marker detects first touches in O(1).
@@ -186,12 +187,117 @@ SparseMatrix multiplySparse(const SparseMatrix& a, const SparseMatrix& b) {
     }
     std::sort(touched.begin(), touched.end());
     for (const std::size_t col : touched) {
-      c.colIdx_.push_back(col);
-      c.values_.push_back(acc[col]);
+      out.colIdx_.push_back(col);
+      out.values_.push_back(acc[col]);
     }
-    c.rowPtr_[r + 1] = c.colIdx_.size();
+    out.rowPtr_[r + 1] = out.colIdx_.size();
   }
+}
+
+SparseMatrix multiplySparse(const SparseMatrix& a, const SparseMatrix& b) {
+  SparseMatrix c;
+  multiplySparseInto(a, b, c);
   return c;
+}
+
+bool SpGemmPlan::matches(const SparseMatrix& a, const SparseMatrix& b) const {
+  return b.cols_ == bCols_ && a.rowPtr_ == aRowPtr_ && a.colIdx_ == aColIdx_ &&
+         b.rowPtr_ == bRowPtr_ && b.colIdx_ == bColIdx_;
+}
+
+void SpGemmPlan::multiply(const SparseMatrix& a, const SparseMatrix& b,
+                          SparseMatrix& out) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("SpGemmPlan::multiply: inner dimension mismatch");
+  }
+  if (id_ == 0 || !matches(a, b)) {
+    // Structure changed (or first use): full symbolic + numeric SpGEMM, then
+    // snapshot the structures so the next same-structure call can refill.
+    multiplySparseInto(a, b, out);
+    aRowPtr_ = a.rowPtr_;
+    aColIdx_ = a.colIdx_;
+    bRowPtr_ = b.rowPtr_;
+    bColIdx_ = b.colIdx_;
+    bCols_ = b.cols_;
+    outRowPtr_ = out.rowPtr_;
+    outColIdx_ = out.colIdx_;
+    acc_.assign(b.cols(), 0.0);
+    id_ = nextPatternId();
+    out.patternId_ = id_;
+    ++symbolicCount_;
+    lastWasRefill_ = false;
+    return;
+  }
+  // Refill path. Copy the cached product structure into `out` only when it
+  // does not already carry it (same skip SparsityPattern::assemble uses).
+  if (out.patternId_ != id_) {
+    out.rows_ = aRowPtr_.size() - 1;
+    out.cols_ = b.cols();
+    out.rowPtr_ = outRowPtr_;
+    out.colIdx_ = outColIdx_;
+    out.values_.resize(outColIdx_.size());
+    out.patternId_ = id_;
+  }
+  // Per row: zero the accumulator over exactly the product row's columns,
+  // replay the Gustavson accumulation in its original order (bit-identical
+  // sums), and gather back through the known structure. No sort, no
+  // first-touch bookkeeping, no allocation.
+  const std::size_t rows = outRowPtr_.size() - 1;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t k = outRowPtr_[r]; k < outRowPtr_[r + 1]; ++k) {
+      acc_[outColIdx_[k]] = 0.0;
+    }
+    for (std::size_t ka = aRowPtr_[r]; ka < aRowPtr_[r + 1]; ++ka) {
+      const std::size_t mid = aColIdx_[ka];
+      const double av = a.values_[ka];
+      for (std::size_t kb = bRowPtr_[mid]; kb < bRowPtr_[mid + 1]; ++kb) {
+        acc_[bColIdx_[kb]] += av * b.values_[kb];
+      }
+    }
+    for (std::size_t k = outRowPtr_[r]; k < outRowPtr_[r + 1]; ++k) {
+      out.values_[k] = acc_[outColIdx_[k]];
+    }
+  }
+  lastWasRefill_ = true;
+}
+
+void TransposePlan::transpose(const SparseMatrix& a, SparseMatrix& out) {
+  if (id_ != 0 && a.rowPtr_ == aRowPtr_ && a.colIdx_ == aColIdx_) {
+    if (out.patternId_ != id_) {
+      out.rows_ = a.cols_;
+      out.cols_ = a.rows_;
+      out.rowPtr_ = outRowPtr_;
+      out.colIdx_ = outColIdx_;
+      out.values_.resize(outColIdx_.size());
+      out.patternId_ = id_;
+    }
+    for (std::size_t k = 0; k < scatter_.size(); ++k) {
+      out.values_[scatter_[k]] = a.values_[k];
+    }
+    lastWasRefill_ = true;
+    return;
+  }
+  // Symbolic pass: the same counting sort as SparseMatrix::transposed, but
+  // recording where each source slot lands so refills become a straight
+  // value permutation.
+  out = a.transposed();
+  scatter_.resize(a.colIdx_.size());
+  {
+    std::vector<std::size_t> cursor(out.rowPtr_.begin(), out.rowPtr_.end() - 1);
+    for (std::size_t r = 0; r < a.rows_; ++r) {
+      for (std::size_t k = a.rowPtr_[r]; k < a.rowPtr_[r + 1]; ++k) {
+        scatter_[k] = cursor[a.colIdx_[k]]++;
+      }
+    }
+  }
+  aRowPtr_ = a.rowPtr_;
+  aColIdx_ = a.colIdx_;
+  outRowPtr_ = out.rowPtr_;
+  outColIdx_ = out.colIdx_;
+  id_ = nextPatternId();
+  out.patternId_ = id_;
+  ++symbolicCount_;
+  lastWasRefill_ = false;
 }
 
 double SparseMatrix::at(std::size_t r, std::size_t c) const {

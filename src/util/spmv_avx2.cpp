@@ -1,0 +1,76 @@
+/// \file spmv_avx2.cpp
+/// AVX2 gather implementation of the SpMV row kernel. This is the only TU
+/// compiled with -mavx2 (see the NH_SPMV_AVX2 block in CMakeLists.txt), so
+/// nothing here may be called before the dispatcher has confirmed CPU
+/// support. Compiled with -ffp-contract=off as well: the kernel must execute
+/// the exact mul/add sequence of spmv::rowRangeReference -- each vector lane
+/// stands in for one scalar accumulator, and the horizontal reduction
+/// reproduces the reference's fixed parenthesisation -- so results are
+/// bit-identical to the scalar path and FMA contraction is forbidden.
+
+#if defined(NH_SPMV_AVX2)
+
+#include <immintrin.h>
+
+#include <cstddef>
+
+#include "util/spmv.hpp"
+
+namespace nh::util::spmv::detail {
+
+namespace {
+
+/// Horizontal reduce matching the scalar (a0+a1)+(a2+a3) order for lanes
+/// [0..3] of \p v.
+inline double reduce4(__m256d v) {
+  alignas(32) double t[4];
+  _mm256_store_pd(t, v);
+  return (t[0] + t[1]) + (t[2] + t[3]);
+}
+
+inline __m256d gatherMul(const std::size_t* colIdx, const double* val,
+                         const double* x, std::size_t k) {
+  // size_t is 64-bit on every supported target; the index load is four
+  // 64-bit lanes feeding a 64-bit-index double gather.
+  static_assert(sizeof(std::size_t) == 8, "AVX2 SpMV assumes 64-bit size_t");
+  const __m256i idx =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(colIdx + k));
+  const __m256d gathered = _mm256_i64gather_pd(x, idx, 8);
+  const __m256d coeffs = _mm256_loadu_pd(val + k);
+  return _mm256_mul_pd(coeffs, gathered);
+}
+
+}  // namespace
+
+void rowRangeAvx2(const std::size_t* rowPtr, const std::size_t* colIdx,
+                  const double* val, const double* x, double* y,
+                  std::size_t begin, std::size_t end) {
+  for (std::size_t r = begin; r < end; ++r) {
+    std::size_t k = rowPtr[r];
+    const std::size_t kEnd = rowPtr[r + 1];
+    double acc;
+    if (kEnd - k >= kWideRowMinEntries) {
+      // Two vector accumulators = the reference's eight scalar accumulators
+      // (lanes 0..3 of acc03 are a0..a3, lanes of acc47 are a4..a7).
+      __m256d acc03 = _mm256_setzero_pd();
+      __m256d acc47 = _mm256_setzero_pd();
+      for (; k + 8 <= kEnd; k += 8) {
+        acc03 = _mm256_add_pd(acc03, gatherMul(colIdx, val, x, k));
+        acc47 = _mm256_add_pd(acc47, gatherMul(colIdx, val, x, k + 4));
+      }
+      acc = reduce4(acc03) + reduce4(acc47);
+    } else {
+      __m256d acc03 = _mm256_setzero_pd();
+      for (; k + 4 <= kEnd; k += 4) {
+        acc03 = _mm256_add_pd(acc03, gatherMul(colIdx, val, x, k));
+      }
+      acc = reduce4(acc03);
+    }
+    for (; k < kEnd; ++k) acc += val[k] * x[colIdx[k]];
+    y[r] = acc;
+  }
+}
+
+}  // namespace nh::util::spmv::detail
+
+#endif  // NH_SPMV_AVX2
