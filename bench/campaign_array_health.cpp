@@ -1,0 +1,7 @@
+/// Statistical campaign: per-cell array-health (disturb-rate) matrix over
+/// Monte-Carlo variability trials -- a CMS-style per-channel quality map.
+/// Declared in the experiment registry ("campaign_array_health").
+
+#include "bench_common.hpp"
+
+int main() { return nh::bench::runRegistered("campaign_array_health"); }

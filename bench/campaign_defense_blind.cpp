@@ -1,0 +1,7 @@
+/// Statistical campaign: blinded A/B comparison of the V/2 attack against
+/// the V/3 countermeasure -- opaque arms, record frozen before unblinding.
+/// Declared in the experiment registry ("campaign_defense_blind").
+
+#include "bench_common.hpp"
+
+int main() { return nh::bench::runRegistered("campaign_defense_blind"); }

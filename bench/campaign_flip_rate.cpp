@@ -1,0 +1,7 @@
+/// Statistical campaign: seed-stable Monte-Carlo over device variability
+/// with Wilson / bootstrap confidence intervals on the flip statistics.
+/// Declared in the experiment registry ("campaign_flip_rate").
+
+#include "bench_common.hpp"
+
+int main() { return nh::bench::runRegistered("campaign_flip_rate"); }

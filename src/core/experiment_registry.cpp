@@ -9,6 +9,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "core/campaign.hpp"
 #include "core/defense.hpp"
 #include "core/variability.hpp"
 #include "fem/alpha.hpp"
@@ -655,6 +656,227 @@ ExperimentSpec variabilitySpec() {
   return spec;
 }
 
+// ---- statistical campaigns (core/campaign) --------------------------------
+
+ExperimentSpec campaignFlipRateSpec() {
+  ExperimentSpec spec;
+  spec.name = "campaign_flip_rate";
+  spec.title = "campaign -- flip-rate and pulses-to-flip with intervals";
+  spec.description =
+      "Monte-Carlo campaign over device variability, centre attack at "
+      "30 nm / 300 K / 50 ns; counter-based per-trial RNG streams "
+      "(bit-identical for any thread count and batch size)";
+  spec.paperShape =
+      "flip rate ~100% with a tight Wilson interval; pulses-to-flip "
+      "p10..p90 spans about a decade at sigma = 10%";
+  spec.tableTitle = "campaign: flip-rate and pulses-to-flip distribution";
+  spec.base.spacing = 30e-9;
+  // Every trial perturbs the cell parameters and builds its own study inside
+  // runCampaign (deliberately bypassing the study-dedup cache).
+  spec.buildStudies = false;
+  spec.axes = {
+      {"sigma", {0.05, 0.10}, {0.05}, {}},
+      {"trials", {400.0}, {24.0}, {}},
+  };
+  spec.columns = {
+      {"sigma", "sigma", colfmt::fixed(2)},
+      {"trials", "trials", {}},
+      {"flip_rate", "flip rate", percent(0), Shape::Scalar, kFracTol},
+      {"flip_lo", "Wilson lo", percent(1), Shape::Scalar, kFracTol},
+      {"flip_hi", "Wilson hi", percent(1), Shape::Scalar, kFracTol},
+      {"p10", "p10", colfmt::grouped(), Shape::Scalar, kCountTol},
+      {"median", "median", colfmt::grouped(), Shape::Scalar, kCountTol},
+      {"p90", "p90", colfmt::grouped(), Shape::Scalar, kCountTol},
+      {"median_lo", "median lo", colfmt::grouped(), Shape::Scalar, kCountTol},
+      {"median_hi", "median hi", colfmt::grouped(), Shape::Scalar, kCountTol},
+      {"spread_decades", "spread [dec]", colfmt::fixed(2), Shape::Scalar,
+       kRatioTol},
+  };
+  spec.run = [](const PointContext& ctx) {
+    CampaignConfig cfg;
+    cfg.base = ctx.config;
+    cfg.trials = static_cast<std::size_t>(ctx.value("trials"));
+    cfg.sigma = ctx.value("sigma");
+    cfg.budget = ctx.maxPulses;
+    const CampaignResult r = runCampaign(cfg);
+    return std::vector<ResultValue>{
+        ResultValue::num(cfg.sigma),
+        ResultValue::num(static_cast<double>(r.trials)),
+        ResultValue::num(r.flipRate),
+        ResultValue::num(r.flipRateCI.lo),
+        ResultValue::num(r.flipRateCI.hi),
+        ResultValue::num(r.p10Pulses),
+        ResultValue::num(r.medianPulses),
+        ResultValue::num(r.p90Pulses),
+        ResultValue::num(r.medianPulsesCI.lo),
+        ResultValue::num(r.medianPulsesCI.hi),
+        ResultValue::num(r.spreadDecades)};
+  };
+  spec.notes = {
+      "Wilson interval on flips/trials; percentile bootstrap on the median.",
+      "Trial i draws from Rng::forStream(seed, i) -- see docs/campaigns.md",
+      "for the stream-plan contract the invariance tests pin."};
+  return spec;
+}
+
+ExperimentSpec campaignDefenseBlindSpec() {
+  ExperimentSpec spec;
+  spec.name = "campaign_defense_blind";
+  spec.title = "campaign -- blinded A/B: V/2 attack vs V/3 countermeasure";
+  spec.description =
+      "STAR-style blind analysis: two campaign arms (V/2 half-select vs the "
+      "V/3 biasing defence) analysed as opaque 'arm A'/'arm B', unblinded "
+      "only after the record is frozen; 10 nm / 300 K / 50 ns, paired "
+      "per-trial variability streams, 4,000-pulse attacker budget";
+  spec.paperShape =
+      "the arms separate at 95% confidence: within the budget the V/2 arm "
+      "flips every trial (~320 pulses) while V/3 multiplies the required "
+      "pulses ~36x past the budget, so the defended arm never flips";
+  spec.tableTitle = "blinded A/B campaign: V/2 attack vs V/3 defence";
+  spec.base.spacing = 10e-9;
+  // The budget sits between the V/2 flip count (~320 pulses) and the V/3
+  // flip count (~11.6k; see ablation_scheme_defense): the countermeasure
+  // works by pushing the attack past a realistic hammering budget, and the
+  // campaign asks whether variability ever closes that gap.
+  spec.maxPulses = 4'000;
+  spec.fastMaxPulses = 4'000;
+  spec.buildStudies = false;
+  spec.axes = {
+      {"arm", {0.0, 1.0}, {}, {}},
+      {"trials", {100.0}, {8.0}, {}},
+  };
+  spec.columns = {
+      {"arm", "blinded arm", {}},
+      {"trials", "trials", {}},
+      {"flip_rate", "flip rate", percent(0), Shape::Scalar, kFracTol},
+      {"flip_lo", "Wilson lo", percent(1), Shape::Scalar, kFracTol},
+      {"flip_hi", "Wilson hi", percent(1), Shape::Scalar, kFracTol},
+      {"separated", "arms separated", colfmt::yesNo(), Shape::Scalar,
+       kFracTol},
+      {"label", "unblinded label", {}},
+  };
+  // One BlindedAbStudy serves both arm rows: memoised per (trials, budget)
+  // under a lock, so parallel points run it exactly once and 1-vs-N-thread
+  // runs stay bit-identical.
+  struct BlindMemo {
+    struct Record {
+      CampaignResult arms[2];
+      std::string labels[2];
+      bool separated = false;
+    };
+    nh::util::Mutex mutex;
+    std::map<std::pair<std::size_t, std::size_t>, Record> byKey
+        NH_GUARDED_BY(mutex);
+  };
+  auto memo = std::make_shared<BlindMemo>();
+  spec.run = [memo](const PointContext& ctx) {
+    const std::size_t arm = caseIndex(ctx, "arm", 2);
+    const auto trials = static_cast<std::size_t>(ctx.value("trials"));
+    const std::size_t budget = ctx.maxPulses;
+    BlindMemo::Record record;
+    {
+      const nh::util::MutexLock lock(memo->mutex);
+      auto it = memo->byKey.find({trials, budget});
+      if (it == memo->byKey.end()) {
+        CampaignConfig attackArm;
+        attackArm.base = ctx.config;
+        attackArm.trials = trials;
+        attackArm.budget = budget;
+        attackArm.scheme = xbar::BiasScheme::Half;
+        // The defended arm shares the seed: trial i of both arms sees the
+        // same perturbed device (a paired comparison -- lower-variance
+        // delta than independent draws).
+        CampaignConfig defendedArm = attackArm;
+        defendedArm.scheme = xbar::BiasScheme::Third;
+        BlindedAbStudy study("V/2 half-select (attack)", attackArm,
+                             "V/3 scheme (defended)", defendedArm,
+                             /*salt=*/0x57a2b11dULL);
+        study.run();
+        BlindMemo::Record fresh;
+        const auto names = BlindedAbStudy::armNames();
+        fresh.arms[0] = study.result(names[0]);
+        fresh.arms[1] = study.result(names[1]);
+        fresh.separated = study.separated();
+        // Freeze the record, then reveal: the labels column below exists
+        // only because the analysis is already committed.
+        study.unblind();
+        fresh.labels[0] = study.trueLabel(names[0]);
+        fresh.labels[1] = study.trueLabel(names[1]);
+        it = memo->byKey.emplace(std::make_pair(trials, budget), fresh).first;
+      }
+      record = it->second;
+    }
+    const CampaignResult& r = record.arms[arm];
+    return std::vector<ResultValue>{
+        ResultValue::str(BlindedAbStudy::armNames()[arm]),
+        ResultValue::num(static_cast<double>(r.trials)),
+        ResultValue::num(r.flipRate),
+        ResultValue::num(r.flipRateCI.lo),
+        ResultValue::num(r.flipRateCI.hi),
+        ResultValue::boolean(record.separated),
+        ResultValue::str(record.labels[arm])};
+  };
+  spec.notes = {
+      "Which physical configuration is 'arm A' is a salted hash of the",
+      "labels -- fixed salt here so the table is reproducible, fresh salt",
+      "per analysis in the field. See docs/campaigns.md for when",
+      "unblinding is permitted."};
+  return spec;
+}
+
+ExperimentSpec campaignArrayHealthSpec() {
+  ExperimentSpec spec;
+  spec.name = "campaign_array_health";
+  spec.title = "campaign -- per-cell array-health (disturb-rate) matrix";
+  spec.description =
+      "CMS-style per-cell quality map: fraction of campaign trials in which "
+      "each cell's read classification was disturbed; centre attack at "
+      "10 nm / 300 K / 50 ns";
+  spec.paperShape =
+      "disturbs concentrate on the aggressor's word-line neighbours "
+      "(strongest thermal coupling); far corners stay clean";
+  spec.tableTitle = "campaign: per-cell disturb rate over variability trials";
+  spec.base.spacing = 10e-9;
+  spec.maxPulses = 200'000;
+  spec.fastMaxPulses = 100'000;
+  spec.buildStudies = false;
+  spec.axes = {{"trials", {300.0}, {24.0}, {}}};
+  spec.columns = {
+      {"trials", "trials", {}},
+      {"flip_rate", "flip rate", percent(0), Shape::Scalar, kFracTol},
+      {"hot_cells", "disturbed cells", {}, Shape::Scalar, kCountTol},
+      {"max_cell_rate", "max cell rate", percent(1), Shape::Scalar, kFracTol},
+      {"cell_disturb_rate", "disturb rate", colfmt::fixed(3), Shape::Matrix,
+       kFracTol},
+  };
+  spec.run = [](const PointContext& ctx) {
+    CampaignConfig cfg;
+    cfg.base = ctx.config;
+    cfg.trials = static_cast<std::size_t>(ctx.value("trials"));
+    cfg.budget = ctx.maxPulses;
+    cfg.recordCellHealth = true;
+    const CampaignResult r = runCampaign(cfg);
+    std::size_t hot = 0;
+    double maxRate = 0.0;
+    for (const double rate : r.cellDisturbRate) {
+      if (rate > 0.0) ++hot;
+      maxRate = std::max(maxRate, rate);
+    }
+    std::vector<double> matrix = r.cellDisturbRate;
+    return std::vector<ResultValue>{
+        ResultValue::num(static_cast<double>(r.trials)),
+        ResultValue::num(r.flipRate),
+        ResultValue::num(static_cast<double>(hot)),
+        ResultValue::num(maxRate),
+        ResultValue::matrix(r.healthRows, r.healthCols, std::move(matrix))};
+  };
+  spec.notes = {
+      "Aggressor cells read exactly 0 (their LRS preparation is not a",
+      "disturb event); a cell counts as disturbed when its detector",
+      "classification changed from the pre-attack snapshot."};
+  return spec;
+}
+
 // ---- extension / substrate studies ---------------------------------------
 
 ExperimentSpec victimDistanceSpec() {
@@ -1292,6 +1514,16 @@ struct Registry {
         schemeDefenseSpec);
     add("ablation_variability",
         "extension: Monte-Carlo device-to-device variability", variabilitySpec);
+    add("campaign_flip_rate",
+        "campaign: flip-rate Wilson/bootstrap intervals over device "
+        "variability",
+        campaignFlipRateSpec);
+    add("campaign_defense_blind",
+        "campaign: STAR-style blinded A/B of the V/3 countermeasure",
+        campaignDefenseBlindSpec);
+    add("campaign_array_health",
+        "campaign: CMS-style per-cell disturb-rate array-health matrix",
+        campaignArrayHealthSpec);
     add("scaling_victim_distance",
         "extension: attack blast radius on a 7x7 array", victimDistanceSpec);
     add("attack_energy", "attack energy budget until the bit-flip",

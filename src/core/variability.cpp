@@ -4,16 +4,61 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/campaign.hpp"
+
 namespace nh::core {
+
+namespace {
+
+/// Shared reduction: per-trial pulses -> distribution summary. Defines the
+/// degenerate cases documented on VariabilityResult (0 flips -> all-zero
+/// stats; 1 flip -> min == median == max, spread 0).
+void summarize(VariabilityResult& result) {
+  result.flipRate =
+      static_cast<double>(result.flips) / static_cast<double>(result.trials);
+  if (result.pulsesPerTrial.empty()) return;
+  std::vector<std::size_t> sorted = result.pulsesPerTrial;
+  std::sort(sorted.begin(), sorted.end());
+  result.minPulses = sorted.front();
+  result.maxPulses = sorted.back();
+  result.medianPulses = sorted[sorted.size() / 2];
+  if (result.minPulses > 0)
+    result.spreadDecades = std::log10(static_cast<double>(result.maxPulses) /
+                                      static_cast<double>(result.minPulses));
+}
+
+}  // namespace
 
 VariabilityResult runVariabilityStudy(const VariabilityConfig& config) {
   if (config.trials == 0) {
     throw std::invalid_argument("runVariabilityStudy: trials must be > 0");
   }
-  nh::util::Rng rng(config.seed);
 
   VariabilityResult result;
   result.trials = config.trials;
+
+  if (config.plan == TrialRngPlan::PerTrialStream) {
+    // Counter-based streams: delegate to the campaign runner, which batches
+    // the trials through the thread pool with bit-identical results for any
+    // thread count.
+    CampaignConfig campaign;
+    campaign.base = config.base;
+    campaign.pulse = config.pulse;
+    campaign.trials = config.trials;
+    campaign.sigma = config.sigma;
+    campaign.seed = config.seed;
+    campaign.budget = config.budget;
+    campaign.threads = config.threads;
+    const CampaignResult r = runCampaign(campaign);
+    result.flips = r.flips;
+    result.pulsesPerTrial = r.pulsesPerFlip;
+    summarize(result);
+    return result;
+  }
+
+  // Sequential plan: one generator, drawn in trial order. The draw order is
+  // part of the ablation_variability baseline contract — keep it exactly.
+  nh::util::Rng rng(config.seed);
   for (std::size_t trial = 0; trial < config.trials; ++trial) {
     StudyConfig cfg = config.base;
     cfg.cellParams = config.base.cellParams.withVariability(rng, config.sigma);
@@ -24,18 +69,7 @@ VariabilityResult runVariabilityStudy(const VariabilityConfig& config) {
       result.pulsesPerTrial.push_back(r.pulsesToFlip);
     }
   }
-  result.flipRate =
-      static_cast<double>(result.flips) / static_cast<double>(result.trials);
-
-  if (!result.pulsesPerTrial.empty()) {
-    std::vector<std::size_t> sorted = result.pulsesPerTrial;
-    std::sort(sorted.begin(), sorted.end());
-    result.minPulses = sorted.front();
-    result.maxPulses = sorted.back();
-    result.medianPulses = sorted[sorted.size() / 2];
-    result.spreadDecades = std::log10(static_cast<double>(result.maxPulses) /
-                                      static_cast<double>(result.minPulses));
-  }
+  summarize(result);
   return result;
 }
 

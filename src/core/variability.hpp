@@ -13,6 +13,21 @@
 
 namespace nh::core {
 
+/// How per-trial random draws are planned.
+enum class TrialRngPlan {
+  /// One generator shared by every trial, drawn in trial order. This is the
+  /// legacy contract pinned by the ablation_variability baseline: trial i's
+  /// draws depend on every trial before it, so the study is inherently
+  /// serial. Default.
+  Sequential,
+  /// Counter-based per-trial streams (util::Rng::forStream(seed, trial)):
+  /// trial i's draws depend only on (seed, i), so trials parallelize with
+  /// bit-identical results for any thread count. Delegates to the campaign
+  /// layer (core/campaign.hpp). Draws differ from Sequential, so switching
+  /// plans changes per-trial values (not the statistics' meaning).
+  PerTrialStream,
+};
+
 struct VariabilityConfig {
   StudyConfig base;
   HammerPulse pulse;
@@ -21,14 +36,24 @@ struct VariabilityConfig {
   double sigma = 0.05;
   std::uint64_t seed = 1234;
   std::size_t budget = 5'000'000;
+  TrialRngPlan plan = TrialRngPlan::Sequential;
+  /// Worker threads for TrialRngPlan::PerTrialStream (0 = default, 1 =
+  /// serial). Ignored — always serial — under Sequential.
+  std::size_t threads = 1;
 };
 
+/// Monte-Carlo outcome. Degenerate statistics are defined explicitly:
+/// - flips == 0: pulsesPerTrial is empty and minPulses, medianPulses,
+///   maxPulses, spreadDecades, flipRate are all 0.
+/// - flips == 1: minPulses == medianPulses == maxPulses (the one flipped
+///   trial) and spreadDecades == 0.
 struct VariabilityResult {
   std::vector<std::size_t> pulsesPerTrial;  ///< Only flipped trials.
   std::size_t trials = 0;
   std::size_t flips = 0;
   double flipRate = 0.0;
   std::size_t minPulses = 0;
+  /// Upper median (sorted[flips / 2]) of the flipped trials.
   std::size_t medianPulses = 0;
   std::size_t maxPulses = 0;
   /// log10(max/min) spread of the flipped trials.
@@ -36,7 +61,8 @@ struct VariabilityResult {
 };
 
 /// Run the Monte-Carlo study: one perturbed array per trial, centre-cell
-/// reference attack each time. Deterministic for a given seed.
+/// reference attack each time. Deterministic for a given seed (and, under
+/// TrialRngPlan::PerTrialStream, for any thread count).
 VariabilityResult runVariabilityStudy(const VariabilityConfig& config);
 
 }  // namespace nh::core

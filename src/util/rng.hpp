@@ -17,6 +17,15 @@ class Rng {
   /// Reset state from a single seed via SplitMix64 expansion.
   void reseed(std::uint64_t seed);
 
+  /// Counter-based stream plan for parallel Monte-Carlo: the generator for
+  /// stream i of a campaign seeded with `seed` depends only on (seed, i),
+  /// never on which thread draws from it or in what order streams are
+  /// created. The pair is collapsed through a SplitMix64-style finalizer so
+  /// that adjacent stream indices land on uncorrelated xoshiro256** states.
+  /// This is the contract campaign reproducibility rests on: do not change
+  /// the mixing constants without re-recording every campaign baseline.
+  static Rng forStream(std::uint64_t seed, std::uint64_t stream);
+
   /// Next raw 64-bit value.
   std::uint64_t nextU64();
   /// Uniform double in [0, 1).
@@ -46,6 +55,19 @@ inline void Rng::reseed(std::uint64_t seed) {
   std::uint64_t sm = seed;
   for (auto& s : s_) s = splitMix64(sm);
   haveSpare_ = false;
+}
+
+inline Rng Rng::forStream(std::uint64_t seed, std::uint64_t stream) {
+  // Mix the stream counter into the seed with one SplitMix64 finalizer pass
+  // over each word, cross-feeding so (seed, stream) and (seed + 1, stream - 1)
+  // do not collide. The result seeds the normal reseed() expansion.
+  std::uint64_t a = seed + 0x9e3779b97f4a7c15ULL;
+  std::uint64_t b = stream + 0xbf58476d1ce4e5b9ULL;
+  a = (a ^ (a >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  b = (b ^ (b >> 30)) * 0x94d049bb133111ebULL;
+  std::uint64_t z = (a ^ (b >> 27)) + (b ^ (a >> 27));
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return Rng(z ^ (z >> 31));
 }
 
 inline std::uint64_t Rng::splitMix64(std::uint64_t& state) {

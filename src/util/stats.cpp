@@ -1,0 +1,128 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace nh::util {
+
+double mean(const std::vector<double>& samples) {
+  if (samples.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : samples) sum += v;
+  return sum / static_cast<double>(samples.size());
+}
+
+double variance(const std::vector<double>& samples) {
+  if (samples.size() < 2) return 0.0;
+  const double m = mean(samples);
+  double sum = 0.0;
+  for (double v : samples) sum += (v - m) * (v - m);
+  return sum / static_cast<double>(samples.size() - 1);
+}
+
+double quantileSorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty())
+    throw std::invalid_argument("quantileSorted: empty sample vector");
+  if (q < 0.0 || q > 1.0)
+    throw std::invalid_argument("quantileSorted: q outside [0, 1]");
+  // R type-7: h = (n - 1) q, interpolate between floor(h) and floor(h) + 1.
+  const double h = static_cast<double>(sorted.size() - 1) * q;
+  const auto lo = static_cast<std::size_t>(h);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  const double frac = h - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+double quantile(std::vector<double> samples, double q) {
+  std::sort(samples.begin(), samples.end());
+  return quantileSorted(samples, q);
+}
+
+double normalQuantile(double p) {
+  if (!(p > 0.0 && p < 1.0))
+    throw std::invalid_argument("normalQuantile: p outside (0, 1)");
+  // Acklam's rational approximation: central region plus two tails.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double pLow = 0.02425;
+  if (p < pLow) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p > 1.0 - pLow) {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+         q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+
+Interval wilsonInterval(std::size_t successes, std::size_t trials,
+                        double confidence) {
+  if (trials == 0)
+    throw std::invalid_argument("wilsonInterval: trials must be > 0");
+  if (successes > trials)
+    throw std::invalid_argument("wilsonInterval: successes > trials");
+  if (!(confidence > 0.0 && confidence < 1.0))
+    throw std::invalid_argument("wilsonInterval: confidence outside (0, 1)");
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z = normalQuantile(0.5 + confidence / 2.0);
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double centre = (p + z2 / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  return {std::max(0.0, centre - half), std::min(1.0, centre + half)};
+}
+
+Interval bootstrapQuantileInterval(const std::vector<double>& samples, double q,
+                                   std::size_t resamples, std::uint64_t seed,
+                                   double confidence) {
+  if (samples.empty())
+    throw std::invalid_argument("bootstrapQuantileInterval: empty samples");
+  if (resamples == 0)
+    throw std::invalid_argument("bootstrapQuantileInterval: resamples == 0");
+  if (q < 0.0 || q > 1.0)
+    throw std::invalid_argument("bootstrapQuantileInterval: q outside [0, 1]");
+  if (!(confidence > 0.0 && confidence < 1.0))
+    throw std::invalid_argument(
+        "bootstrapQuantileInterval: confidence outside (0, 1)");
+  const std::size_t n = samples.size();
+  std::vector<double> stats(resamples);
+  std::vector<double> resample(n);
+  for (std::size_t r = 0; r < resamples; ++r) {
+    // Stream-per-resample: the bootstrap is reproducible and could be
+    // parallelized without changing the answer.
+    Rng rng = Rng::forStream(seed, r);
+    for (std::size_t i = 0; i < n; ++i)
+      resample[i] = samples[rng.uniformInt(n)];
+    std::sort(resample.begin(), resample.end());
+    stats[r] = quantileSorted(resample, q);
+  }
+  std::sort(stats.begin(), stats.end());
+  const double alpha = 1.0 - confidence;
+  return {quantileSorted(stats, alpha / 2.0),
+          quantileSorted(stats, 1.0 - alpha / 2.0)};
+}
+
+}  // namespace nh::util

@@ -1,0 +1,61 @@
+#pragma once
+/// \file stats.hpp
+/// Campaign statistics: quantiles, binomial (Wilson) confidence intervals,
+/// and a deterministic percentile bootstrap. The campaign layer
+/// (core/campaign.hpp) reports flip-rate and pulses-to-flip distributions
+/// through these instead of point estimates. Everything here is pure and
+/// deterministic: the bootstrap draws its resamples from counter-based
+/// Rng::forStream streams, so results never depend on scheduling.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace nh::util {
+
+/// A two-sided confidence interval [lo, hi].
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+  bool operator==(const Interval&) const = default;
+};
+
+/// Mean of the samples; 0 for an empty vector.
+double mean(const std::vector<double>& samples);
+
+/// Unbiased sample variance (n - 1 denominator); 0 for fewer than 2 samples.
+double variance(const std::vector<double>& samples);
+
+/// Quantile q in [0, 1] of an ascending-sorted vector, with linear
+/// interpolation between order statistics (R type-7, the numpy default).
+/// Throws std::invalid_argument for an empty vector or q outside [0, 1].
+double quantileSorted(const std::vector<double>& sorted, double q);
+
+/// Convenience overload: copies, sorts, and delegates to quantileSorted.
+double quantile(std::vector<double> samples, double q);
+
+/// Inverse standard normal CDF (the probit function) via Acklam's rational
+/// approximation (|relative error| < 1.15e-9 over (0, 1)). Throws
+/// std::invalid_argument for p outside (0, 1).
+double normalQuantile(double p);
+
+/// Wilson score interval for a binomial proportion: `successes` out of
+/// `trials` at the given two-sided confidence level (default 95%). Unlike
+/// the Wald interval it stays inside [0, 1] and behaves sensibly at 0/n and
+/// n/n. Throws std::invalid_argument for trials == 0 or confidence outside
+/// (0, 1).
+Interval wilsonInterval(std::size_t successes, std::size_t trials,
+                        double confidence = 0.95);
+
+/// Percentile-bootstrap confidence interval for quantile q of `samples`:
+/// draws `resamples` bootstrap resamples (with replacement), computes the
+/// quantile of each, and returns the central `confidence` mass of that
+/// bootstrap distribution. Deterministic: resample r draws its indices from
+/// Rng::forStream(seed, r), so the result depends only on (samples, q,
+/// resamples, seed, confidence). Throws std::invalid_argument for empty
+/// samples, resamples == 0, q outside [0, 1], or confidence outside (0, 1).
+Interval bootstrapQuantileInterval(const std::vector<double>& samples, double q,
+                                   std::size_t resamples, std::uint64_t seed,
+                                   double confidence = 0.95);
+
+}  // namespace nh::util

@@ -64,5 +64,58 @@ TEST(Variability, Validation) {
   EXPECT_THROW(runVariabilityStudy(cfg), std::invalid_argument);
 }
 
+// ---- degenerate statistics (defined on VariabilityResult) -----------------
+
+TEST(Variability, ZeroFlipsGivesAllZeroStatistics) {
+  VariabilityConfig cfg = quickConfig();
+  cfg.budget = 5;  // far below any flip threshold
+  const auto r = runVariabilityStudy(cfg);
+  EXPECT_EQ(r.flips, 0u);
+  EXPECT_TRUE(r.pulsesPerTrial.empty());
+  EXPECT_DOUBLE_EQ(r.flipRate, 0.0);
+  EXPECT_EQ(r.minPulses, 0u);
+  EXPECT_EQ(r.medianPulses, 0u);
+  EXPECT_EQ(r.maxPulses, 0u);
+  EXPECT_DOUBLE_EQ(r.spreadDecades, 0.0);
+}
+
+TEST(Variability, SingleFlipCollapsesTheDistribution) {
+  VariabilityConfig cfg = quickConfig();
+  cfg.trials = 1;
+  const auto r = runVariabilityStudy(cfg);
+  ASSERT_EQ(r.flips, 1u);
+  ASSERT_EQ(r.pulsesPerTrial.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.flipRate, 1.0);
+  EXPECT_EQ(r.minPulses, r.pulsesPerTrial.front());
+  EXPECT_EQ(r.medianPulses, r.pulsesPerTrial.front());
+  EXPECT_EQ(r.maxPulses, r.pulsesPerTrial.front());
+  EXPECT_DOUBLE_EQ(r.spreadDecades, 0.0);
+}
+
+// ---- RNG plans ------------------------------------------------------------
+
+TEST(Variability, SequentialPlanIsTheDefaultAndDeterministic) {
+  VariabilityConfig cfg = quickConfig();
+  EXPECT_EQ(cfg.plan, TrialRngPlan::Sequential);
+  const auto a = runVariabilityStudy(cfg);
+  const auto b = runVariabilityStudy(cfg);
+  EXPECT_EQ(a.pulsesPerTrial, b.pulsesPerTrial);
+}
+
+TEST(Variability, PerTrialStreamPlanIsThreadInvariant) {
+  VariabilityConfig cfg = quickConfig();
+  cfg.plan = TrialRngPlan::PerTrialStream;
+  cfg.threads = 1;
+  const auto serial = runVariabilityStudy(cfg);
+  cfg.threads = 4;
+  const auto parallel = runVariabilityStudy(cfg);
+  EXPECT_EQ(serial.pulsesPerTrial, parallel.pulsesPerTrial);
+  EXPECT_EQ(serial.flips, parallel.flips);
+  EXPECT_EQ(serial.medianPulses, parallel.medianPulses);
+  // Same regime as the sequential plan even though the draws differ.
+  EXPECT_EQ(serial.trials, cfg.trials);
+  EXPECT_EQ(serial.flips, cfg.trials);
+}
+
 }  // namespace
 }  // namespace nh::core

@@ -1,0 +1,116 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace nh::util {
+namespace {
+
+TEST(Stats, MeanAndVariance) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean({3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0, 4.0}), 2.5);
+  EXPECT_DOUBLE_EQ(variance({}), 0.0);
+  EXPECT_DOUBLE_EQ(variance({5.0}), 0.0);
+  // Var of {2, 4, 4, 4, 5, 5, 7, 9} with n-1 denominator: 32/7.
+  EXPECT_DOUBLE_EQ(variance({2, 4, 4, 4, 5, 5, 7, 9}), 32.0 / 7.0);
+}
+
+TEST(Stats, QuantileType7KnownAnswers) {
+  const std::vector<double> sorted{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(quantileSorted(sorted, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantileSorted(sorted, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(quantileSorted(sorted, 0.5), 25.0);   // h = 1.5
+  EXPECT_DOUBLE_EQ(quantileSorted(sorted, 0.25), 17.5);  // h = 0.75
+  EXPECT_DOUBLE_EQ(quantileSorted({7.0}, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(quantileSorted({7.0}, 0.5), 7.0);
+  EXPECT_DOUBLE_EQ(quantileSorted({7.0}, 1.0), 7.0);
+}
+
+TEST(Stats, QuantileUnsortedOverloadSorts) {
+  EXPECT_DOUBLE_EQ(quantile({40.0, 10.0, 30.0, 20.0}, 0.5), 25.0);
+}
+
+TEST(Stats, QuantileValidation) {
+  EXPECT_THROW(quantileSorted({}, 0.5), std::invalid_argument);
+  EXPECT_THROW(quantileSorted({1.0}, -0.1), std::invalid_argument);
+  EXPECT_THROW(quantileSorted({1.0}, 1.1), std::invalid_argument);
+}
+
+TEST(Stats, NormalQuantileKnownValues) {
+  // Reference values to ~1e-6 (Acklam's approximation is good to ~1e-9).
+  EXPECT_NEAR(normalQuantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(normalQuantile(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(normalQuantile(0.025), -1.959964, 1e-5);
+  EXPECT_NEAR(normalQuantile(0.995), 2.575829, 1e-5);
+  EXPECT_NEAR(normalQuantile(0.84134474), 1.0, 1e-5);
+  // Tail branch (p < 0.02425).
+  EXPECT_NEAR(normalQuantile(0.001), -3.090232, 1e-4);
+  EXPECT_THROW(normalQuantile(0.0), std::invalid_argument);
+  EXPECT_THROW(normalQuantile(1.0), std::invalid_argument);
+}
+
+TEST(Stats, WilsonIntervalKnownAnswer) {
+  // 8/10 at 95%: Wilson gives [0.4901, 0.9433] (to 4 decimals).
+  const Interval ci = wilsonInterval(8, 10, 0.95);
+  EXPECT_NEAR(ci.lo, 0.4901, 5e-4);
+  EXPECT_NEAR(ci.hi, 0.9433, 5e-4);
+}
+
+TEST(Stats, WilsonIntervalEdgeCases) {
+  // 0/n and n/n stay inside [0, 1] and are non-degenerate (the reason to
+  // prefer Wilson over Wald for flip rates near 0 or 1).
+  const Interval zero = wilsonInterval(0, 20);
+  EXPECT_DOUBLE_EQ(zero.lo, 0.0);
+  EXPECT_GT(zero.hi, 0.0);
+  EXPECT_LT(zero.hi, 0.25);
+  const Interval full = wilsonInterval(20, 20);
+  EXPECT_DOUBLE_EQ(full.hi, 1.0);
+  EXPECT_LT(full.lo, 1.0);
+  EXPECT_GT(full.lo, 0.75);
+  // Wider confidence -> wider interval.
+  EXPECT_LT(wilsonInterval(8, 10, 0.99).lo, wilsonInterval(8, 10, 0.95).lo);
+  EXPECT_THROW(wilsonInterval(1, 0), std::invalid_argument);
+  EXPECT_THROW(wilsonInterval(5, 4), std::invalid_argument);
+  EXPECT_THROW(wilsonInterval(1, 10, 0.0), std::invalid_argument);
+  EXPECT_THROW(wilsonInterval(1, 10, 1.0), std::invalid_argument);
+}
+
+TEST(Stats, BootstrapIntervalBracketsTheEstimateAndIsDeterministic) {
+  std::vector<double> samples;
+  for (int i = 1; i <= 40; ++i) samples.push_back(100.0 * i);
+  const double med = quantile(samples, 0.5);
+  const Interval a = bootstrapQuantileInterval(samples, 0.5, 300, 2026);
+  const Interval b = bootstrapQuantileInterval(samples, 0.5, 300, 2026);
+  EXPECT_EQ(a, b);  // counter-based streams: exactly reproducible
+  EXPECT_LE(a.lo, med);
+  EXPECT_GE(a.hi, med);
+  EXPECT_GT(a.hi, a.lo);
+  // A different seed gives a (slightly) different interval but still a
+  // bracket.
+  const Interval c = bootstrapQuantileInterval(samples, 0.5, 300, 77);
+  EXPECT_LE(c.lo, med);
+  EXPECT_GE(c.hi, med);
+}
+
+TEST(Stats, BootstrapIntervalSingletonCollapses) {
+  const Interval ci = bootstrapQuantileInterval({42.0}, 0.5, 50, 1);
+  EXPECT_DOUBLE_EQ(ci.lo, 42.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 42.0);
+}
+
+TEST(Stats, BootstrapIntervalValidation) {
+  EXPECT_THROW(bootstrapQuantileInterval({}, 0.5, 10, 1),
+               std::invalid_argument);
+  EXPECT_THROW(bootstrapQuantileInterval({1.0}, 0.5, 0, 1),
+               std::invalid_argument);
+  EXPECT_THROW(bootstrapQuantileInterval({1.0}, 1.5, 10, 1),
+               std::invalid_argument);
+  EXPECT_THROW(bootstrapQuantileInterval({1.0}, 0.5, 10, 1, 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nh::util
